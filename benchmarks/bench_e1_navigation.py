@@ -1,0 +1,80 @@
+"""E1 — §4.1 navigation session (paper tables 1–3) and E6 — try(e).
+
+Regenerates the paper's three navigation tables exactly and times the
+neighborhood queries behind them.
+"""
+
+from __future__ import annotations
+
+from repro.core.entities import MEMBER
+
+#: The paper's table 1 — (JOHN, *, *).
+TABLE_1 = {
+    MEMBER: ["EMPLOYEE", "MUSIC-LOVER", "PERSON", "PET-OWNER"],
+    "LIKES": ["CAT", "FELIX", "HEALTHCLIFF", "MARY", "MOZART"],
+    "WORKS-FOR": ["DEPARTMENT", "SHIPPING"],
+    "BOSS": ["PETER"],
+    "FAVORITE-MUSIC": ["PC#2-PIT", "PC#9-WAM", "S#5-LVB"],
+}
+
+#: The paper's table 2 — (PC#9-WAM, *, *).
+TABLE_2 = {
+    MEMBER: ["CLASSICAL-COMPOSITION", "CONCERTO"],
+    "COMPOSED-BY": ["MOZART"],
+    "PERFORMED-BY": ["BARENBOIM", "LEOPOLD", "SIRKIN"],
+    "FAVORITE-OF": ["JOHN"],
+}
+
+#: The paper's table 3 — (LEOPOLD, *, MOZART) with composition on.
+TABLE_3 = ["FATHER-OF", "PERFORMED.PC#9-WAM.COMPOSED-BY"]
+
+
+def _groups(result):
+    return {rel: sorted(values) for rel, values in result.groups.items()}
+
+
+def test_e1_table_1_john(benchmark, music_db):
+    music_db.closure()  # charge the one-off closure outside the timing
+    result = benchmark(music_db.navigate, "(JOHN, *, *)")
+    assert _groups(result) == TABLE_1
+    print()
+    print(result.render())
+
+
+def test_e1_table_2_concerto(benchmark, music_db):
+    music_db.closure()
+    result = benchmark(music_db.navigate, "(PC#9-WAM, *, *)")
+    assert _groups(result) == TABLE_2
+    print()
+    print(result.render())
+
+
+def test_e1_table_3_composed(benchmark, music_db):
+    music_db.limit(2)
+    music_db.closure()
+    result = benchmark(music_db.navigate, "(LEOPOLD, *, MOZART)")
+    assert sorted(result.groups) == TABLE_3
+    print()
+    print(result.render())
+
+
+def test_e1_closure_cost_with_composition(benchmark, music_db):
+    """The one-off cost navigation amortizes: closure + composition."""
+    music_db.limit(2)
+
+    def rebuild():
+        music_db._invalidate()
+        return music_db.closure()
+
+    result = benchmark(rebuild)
+    assert result.total > len(music_db.facts)
+
+
+def test_e6_try_operator(benchmark, music_db):
+    music_db.closure()
+    facts = benchmark(music_db.try_, "MOZART")
+    mentioned = {f for f in facts if "MOZART" in f}
+    assert mentioned == set(facts) and facts
+    print()
+    for fact in facts:
+        print("  ", fact)

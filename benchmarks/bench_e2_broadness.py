@@ -1,0 +1,64 @@
+"""E2 — §5.1 broadness: the opera query's minimal generalizations.
+
+Regenerates the paper's retraction set {Q1, Q2, Q3} of
+Q(z) = (z, LOVES, OPERA) and times retraction-set construction.
+"""
+
+from __future__ import annotations
+
+from repro.browse.retraction import ConjunctiveQuery, RetractedQuery, retraction_set
+from repro.core.facts import Template, var
+
+Z = var("z")
+
+#: The paper's minimally broader queries of (z, LOVES, OPERA).
+EXPECTED = {
+    Template(Z, "ENJOYS", "OPERA"),   # Q1: (LOVES, ≺, ENJOYS)
+    Template(Z, "LOVES", "MUSIC"),    # Q2: (OPERA, ≺, MUSIC)
+    Template(Z, "LOVES", "THEATER"),  # Q3: (OPERA, ≺, THEATER)
+}
+
+
+def test_e2_opera_retraction_set(benchmark, university_db):
+    hierarchy = university_db.hierarchy()
+    original = RetractedQuery(
+        query=ConjunctiveQuery.from_query("(z, LOVES, OPERA)"), path=())
+
+    candidates = benchmark(retraction_set, original, hierarchy)
+
+    assert {c.query.templates[0] for c in candidates} == EXPECTED
+    print()
+    print("Q (z) = (z, LOVES, OPERA) — minimally broader queries:")
+    for index, candidate in enumerate(candidates, start=1):
+        print(f"  Q{index}(z) = {candidate.query.templates[0]!r}"
+              f"   [{candidate.describe()}]")
+
+
+def test_e2_broadness_is_sound(benchmark, university_db):
+    """If Q succeeds, each broader query succeeds and contains {Q}."""
+    evaluator = university_db.evaluator()
+    hierarchy = university_db.hierarchy()
+    cq = ConjunctiveQuery.from_query("(z, LOVES, OPERA)")
+
+    def check():
+        original_value = evaluator.evaluate(cq.to_query())
+        for candidate in retraction_set(
+                RetractedQuery(query=cq, path=()), hierarchy):
+            broader = evaluator.evaluate(candidate.query.to_query())
+            assert original_value <= broader
+        return original_value
+
+    value = benchmark(check)
+    assert ("ANNA",) in value
+
+
+def test_e2_hierarchy_construction(benchmark, university_db):
+    university_db.closure()
+
+    def build():
+        university_db._hierarchy = None
+        return university_db.hierarchy()
+
+    hierarchy = benchmark(build)
+    assert hierarchy.minimal_generalizations("OPERA") == {
+        "MUSIC", "THEATER"}

@@ -1,0 +1,57 @@
+"""E3 — §5.2 automatic retraction: the students-love-free menu.
+
+Regenerates the paper's "Query failed. Retrying" menu exactly and
+times the full probe (evaluate + one retraction wave).
+"""
+
+from __future__ import annotations
+
+from repro.datasets import university
+
+#: The menu the paper prints, line for line.
+EXPECTED_MENU = """Query failed. Retrying
+
+1. Success with FRESHMAN instead of STUDENT
+2. Success with CHEAP instead of FREE
+
+You may select"""
+
+
+def test_e3_retraction_menu(benchmark, university_db):
+    university_db.closure()
+    result = benchmark(university_db.probe, university.STUDENTS_LOVE_FREE)
+    assert result.menu() == EXPECTED_MENU
+    assert result.select(1) == {("CAMPUS-CONCERTS",)}
+    assert result.select(2) == {("COFFEE",)}
+    print()
+    print("> " + university.STUDENTS_LOVE_FREE)
+    print(result.menu())
+
+
+def test_e3_retraction_set_has_four_queries(benchmark, university_db):
+    """The paper enumerates four minimally broader queries (FRESHMAN,
+    LIKE, Δ, CHEAP)."""
+    university_db.closure()
+    result = benchmark(university_db.probe, university.STUDENTS_LOVE_FREE)
+    assert len(result.waves[0].attempted) == 4
+    replaced = {
+        (c.path[0].old, c.path[0].new)
+        for c in result.waves[0].attempted
+    }
+    assert replaced == {
+        ("STUDENT", "FRESHMAN"),
+        ("LOVE", "LIKE"),
+        ("COSTS", "Δ"),
+        ("FREE", "CHEAP"),
+    }
+
+
+def test_e3_misspelling_diagnosis(benchmark, university_db):
+    """§5.2's terminal case: 'no such database entities'."""
+    university_db.closure()
+    result = benchmark(university_db.probe, university.MISSPELLED)
+    assert result.exhausted
+    assert result.unknown_entities == ("LUVS",)
+    print()
+    print("> " + university.MISSPELLED)
+    print(result.menu())

@@ -1,0 +1,50 @@
+"""E4 — §2.7 standard query language on the book world.
+
+Regenerates the paper's example queries (all books, self-citations,
+self-citing authors, the ≠ idiom for negation, a proposition) and
+times their evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import books
+
+CASES = [
+    ("all-books", books.ALL_BOOKS,
+     {("ISBN-100200",), ("ISBN-100201",), ("ISBN-300500",),
+      ("ISBN-300501",), ("ISBN-914894",)}),
+    ("self-citations", books.SELF_CITATIONS,
+     {("ISBN-300500",), ("ISBN-914894",)}),
+    ("self-citing-authors", books.SELF_CITING_AUTHORS,
+     {("SARAH",), ("DAVE",)}),
+    ("books-not-by-john", books.BOOKS_NOT_BY_JOHN,
+     {("ISBN-300500",), ("ISBN-300501",), ("ISBN-914894",)}),
+]
+
+
+@pytest.mark.parametrize("name,text,expected",
+                         CASES, ids=[c[0] for c in CASES])
+def test_e4_query(benchmark, books_db, name, text, expected):
+    books_db.closure()
+    value = benchmark(books_db.query, text)
+    assert value == expected
+    print()
+    print(f"{name}: {text}")
+    print("  ->", sorted(value))
+
+
+def test_e4_proposition(benchmark, books_db):
+    """A closed formula is a proposition (§2.7)."""
+    books_db.closure()
+    text = "(ISBN-914894, CITES, ISBN-914894) and (ISBN-914894, in, BOOK)"
+    value = benchmark(books_db.ask, text)
+    assert value is True
+
+
+def test_e4_open_template_is_whole_closure(benchmark, books_db):
+    """(x, y, z) evaluates to the complete (stored+derived) closure."""
+    books_db.closure()
+    value = benchmark(books_db.query, "(x, y, z)")
+    assert len(value) == len(books_db.closure().store)

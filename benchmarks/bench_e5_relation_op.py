@@ -1,0 +1,40 @@
+"""E5 — §6.1 relation() operator: the employee table.
+
+Regenerates the paper's table (same rows) and times the operator,
+including a non-1NF case.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import employee_workload
+from repro.db import Database
+
+#: The paper's printed rows.
+EXPECTED = {
+    "JOHN": (("SHIPPING",), ("$26000",)),
+    "TOM": (("ACCOUNTING",), ("$27000",)),
+    "MARY": (("RECEIVING",), ("$25000",)),
+}
+
+
+def test_e5_relation_table(benchmark, paper_db):
+    paper_db.closure()
+    table = benchmark(paper_db.relation, "EMPLOYEE",
+                      ("WORKS-FOR", "DEPARTMENT"), ("EARNS", "SALARY"))
+    assert {row.instance: row.cells for row in table.rows} == EXPECTED
+    print()
+    print(table.render())
+
+
+def test_e5_relation_scales(benchmark):
+    """The operator over a synthetic organization (600 instances)."""
+    workload = employee_workload(600, 12, seed=3)
+    db = Database(with_axioms=False)
+    db.add_facts(workload.facts)
+    for department in workload.departments:
+        db.add(department, "∈", "DEPARTMENT")
+    db.closure()
+    table = benchmark(db.relation, "EMPLOYEE",
+                      ("WORKS-FOR", "DEPARTMENT"))
+    assert len(table) == 600
+    assert all(row.cells[0] for row in table.rows)

@@ -1,0 +1,99 @@
+"""F10 — macro benchmark: a mixed browsing session at scale.
+
+No single paper claim — the end-to-end check that the architecture
+holds together: load a heap, compute the closure once, then run the
+§4–§5 workload (navigations, standard queries, probes, updates) and
+report per-operation latencies as the heap grows.
+
+Expected shape: the one-off closure cost grows with the heap; the
+per-operation costs stay interactive (sub-10 ms at these scales).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchio import Sweep, print_sweep, timed
+from repro.core.facts import Fact
+from repro.datasets.synthetic import (
+    hierarchy_facts,
+    membership_facts,
+    random_heap,
+)
+from repro.db import Database
+
+SCALES = [2000, 8000]
+
+
+def _loaded(scale: int) -> Database:
+    db = Database()
+    tree, leaves = hierarchy_facts(4, 3)
+    db.add_facts(tree)
+    db.add_facts(membership_facts(leaves[:20], 3))
+    db.add_facts(random_heap(scale, n_entities=scale // 5,
+                             n_relationships=25, seed=13))
+    db.add("JOHN", "LIKES", "E1")
+    db.add("JOHN", "∈", "C1")
+    return db
+
+
+def test_f10_mixed_session_scales(benchmark):
+    sweep = Sweep(name="F10: mixed browsing session vs heap size",
+                  parameter="heap_facts")
+    for scale in SCALES:
+        db = _loaded(scale)
+        closure_seconds = timed(
+            lambda db=db: (db._invalidate(), db.closure()), repeat=1)
+        db.closure()
+        navigate_seconds = timed(
+            lambda db=db: db.navigate("(JOHN, *, *)"), repeat=5)
+        query_seconds = timed(
+            lambda db=db: db.query(
+                "(JOHN, LIKES, y) and (y, R0, z)"), repeat=5)
+        probe_seconds = timed(
+            lambda db=db: db.probe("(JOHN, R99, z)", max_waves=3),
+            repeat=3)
+        def update(db=db):
+            db.add("PROBE-ENTITY", "∈", "C1")
+            db.closure()
+            db.remove_fact(Fact("PROBE-ENTITY", "∈", "C1"))
+            db.closure()
+        update_seconds = timed(update, repeat=3)
+        sweep.add(scale,
+                  closure_s=closure_seconds,
+                  navigate_s=navigate_seconds,
+                  query_s=query_seconds,
+                  probe_s=probe_seconds,
+                  update_s=update_seconds)
+        # Interactivity: every per-operation latency stays well under
+        # a second at these scales.
+        for label, seconds in (("navigate", navigate_seconds),
+                               ("query", query_seconds),
+                               ("probe", probe_seconds),
+                               ("update", update_seconds)):
+            assert seconds < 1.0, (scale, label, seconds)
+    print_sweep(sweep)
+
+    db = _loaded(SCALES[0])
+    db.closure()
+    benchmark.pedantic(lambda: db.navigate("(JOHN, *, *)"),
+                       rounds=5, iterations=2)
+
+
+def test_f10_navigation_op(benchmark):
+    db = _loaded(SCALES[-1])
+    db.closure()
+    result = benchmark(db.navigate, "(JOHN, *, *)")
+    assert not result.is_empty()
+
+
+def test_f10_update_op(benchmark):
+    db = _loaded(SCALES[0])
+    db.closure()
+    counter = iter(range(10 ** 6))
+
+    def update():
+        db.add(f"NEW{next(counter)}", "∈", "C1")
+        return db.closure().total
+
+    benchmark.pedantic(update, rounds=10, iterations=1)

@@ -1,0 +1,90 @@
+"""F1 — §6.1: composition "may have serious effect on the cost of
+query processing", contained by ``limit(n)``.
+
+Sweeps the composition limit over a layered association graph and
+reports closure size and browsing-query latency per limit.  Expected
+shape: super-linear growth of composed facts with n, with ``limit``
+keeping both size and latency bounded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchio import Sweep, print_sweep, timed
+from repro.core.store import FactStore
+from repro.datasets.synthetic import chain_facts, layered_dag_facts
+from repro.db import Database
+from repro.rules.composition import compose_closure
+
+LIMITS = [1, 2, 3, 4]
+
+
+def _dag_store() -> FactStore:
+    return FactStore(layered_dag_facts(layers=5, width=8, out_degree=3,
+                                       seed=11))
+
+
+def test_f1_sweep_composition_limit(benchmark):
+    store = _dag_store()
+    sweep = Sweep(name="F1: composition cost vs limit(n)",
+                  parameter="limit")
+    sizes = {}
+    for limit in LIMITS:
+        seconds = timed(lambda: compose_closure(store, limit), repeat=3)
+        result = compose_closure(store, limit)
+        sizes[limit] = result.count
+        sweep.add(limit, composed_facts=result.count,
+                  compose_seconds=seconds)
+    print_sweep(sweep)
+
+    # Shape: strictly growing, and growth accelerating (super-linear).
+    assert sizes[1] == 0
+    assert sizes[2] < sizes[3] < sizes[4]
+    assert (sizes[4] - sizes[3]) > (sizes[3] - sizes[2]) * 0.5
+
+    benchmark(compose_closure, store, 3)
+
+
+def test_f1_query_latency_grows_with_limit(benchmark):
+    """The (s, *, t) browsing query gets more expensive as composed
+    relationships multiply."""
+    facts = layered_dag_facts(layers=5, width=8, out_degree=3, seed=11)
+    sweep = Sweep(name="F1: (D0_0, *, D4_0) latency vs limit",
+                  parameter="limit")
+    counts = {}
+    for limit in LIMITS:
+        db = Database(with_axioms=False)
+        db.add_facts(facts)
+        db.limit(limit)
+        db.closure()
+        seconds = timed(
+            lambda db=db: db.navigate("(D0_0, *, D4_0)"), repeat=3)
+        answers = len(db.navigate("(D0_0, *, D4_0)").groups)
+        counts[limit] = answers
+        sweep.add(limit, associations=answers, query_seconds=seconds)
+    print_sweep(sweep)
+    assert counts[1] == 0          # no direct association
+    assert counts[4] >= counts[3]  # more paths at higher limits
+    assert counts[4] > 0
+
+    db = Database(with_axioms=False)
+    db.add_facts(facts)
+    db.limit(4)
+    db.closure()
+    benchmark(db.navigate, "(D0_0, *, D4_0)")
+
+
+def test_f1_unlimited_on_chain_is_quadratic(benchmark):
+    """n = ∞ on a k-chain yields C(k,2) composed facts — the paper's
+    'serious effect' in its purest form."""
+    sweep = Sweep(name="F1: unlimited composition on a chain",
+                  parameter="chain_length")
+    for length in (10, 20, 40):
+        store = FactStore(chain_facts(length))
+        result = compose_closure(store, None)
+        assert result.count == length * (length - 1) // 2
+        sweep.add(length, composed_facts=result.count)
+    print_sweep(sweep)
+    store = FactStore(chain_facts(40))
+    benchmark(compose_closure, store, None)

@@ -1,0 +1,111 @@
+"""F2 — closure computation: semi-naive vs naive forward chaining.
+
+The paper's closure (§2.6) is the cost every other operation amortizes;
+this bench sweeps heap size and shows the production engine dominating
+the textbook baseline, with the gap widening as iteration count grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchio import Sweep, print_sweep, timed
+from repro.core.facts import Fact
+from repro.core.store import FactStore
+from repro.datasets.synthetic import hierarchy_facts, membership_facts
+from repro.rules.builtin import STANDARD_RULES
+from repro.rules.engine import naive_closure, semi_naive_closure
+from repro.rules.rule import RelationshipClassifier, RuleContext
+
+
+def _workload(depth: int, fanout: int, instances: int):
+    """Hierarchy + memberships + one class-level fact to inherit."""
+    tree, leaves = hierarchy_facts(depth, fanout)
+    facts = list(tree)
+    facts.extend(membership_facts(leaves, instances))
+    facts.append(Fact("C0", "HAS-POLICY", "GENERAL-POLICY"))
+    return facts
+
+
+def _context(facts):
+    return RuleContext(classifier=RelationshipClassifier(FactStore(facts)))
+
+
+def _inference_heavy_workload(relationship_facts: int):
+    """A hierarchy with instances plus ordinary facts over the class
+    entities: every §3 rule family fires, and the closure is an order
+    of magnitude larger than the base — the regime where naive
+    re-derivation hurts."""
+    import random
+
+    tree, leaves = hierarchy_facts(4, 2)
+    facts = list(tree) + membership_facts(leaves, 2)
+    rng = random.Random(0)
+    entities = [f"C{i}" for i in range(31)]
+    for index in range(relationship_facts):
+        facts.append(Fact(rng.choice(entities), f"R{index % 8}",
+                          rng.choice(entities)))
+    return facts
+
+
+def test_f2_semi_naive_vs_naive_sweep(benchmark):
+    sweep = Sweep(name="F2: closure engines vs workload size",
+                  parameter="rel_facts")
+    ratios = []
+    for relationship_facts in (20, 40, 60):
+        facts = _inference_heavy_workload(relationship_facts)
+        context = _context(facts)
+        semi_seconds = timed(
+            lambda: semi_naive_closure(facts, STANDARD_RULES, context),
+            repeat=3)
+        naive_seconds = timed(
+            lambda: naive_closure(facts, STANDARD_RULES, context),
+            repeat=3)
+        semi = semi_naive_closure(facts, STANDARD_RULES, context)
+        naive = naive_closure(facts, STANDARD_RULES, context)
+        assert set(semi.store) == set(naive.store)
+        ratio = naive_seconds / semi_seconds
+        ratios.append(ratio)
+        sweep.add(relationship_facts, base=len(facts), closure=semi.total,
+                  iterations=semi.iterations,
+                  semi_naive_s=semi_seconds, naive_s=naive_seconds,
+                  speedup=round(ratio, 2))
+    print_sweep(sweep)
+    # Shape: semi-naive wins decisively on the largest workload.
+    assert ratios[-1] > 1.3
+
+    facts = _inference_heavy_workload(40)
+    context = _context(facts)
+    benchmark.pedantic(
+        semi_naive_closure, args=(facts, STANDARD_RULES, context),
+        rounds=3, iterations=1)
+
+
+def test_f2_semi_naive_largest(benchmark):
+    facts = _workload(5, 2, 2)
+    context = _context(facts)
+    result = benchmark(semi_naive_closure, facts, STANDARD_RULES, context)
+    assert result.derived_count > 0
+
+
+def test_f2_naive_largest(benchmark):
+    facts = _workload(5, 2, 2)
+    context = _context(facts)
+    result = benchmark(naive_closure, facts, STANDARD_RULES, context)
+    assert result.derived_count > 0
+
+
+def test_f2_iterations_scale_with_chain_depth(benchmark):
+    """Semi-naive round count tracks the longest derivation chain."""
+    sweep = Sweep(name="F2: iterations vs ≺-chain length",
+                  parameter="chain")
+    for chain in (4, 8, 16):
+        facts = [Fact(f"N{i}", "≺", f"N{i+1}") for i in range(chain)]
+        result = semi_naive_closure(facts, STANDARD_RULES,
+                                    _context(facts))
+        sweep.add(chain, iterations=result.iterations,
+                  closure=result.total)
+        assert result.iterations <= chain + 1
+    print_sweep(sweep)
+    facts = [Fact(f"N{i}", "≺", f"N{i+1}") for i in range(16)]
+    benchmark(semi_naive_closure, facts, STANDARD_RULES, _context(facts))

@@ -1,0 +1,167 @@
+"""F3 — §1's trade-off principle: "investment in organization is
+compensated by convenient and efficient retrieval."
+
+Three systems answer the same point lookups over the same employee
+data:
+
+* **loose heap, no investment** — the ScanStore (every retrieval scans);
+* **loose heap, indexed** — this library's FactStore (cheap, generic
+  investment: no schema, just hash indexes);
+* **organized** — the relational baseline (schema design + load +
+  per-attribute index, and schema knowledge required to ask anything).
+
+The bench prices build cost vs per-query cost and reports the
+crossover query count at which organization pays for itself against
+the zero-investment store — the paper's trade-off, quantified.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.relational import RelationalDatabase
+from repro.baselines.scan import ScanStore
+from repro.benchio import Sweep, print_sweep, timed
+from repro.core.facts import Template, var
+from repro.core.store import FactStore
+from repro.datasets.synthetic import employee_workload
+
+N_EMPLOYEES = 3000
+X = var("x")
+
+
+def _build_scan(workload):
+    return ScanStore(workload.facts)
+
+
+def _build_indexed(workload):
+    return FactStore(workload.facts)
+
+
+def _build_relational(workload):
+    db = RelationalDatabase()
+    relation = db.create_relation(
+        "EMPLOYEES", ("NAME", "DEPARTMENT", "SALARY"))
+    for row in workload.rows:
+        relation.insert(row)
+    relation.create_index("NAME")
+    return db
+
+
+def test_f3_tradeoff_crossover(benchmark):
+    """§1's opening example, quantified: "A simple example is a
+    sequential file.  Keeping it sorted is an investment, which yields
+    benefits when the file has to be searched."  Here the investment
+    is indexing the heap (or going all the way to a schema'd relational
+    store); the crossover is the number of retrievals after which the
+    investment has paid for itself against the zero-investment scan."""
+    workload = employee_workload(N_EMPLOYEES, 20, seed=1)
+    probes = workload.employees[::97] or workload.employees[:1]
+
+    build_scan = timed(lambda: _build_scan(workload), repeat=3)
+    build_indexed = timed(lambda: _build_indexed(workload), repeat=3)
+    build_rel = timed(lambda: _build_relational(workload), repeat=3)
+
+    scan = _build_scan(workload)
+    indexed = _build_indexed(workload)
+    organized = _build_relational(workload)
+
+    def scan_queries():
+        for employee in probes:
+            list(scan.match(Template(employee, "WORKS-FOR", X)))
+
+    def indexed_queries():
+        for employee in probes:
+            list(indexed.match(Template(employee, "WORKS-FOR", X)))
+
+    def relational_queries():
+        for employee in probes:
+            organized.lookup("EMPLOYEES", "NAME", employee)
+
+    scan_q = timed(scan_queries, repeat=3) / len(probes)
+    indexed_q = timed(indexed_queries, repeat=3) / len(probes)
+    rel_q = timed(relational_queries, repeat=3) / len(probes)
+
+    sweep = Sweep(name="F3: organization vs utility", parameter="system")
+    sweep.add("scan-heap (no investment)", build_seconds=build_scan,
+              per_query_seconds=scan_q)
+    sweep.add("indexed-heap", build_seconds=build_indexed,
+              per_query_seconds=indexed_q)
+    sweep.add("relational (schema)", build_seconds=build_rel,
+              per_query_seconds=rel_q)
+
+    # The crossover: queries after which the indexed heap's extra
+    # build cost has paid for itself against the zero-investment scan.
+    assert scan_q > indexed_q, "indexed lookups must beat full scans"
+    crossover = (max(0.0, build_indexed - build_scan)
+                 / (scan_q - indexed_q))
+    sweep.add("crossover", queries_to_amortize=round(crossover, 1))
+    print_sweep(sweep)
+
+    # Shape assertions: investment costs more up front, pays off per
+    # query by a wide margin, and amortizes within a modest number of
+    # retrievals at this scale.
+    assert build_indexed > build_scan
+    assert scan_q / indexed_q > 10
+    assert scan_q / rel_q > 10
+    assert crossover < 1000
+
+    benchmark.pedantic(indexed_queries, rounds=3, iterations=1)
+
+
+def test_f3_schemaless_lookup_without_schema_knowledge(benchmark):
+    """The question the intro poses: find 'something interesting about
+    John' with no idea where John lives.  The organized system must
+    scan every relation; the loose heap answers from its indexes."""
+    workload = employee_workload(N_EMPLOYEES, 20, seed=2)
+    indexed = _build_indexed(workload)
+    organized = _build_relational(workload)
+    target = workload.employees[N_EMPLOYEES // 2]
+
+    heap_seconds = timed(
+        lambda: indexed.facts_mentioning(target), repeat=3)
+    organized_seconds = timed(
+        lambda: organized.find_mentions(target), repeat=3)
+
+    sweep = Sweep(name="F3: 'something about John', no schema knowledge",
+                  parameter="system")
+    sweep.add("loose-heap-indexed", seconds=heap_seconds)
+    sweep.add("relational-scan-all", seconds=organized_seconds)
+    print_sweep(sweep)
+
+    heap_facts = indexed.facts_mentioning(target)
+    mentions = organized.find_mentions(target)
+    assert heap_facts and mentions
+    assert organized_seconds > heap_seconds * 5
+
+    benchmark.pedantic(indexed.facts_mentioning, args=(target,),
+                       rounds=5, iterations=1)
+
+
+def test_f3_indexed_heap_build(benchmark):
+    workload = employee_workload(N_EMPLOYEES, 20, seed=1)
+    store = benchmark(_build_indexed, workload)
+    assert len(store) == len(set(workload.facts))
+
+
+def test_f3_relational_build(benchmark):
+    workload = employee_workload(N_EMPLOYEES, 20, seed=1)
+    db = benchmark(_build_relational, workload)
+    assert len(db) == N_EMPLOYEES
+
+
+def test_f3_scan_query(benchmark):
+    workload = employee_workload(N_EMPLOYEES, 20, seed=1)
+    scan = _build_scan(workload)
+    target = workload.employees[-1]
+    result = benchmark(
+        lambda: list(scan.match(Template(target, "WORKS-FOR", X))))
+    assert result
+
+
+def test_f3_relational_query(benchmark):
+    workload = employee_workload(N_EMPLOYEES, 20, seed=1)
+    organized = _build_relational(workload)
+    target = workload.employees[-1]
+    result = benchmark(organized.lookup, "EMPLOYEES", "NAME", target)
+    assert result

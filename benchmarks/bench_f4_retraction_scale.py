@@ -1,0 +1,92 @@
+"""F4 — §5.2's wave process at scale.
+
+Sweeps generalization-chain depth and hierarchy fanout, reporting the
+number of waves, the queries attempted, and the probe latency.
+Expected shape: waves grow linearly with the distance to the nearest
+succeeding generalization; attempted queries grow with hierarchy
+connectivity; the misspelled worst case terminates with the §5.2
+diagnosis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchio import Sweep, print_sweep, timed
+from repro.core.entities import ISA
+from repro.core.facts import Fact
+from repro.datasets.synthetic import deep_retraction_workload, hierarchy_facts
+from repro.db import Database
+
+
+def _database(facts) -> Database:
+    db = Database()
+    db.add_facts(facts)
+    db.closure()
+    db.hierarchy()
+    return db
+
+
+def test_f4_waves_grow_with_depth(benchmark):
+    sweep = Sweep(name="F4: retraction waves vs chain depth",
+                  parameter="depth")
+    for depth in (2, 4, 8, 16):
+        facts, query = deep_retraction_workload(depth)
+        db = _database(facts)
+        seconds = timed(lambda db=db, q=query: db.probe(q), repeat=3)
+        result = db.probe(query)
+        attempted = sum(len(w.attempted) for w in result.waves)
+        sweep.add(depth, waves=len(result.waves), attempted=attempted,
+                  probe_seconds=seconds)
+        assert len(result.waves) == depth
+        assert result.waves[-1].successes
+    print_sweep(sweep)
+
+    facts, query = deep_retraction_workload(4)
+    db = _database(facts)
+    benchmark.pedantic(db.probe, args=(query,), rounds=3, iterations=1)
+
+
+def test_f4_attempted_grows_with_fanout(benchmark):
+    """Wider hierarchies mean more minimal generalizations per entity,
+    hence wider waves."""
+    sweep = Sweep(name="F4: first-wave width vs target fanout",
+                  parameter="parents")
+    widths = []
+    for parents in (1, 3, 6):
+        db = Database()
+        for index in range(parents):
+            db.add("THING", ISA, f"PARENT{index}")
+        db.add("SOMEONE", "MADE", "OTHER")  # LIKES stays unanswerable
+        result = db.probe("(SOMEONE, MADE, THING)", max_waves=1)
+        width = len(result.waves[0].attempted) if result.waves else 0
+        widths.append(width)
+        sweep.add(parents, first_wave_queries=width)
+    print_sweep(sweep)
+    assert widths[0] < widths[1] < widths[2]
+
+    benchmark.pedantic(
+        db.probe, args=("(SOMEONE, MADE, THING)",),
+        kwargs={"max_waves": 1}, rounds=3, iterations=1)
+
+
+def test_f4_misspelling_terminates(benchmark):
+    """The worst case — an unknown relationship — must exhaust, not
+    wander: source climbs to ∇, then 'no such database entities'."""
+    tree, leaves = hierarchy_facts(4, 2)
+    db = Database()
+    db.add_facts(tree)
+    db.add(leaves[0], "LIKES", leaves[-1])
+    db.closure()
+    db.hierarchy()
+    query = f"({leaves[0]}, MISSPELLED-REL, z)"
+    result = benchmark(db.probe, query)
+    assert result.exhausted
+    assert result.unknown_entities == ("MISSPELLED-REL",)
+
+
+def test_f4_probe_depth_8(benchmark):
+    facts, query = deep_retraction_workload(8)
+    db = _database(facts)
+    result = benchmark(db.probe, query)
+    assert len(result.waves) == 8

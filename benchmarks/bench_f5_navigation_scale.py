@@ -1,0 +1,79 @@
+"""F5 — navigation latency vs heap size: indexed heap vs the
+"extensive scan" the paper's introduction warns about.
+
+A user who wants "something interesting about John" needs the
+neighborhood query (JOHN, *, *).  On the indexed heap its cost tracks
+John's degree; on an unindexed store it tracks the whole heap.
+Expected shape: indexed latency flat as the heap grows, scan latency
+linear.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.scan import ScanStore
+from repro.benchio import Sweep, print_sweep, timed
+from repro.core.facts import Fact, Template, var
+from repro.core.store import FactStore
+from repro.datasets.synthetic import random_heap
+
+HEAP_SIZES = [2000, 8000, 32000]
+JOHN_DEGREE = 12
+R, T = var("r"), var("t")
+
+
+def _heap(size: int):
+    facts = random_heap(size, n_entities=size // 4,
+                        n_relationships=40, seed=5)
+    # John's neighborhood stays the same size as the heap grows.
+    for index in range(JOHN_DEGREE):
+        facts.append(Fact("JOHN", f"R{index % 7}", f"E{index}"))
+    return facts
+
+
+def test_f5_indexed_flat_scan_linear(benchmark):
+    sweep = Sweep(name="F5: (JOHN, *, *) latency vs heap size",
+                  parameter="heap_facts")
+    indexed_times = []
+    scan_times = []
+    pattern = Template("JOHN", R, T)
+    for size in HEAP_SIZES:
+        facts = _heap(size)
+        indexed = FactStore(facts)
+        scan = ScanStore(facts)
+        indexed_seconds = timed(
+            lambda: list(indexed.match(pattern)), repeat=5)
+        scan_seconds = timed(lambda: list(scan.match(pattern)), repeat=5)
+        assert (set(indexed.match(pattern))
+                == set(scan.match(pattern)))
+        indexed_times.append(indexed_seconds)
+        scan_times.append(scan_seconds)
+        sweep.add(size, indexed_s=indexed_seconds, scan_s=scan_seconds,
+                  scan_over_indexed=round(scan_seconds
+                                          / indexed_seconds, 1))
+    print_sweep(sweep)
+
+    # Shape: the scan degrades with heap size; the index does not.
+    assert scan_times[-1] / scan_times[0] > 4      # ~16x size → ≥4x time
+    assert scan_times[-1] / indexed_times[-1] > 50  # index >> scan
+
+    store = FactStore(_heap(HEAP_SIZES[-1]))
+    benchmark.pedantic(lambda: list(store.match(pattern)),
+                       rounds=5, iterations=10)
+
+
+def test_f5_indexed_navigation_largest(benchmark):
+    facts = _heap(HEAP_SIZES[-1])
+    store = FactStore(facts)
+    pattern = Template("JOHN", R, T)
+    result = benchmark(lambda: list(store.match(pattern)))
+    assert len(result) == JOHN_DEGREE
+
+
+def test_f5_scan_navigation_largest(benchmark):
+    facts = _heap(HEAP_SIZES[-1])
+    store = ScanStore(facts)
+    pattern = Template("JOHN", R, T)
+    result = benchmark(lambda: list(store.match(pattern)))
+    assert len(result) == JOHN_DEGREE

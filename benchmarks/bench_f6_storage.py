@@ -1,0 +1,116 @@
+"""F6 — the storage substrate: journal throughput, snapshot cost,
+recovery replay, and closure-invalidation overhead on updates.
+
+The paper stores facts "one by one" (§2.6) and defers storage strategy
+to future work; these numbers describe *our* substrate, not the
+paper's (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchio import Sweep, print_sweep, timed
+from repro.core.facts import Fact
+from repro.datasets.synthetic import random_heap
+from repro.db import Database
+from repro.storage.journal import OP_ADD, Journal
+from repro.storage.session import open_database
+from repro.storage.snapshot import SnapshotState, read_snapshot, write_snapshot
+
+N_FACTS = 2000
+
+
+@pytest.fixture
+def facts():
+    return random_heap(N_FACTS, n_entities=400, n_relationships=30,
+                       seed=9)
+
+
+def test_f6_journal_append_throughput(benchmark, tmp_path, facts):
+    journal = Journal(tmp_path / "bench.jsonl")
+
+    def append_all():
+        for fact in facts:
+            journal.append(OP_ADD, fact)
+
+    benchmark.pedantic(append_all, rounds=3, iterations=1)
+    journal.close()
+    assert len(journal) >= N_FACTS
+
+
+def test_f6_snapshot_roundtrip(benchmark, tmp_path, facts):
+    state = SnapshotState(facts=list(facts))
+    path = tmp_path / "snap.json"
+
+    def roundtrip():
+        write_snapshot(path, state)
+        return read_snapshot(path)
+
+    loaded = benchmark(roundtrip)
+    assert set(loaded.facts) == set(facts)
+
+
+def test_f6_recovery_replay(benchmark, tmp_path, facts):
+    db, session = open_database(tmp_path / "d")
+    db.add_facts(facts)
+    session.close()
+
+    def recover():
+        recovered, fresh_session = open_database(tmp_path / "d")
+        fresh_session.close()
+        return recovered
+
+    recovered = benchmark(recover)
+    assert len(recovered.facts) >= N_FACTS
+
+
+def test_f6_checkpoint_compaction(benchmark, tmp_path, facts):
+    sweep = Sweep(name="F6: recovery, journal vs snapshot",
+                  parameter="state")
+    db, session = open_database(tmp_path / "d")
+    db.add_facts(facts)
+    journal_recover = timed(
+        lambda: session.recover(), repeat=3)
+    sweep.add("journal-only", recover_seconds=journal_recover)
+    session.checkpoint()
+    snapshot_recover = timed(
+        lambda: session.recover(), repeat=3)
+    sweep.add("after-checkpoint", recover_seconds=snapshot_recover)
+    session.close()
+    print_sweep(sweep)
+
+    db2, session2 = open_database(tmp_path / "d")
+    assert len(db2.facts) >= N_FACTS
+    session2.close()
+
+    benchmark.pedantic(
+        lambda: DurableRecover(tmp_path / "d"), rounds=3, iterations=1)
+
+
+def DurableRecover(path):
+    from repro.storage.session import DurableSession
+
+    session = DurableSession(path)
+    database = session.recover()
+    session.close()
+    return database
+
+
+def test_f6_update_invalidation_cost(benchmark, facts):
+    """Each mutation invalidates the cached closure; the next query
+    pays recomputation.  This is the paper's organization-free update
+    path: O(1) insert, closure on demand."""
+    db = Database(with_axioms=False)
+    db.add_facts(facts[:-50])
+    db.closure()
+    extra = facts[-50:]
+
+    def update_then_query():
+        for fact in extra:
+            db.add_fact(fact)
+            db.remove_fact(fact)
+        return db.closure().total
+
+    total = benchmark(update_then_query)
+    assert total > 0

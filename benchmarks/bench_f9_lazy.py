@@ -1,0 +1,131 @@
+"""F9 — query-driven (lazy) inference vs materializing the closure.
+
+§6.2 leaves "suitable storage strategies … performance" open.  This
+bench prices the two classical evaluation strategies on the same
+heaps: materialize-then-match versus tabled top-down derivation.
+
+Expected shape: for a *selective* query on a cold database, the lazy
+engine wins by a wide margin (it derives only what the question
+touches); for *open* queries it converges to closure cost; repeated
+queries amortize either way (tables vs cache).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchio import Sweep, print_sweep, timed
+from repro.core.facts import Fact, Template, var
+from repro.datasets.synthetic import hierarchy_facts, membership_facts
+from repro.db import Database
+
+X = var("x")
+
+
+def _facts(depth: int):
+    tree, leaves = hierarchy_facts(depth, 2)
+    facts = list(tree)
+    facts.extend(membership_facts(leaves, 2))
+    facts.append(Fact("C0", "HAS-POLICY", "GENERAL"))
+    facts.append(Fact("JOHN", "LIKES", "FELIX"))
+    return facts
+
+
+def _db(depth: int) -> Database:
+    db = Database()
+    db.add_facts(_facts(depth))
+    return db
+
+
+POINT_QUERY = "(JOHN, LIKES, y)"
+INFERENCE_QUERY = "(I0, HAS-POLICY, y)"  # needs the ≺/∈ chain to C0
+OPEN_QUERY = "(x, y, z)"
+
+
+def test_f9_cold_selective_query(benchmark):
+    """Cold-start cost of one selective question, per strategy."""
+    sweep = Sweep(name="F9: cold selective query", parameter="depth")
+    ratios = []
+    for depth in (5, 6, 7):
+        materialized_s = timed(
+            lambda d=depth: _db(d).query(POINT_QUERY), repeat=3)
+        lazy_s = timed(
+            lambda d=depth: _db(d).query_lazy(POINT_QUERY), repeat=3)
+        ratio = materialized_s / lazy_s
+        ratios.append(ratio)
+        sweep.add(depth, closure=_db(depth).closure().total,
+                  materialized_s=materialized_s, lazy_s=lazy_s,
+                  speedup=round(ratio, 1))
+    print_sweep(sweep)
+    # Shape: laziness wins cold, and more decisively as the heap grows
+    # (the materialized cost tracks the closure, the lazy cost the
+    # question).
+    assert ratios[-1] > 5
+    assert ratios[-1] > ratios[0]
+
+    benchmark.pedantic(lambda: _db(6).query_lazy(POINT_QUERY),
+                       rounds=3, iterations=1)
+
+
+def test_f9_inference_heavy_point_query(benchmark):
+    """A query whose answer requires deep derivation chains: here the
+    tabling overhead exceeds semi-naive materialization — the honest
+    other side of the trade-off (no winner asserted, only equality of
+    answers)."""
+    depth = 6
+    materialized_s = timed(
+        lambda: _db(depth).query(INFERENCE_QUERY), repeat=3)
+    lazy_s = timed(
+        lambda: _db(depth).query_lazy(INFERENCE_QUERY), repeat=3)
+    sweep = Sweep(name="F9: derivation-chain query (depth 6)",
+                  parameter="strategy")
+    sweep.add("materialized", seconds=materialized_s)
+    sweep.add("lazy", seconds=lazy_s)
+    print_sweep(sweep)
+
+    db = _db(depth)
+    assert db.query(INFERENCE_QUERY) == db.query_lazy(INFERENCE_QUERY)
+    assert db.query_lazy(INFERENCE_QUERY) == {("GENERAL",)}
+
+    benchmark.pedantic(lambda: _db(depth).query_lazy(INFERENCE_QUERY),
+                       rounds=3, iterations=1)
+
+
+def test_f9_open_query_converges(benchmark):
+    """The fully open template forces the lazy engine to derive the
+    whole closure — no free lunch, and naive tabling pays overhead."""
+    depth = 4
+    db_lazy = _db(depth)
+    db_mat = _db(depth)
+    lazy_value = db_lazy.query_lazy(OPEN_QUERY)
+    materialized_value = db_mat.query(OPEN_QUERY)
+    assert lazy_value == materialized_value
+
+    lazy_s = timed(lambda: _db(depth).query_lazy(OPEN_QUERY), repeat=3)
+    materialized_s = timed(lambda: _db(depth).query(OPEN_QUERY), repeat=3)
+    sweep = Sweep(name="F9: open template (x, y, z) (depth 4)",
+                  parameter="strategy")
+    sweep.add("materialized", seconds=materialized_s)
+    sweep.add("lazy", seconds=lazy_s)
+    print_sweep(sweep)
+
+    benchmark.pedantic(lambda: _db(depth).query(OPEN_QUERY),
+                       rounds=3, iterations=1)
+
+
+def test_f9_warm_queries_amortize(benchmark):
+    """Both strategies answer repeated selective queries from cache."""
+    db = _db(6)
+    db.query(POINT_QUERY)        # warm the closure
+    db.query_lazy(POINT_QUERY)   # warm the tables
+    warm_materialized = timed(lambda: db.query(POINT_QUERY), repeat=5)
+    warm_lazy = timed(lambda: db.query_lazy(POINT_QUERY), repeat=5)
+    sweep = Sweep(name="F9: warm repeated query", parameter="strategy")
+    sweep.add("materialized", seconds=warm_materialized)
+    sweep.add("lazy", seconds=warm_lazy)
+    print_sweep(sweep)
+    # Both are sub-millisecond warm; neither should be pathological.
+    assert warm_materialized < 0.01
+    assert warm_lazy < 0.01
+
+    benchmark(db.query_lazy, POINT_QUERY)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the paper-table reproductions each bench prints in
+addition to its timings.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import books, music, paper, university
+
+
+@pytest.fixture
+def music_db():
+    return music.load()
+
+
+@pytest.fixture
+def paper_db():
+    return paper.load()
+
+
+@pytest.fixture
+def university_db():
+    return university.load()
+
+
+@pytest.fixture
+def books_db():
+    return books.load()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""A browsing session over the film world.
+
+The scenario the paper's introduction motivates: a user who knows one
+token ("Tarkovsky"), no schema, and wants to find something
+interesting.  The session uses try → navigation → paths → probing, the
+exact escalation §4–§5 describes, over the repository's richest
+dataset.
+
+Run:  python examples/film_browsing.py
+      (or interactively: python -m repro.shell movies)
+"""
+
+from repro.browse.paths import association_paths
+from repro.datasets import movies
+
+
+def main() -> None:
+    db = movies.load()
+
+    # 1. The user knows one name.  try(e) needs no other knowledge.
+    print("> try TARKOVSKY")
+    for fact in db.try_("TARKOVSKY"):
+        print("  ", fact)
+
+    # 2. Pick an entity out of the answer, look at its neighborhood.
+    print("\n> (SOLARIS-1972, *, *)")
+    print(db.navigate("(SOLARIS-1972, *, *)").render())
+
+    # 3. "How is the novelist related to the character?"  Association
+    #    paths — the §3.7 idea as search, with no composition cost.
+    print("\n> paths LEM KELVIN (semantic distance ≤ 3)")
+    for path in association_paths(db.view(), "LEM", "KELVIN",
+                                  max_length=3):
+        print("  ", path.render())
+
+    # 4. A hit-and-miss query that misses — probing takes over (§5).
+    question = "(z, in, WESTERN) and (z, DIRECTED-BY, KUBRICK)"
+    print(f"\n> probe {question}")
+    result = db.probe(question)
+    print(result.menu())
+    if result.successes:
+        print("  selecting 1 ->", sorted(result.select(1)))
+
+    # 5. Standard queries still work when the user does know things.
+    print("\n> films rated above 91, with their directors:")
+    value = db.query(
+        "exists r: (f, RATING, r) and (r, >, 91)"
+        " and (f, DIRECTED-BY, d)")
+    for film, director in sorted(value):
+        print(f"   {film:16s} {director}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""The paper, end to end: every worked example of Motro (SIGMOD 1984),
+regenerated from this implementation.
+
+Sections mirror the paper: §3 standard inferences, §4.1 the navigation
+session (John → his favorite concerto → the Mozarts), §5 probing with
+automatic retraction, §6.1 the operators.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro import Database
+from repro.datasets import music, paper, university
+
+
+def heading(text: str) -> None:
+    print()
+    print("=" * 64)
+    print(text)
+    print("=" * 64)
+
+
+def navigation_session() -> None:
+    heading("§4.1 — Browsing by navigation (experiment E1)")
+    db = music.load()
+
+    session = db.session()
+    print("\n> (JOHN, *, *)")
+    print(session.visit("JOHN").render())
+
+    print("\n> (PC#9-WAM, *, *)")
+    print(session.visit("PC#9-WAM").render())
+
+    print("\n> limit(2)   -- enable composition for the next query")
+    db.limit(2)
+    session = db.session()
+    print("> (LEOPOLD, *, MOZART)")
+    print(session.between("LEOPOLD", "MOZART").render())
+    print("\nThe composed path PERFORMED.PC#9-WAM.COMPOSED-BY is the")
+    print("paper's 'power of composition as a browsing tool'.")
+
+
+def standard_inferences() -> None:
+    heading("§3 — Standard inference rules (on the §6.1 employee world)")
+    db = paper.load()
+    checks = [
+        ("generalization (source):  (MANAGER, WORKS-FOR, DEPARTMENT)",
+         "(MANAGER, WORKS-FOR, DEPARTMENT)"),
+        ("generalization (target):  (EMPLOYEE, EARNS, COMPENSATION)",
+         "(EMPLOYEE, EARNS, COMPENSATION)"),
+        ("membership:               (JOHN, WORKS-FOR, DEPARTMENT)",
+         "(JOHN, WORKS-FOR, DEPARTMENT)"),
+        ("class rel. not inherited: (JOHN, TOTAL-NUMBER, 180)",
+         "(JOHN, TOTAL-NUMBER, 180)"),
+    ]
+    for label, proposition in checks:
+        print(f"  {label:60s} -> {db.ask(proposition)}")
+
+    db.add("JOHN", "≈", "JOHNNY")
+    print(f"  synonym:                  (JOHNNY, EARNS, $26000)"
+          f"{'':14s} -> {db.ask('(JOHNNY, EARNS, $26000)')}")
+
+
+def probing() -> None:
+    heading("§5 — Browsing by probing (experiments E2, E3)")
+    db = university.load()
+
+    print("\n> " + university.STUDENTS_LOVE_FREE)
+    result = db.probe(university.STUDENTS_LOVE_FREE)
+    print(result.menu())
+    print("  select 1 ->", result.select(1))
+    print("  select 2 ->", result.select(2))
+
+    print("\n> " + university.QUARTERBACKS_FROM_USC)
+    result = db.probe(university.QUARTERBACKS_FROM_USC)
+    print(result.menu())
+
+    print("\n> " + university.MISSPELLED + "   (misspelled relationship)")
+    print(db.probe(university.MISSPELLED).menu())
+
+
+def operators() -> None:
+    heading("§6.1 — Operators (experiments E5, E6)")
+    db = paper.load()
+
+    print("\n> try(SHIPPING)")
+    for fact in db.try_("SHIPPING"):
+        print("  ", fact)
+
+    print("\n> relation(EMPLOYEE, WORKS-FOR DEPARTMENT, EARNS SALARY)")
+    print(db.relation("EMPLOYEE", ("WORKS-FOR", "DEPARTMENT"),
+                      ("EARNS", "SALARY")).render())
+
+    print("\n> define(earners, ...) / invoke(earners, 26000)")
+    db.define("earners",
+              "exists y: (x, in, EMPLOYEE) and (x, EARNS, y)"
+              " and (y, >, $1)")
+    print("  earners over 26000:", sorted(db.invoke("earners", "26000")))
+
+
+def main() -> None:
+    navigation_session()
+    standard_inferences()
+    probing()
+    operators()
+
+
+if __name__ == "__main__":
+    main()

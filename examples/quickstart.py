@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: a loosely structured database in five minutes.
+
+Builds a tiny heap of facts — no schema, no design phase — then shows
+the three retrieval styles of Motro's architecture: standard queries,
+navigation, and probing.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()
+
+    # A database is just facts, added one by one (§2.6).  Schema-level
+    # and data-level statements mix freely.
+    db.add("JOHN", "∈", "EMPLOYEE")          # John is an employee
+    db.add("EMPLOYEE", "∈", "PERSON")        # oops — fix it below
+    db.remove_fact(next(iter(db.match("(EMPLOYEE, ∈, PERSON)"))))
+    db.add("EMPLOYEE", "≺", "PERSON")        # employees are persons
+    db.add("EMPLOYEE", "EARNS", "SALARY")    # every employee earns
+    db.add("JOHN", "EARNS", "$25000")
+    db.add("JOHN", "WORKS-FOR", "SHIPPING")
+    db.add("SHIPPING", "∈", "DEPARTMENT")
+    db.add("WORKS-FOR", "≺", "IS-PAID-BY")   # working implies payment
+
+    # --- Standard queries (§2.7) ------------------------------------
+    print("Who earns what?")
+    for row in sorted(db.query("(x, EARNS, y)")):
+        print("  ", row)
+
+    print("\nEmployees earning over $20000:")
+    print("  ", db.query(
+        "exists y: (z, in, EMPLOYEE) and (z, EARNS, y)"
+        " and (y, >, 20000)"))
+
+    print("\nIs John paid by Shipping?  (inferred via ≺ on WORKS-FOR)")
+    print("  ", db.ask("(JOHN, IS-PAID-BY, SHIPPING)"))
+
+    # --- Navigation (§4.1) ------------------------------------------
+    print("\nBrowse John's neighborhood — no schema knowledge needed:")
+    print(db.navigate("(JOHN, *, *)").render())
+
+    # --- Probing (§5) -------------------------------------------------
+    print("\nProbe a query that fails (nobody OWNS anything yet):")
+    db.add("OWNS", "≺", "HAS")
+    db.add("JOHN", "HAS", "BICYCLE")
+    result = db.probe("(JOHN, OWNS, z)")
+    print(result.menu())
+    if result.successes:
+        print("  first suggestion returns:", result.select(1))
+
+
+if __name__ == "__main__":
+    main()

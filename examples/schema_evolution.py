@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Schema evolution and multi-database integration — the paper's §1
+motivation for de-emphasizing structure.
+
+Scenario: a company's personnel records evolve over three "eras"
+(flat records → job hierarchy → merger with another company's
+database).  In a structured system each era is a restructuring
+project; in a loosely structured database each era is *just more
+facts* — synonym and inversion facts do the integration work, and old
+queries keep working unchanged.
+
+Run:  python examples/schema_evolution.py
+"""
+
+from repro import Database
+
+
+def era_1_flat_records(db: Database) -> None:
+    print("\n--- Era 1: flat personnel records -----------------------")
+    db.add("ALICE", "∈", "EMPLOYEE")
+    db.add("ALICE", "EARNS", "52000")
+    db.add("BOB", "∈", "EMPLOYEE")
+    db.add("BOB", "EARNS", "48000")
+    print("employees:", sorted(db.query("(x, in, EMPLOYEE)")))
+
+
+def era_2_job_hierarchy(db: Database) -> None:
+    print("\n--- Era 2: a job hierarchy appears (no restructuring) ----")
+    # New classifications arrive as plain facts; nothing is migrated.
+    db.add("ENGINEER", "≺", "EMPLOYEE")
+    db.add("MANAGER", "≺", "EMPLOYEE")
+    db.add("CAROL", "∈", "ENGINEER")
+    db.add("CAROL", "EARNS", "61000")
+    # The era-1 query still works and now sees Carol through the
+    # membership-upward rule.
+    print("employees:", sorted(db.query("(x, in, EMPLOYEE)")))
+    print("engineers:", sorted(db.query("(x, in, ENGINEER)")))
+
+
+def era_3_merger(db: Database) -> None:
+    print("\n--- Era 3: merging another company's database ------------")
+    # The acquired company modelled the same environment differently:
+    # WAGE for EARNS, STAFF for EMPLOYEE, and it recorded departments
+    # from the department side (HAS-MEMBER instead of WORKS-FOR).
+    from repro import Fact
+    from repro.merge import merge, suggest_relationship_bridges
+
+    acquired = [
+        Fact("DAN", "∈", "STAFF"),
+        Fact("DAN", "WAGE", "45000"),
+        Fact("EVE", "∈", "STAFF"),
+        Fact("EVE", "WAGE", "58000"),
+        Fact("ASSEMBLY", "HAS-MEMBER", "DAN"),
+        Fact("ASSEMBLY", "HAS-MEMBER", "EVE"),
+        # The acquired catalogue also re-records one of our people
+        # under its own vocabulary — evidence for bridge suggestion.
+        Fact("CAROL", "WAGE", "61000"),
+    ]
+    report = merge(db, acquired)
+    print(report.render())
+
+    # The merge is a plain union; unification is synonym/inversion
+    # facts.  Where vocabularies overlap on shared entities, bridge
+    # suggestion finds the candidates automatically:
+    for suggestion in suggest_relationship_bridges(db,
+                                                   min_similarity=0.15):
+        print("  suggested bridge:", suggestion.render())
+
+    # Integration = four facts, not an ETL project (§1: "unified
+    # access to multiple databases is much simpler ...").
+    db.add("STAFF", "≈", "EMPLOYEE")        # synonym (§3.3)
+    db.add("WAGE", "≈", "EARNS")            # synonym
+    db.add("HAS-MEMBER", "↔", "WORKS-FOR")  # inversion (§3.4)
+    db.add("ASSEMBLY", "∈", "DEPARTMENT")
+    # HAS-MEMBER characterizes the department, not every member class
+    # (§2.2): if it were individual, target abstraction would conclude
+    # (ASSEMBLY, HAS-MEMBER, EMPLOYEE), whose inverse claims *every*
+    # employee works for Assembly.
+    db.declare_class_relationship("HAS-MEMBER")
+
+    print("all employees, both companies:",
+          sorted(db.query("(x, in, EMPLOYEE)")))
+    print("everyone's earnings via the era-1 vocabulary:")
+    for name, amount in sorted(db.query("(x, EARNS, y) and (y, >, 0)")):
+        print(f"   {name:6s} {amount}")
+    print("who works for ASSEMBLY (inverted):",
+          sorted(db.query("(x, WORKS-FOR, ASSEMBLY)")))
+
+
+def browsing_the_merged_world(db: Database) -> None:
+    print("\n--- Browsing the merged heap ------------------------------")
+    print(db.navigate("(DAN, *, *)").render())
+    print()
+    result = db.probe("(DAN, SALARY, z)")  # wrong vocabulary entirely
+    print("probe (DAN, SALARY, z):")
+    print(result.menu())
+
+
+def main() -> None:
+    db = Database()
+    era_1_flat_records(db)
+    era_2_job_hierarchy(db)
+    era_3_merger(db)
+    browsing_the_merged_world(db)
+    stats = db.stats()
+    print(f"\n{stats['base_facts']} stored facts,"
+          f" {stats['derived_facts']} inferred,"
+          f" 0 restructuring projects.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — a loosely structured database with browsing.
+
+A complete implementation of the architecture of:
+
+    Amihai Motro, "Browsing in a Loosely Structured Database",
+    SIGMOD 1984.
+
+The database is a heap of ``(source, relationship, target)`` facts plus
+inference/integrity rules; retrieval is a predicate-logic query
+language, *navigation* (iterated neighborhood templates), and *probing*
+(queries that retract automatically on failure).
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.add("JOHN", "∈", "EMPLOYEE")
+    db.add("EMPLOYEE", "EARNS", "SALARY")
+    assert db.query("(JOHN, EARNS, y)") == {("SALARY",)}
+    print(db.navigate("(JOHN, *, *)").render())
+"""
+
+from .core.entities import (
+    BOTTOM,
+    CONTRA,
+    EQ,
+    GE,
+    GT,
+    INV,
+    ISA,
+    LE,
+    LT,
+    MEMBER,
+    NE,
+    SYN,
+    TOP,
+)
+from .core.errors import (
+    EntityError,
+    IntegrityError,
+    ParseError,
+    QueryError,
+    ReproError,
+    RuleError,
+    StorageError,
+    TemplateError,
+)
+from .core.facts import Fact, Template, Variable, fact, template, var
+from .core.store import FactStore
+from .db import AXIOM_FACTS, Database
+from .query.ast import And, Atom, Exists, ForAll, Or, Query, atom, exists, forall
+from .query.parser import parse_formula, parse_query, parse_template
+from .rules.builtin import STANDARD_RULES
+from .rules.rule import Rule
+from .storage.session import open_database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOTTOM", "CONTRA", "EQ", "GE", "GT", "INV", "ISA", "LE", "LT",
+    "MEMBER", "NE", "SYN", "TOP", "EntityError", "IntegrityError",
+    "ParseError", "QueryError", "ReproError", "RuleError", "StorageError",
+    "TemplateError", "Fact", "Template", "Variable", "fact", "template",
+    "var", "FactStore", "AXIOM_FACTS", "Database", "And", "Atom", "Exists",
+    "ForAll", "Or", "Query", "atom", "exists", "forall", "parse_formula",
+    "parse_query", "parse_template", "STANDARD_RULES", "Rule",
+    "open_database", "__version__",
+]

@@ -1,0 +1,8 @@
+"""Baselines the benchmarks compare against: the naive closure engine
+(:func:`repro.rules.engine.naive_closure`), the unindexed scan store,
+and the schema-organized relational engine."""
+
+from .relational import Relation, RelationalDatabase
+from .scan import ScanStore
+
+__all__ = ["Relation", "RelationalDatabase", "ScanStore"]

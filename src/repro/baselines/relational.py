@@ -1,0 +1,140 @@
+"""A schema-organized relational baseline (benchmark F3).
+
+The paper's §1 trade-off: "investment in organization is compensated by
+convenient and efficient retrieval."  This module is the *organized*
+side of that trade-off — a miniature relational engine with named
+relations, declared attributes, and hash indexes — so the benchmarks
+can price both sides: building it (design + load + index cost, and the
+schema knowledge required to query it at all) versus querying it.
+
+It is deliberately the kind of system SDMS/TIMBER-style browsers
+presuppose: to retrieve anything you must name a relation and its
+attributes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import QueryError
+
+Row = Tuple[str, ...]
+
+
+@dataclass
+class Relation:
+    """A named relation with a fixed attribute list and hash indexes."""
+
+    name: str
+    attributes: Tuple[str, ...]
+    rows: List[Row] = field(default_factory=list)
+    _indexes: Dict[str, Dict[str, List[Row]]] = field(default_factory=dict)
+
+    def attribute_index(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise QueryError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+                f" (schema: {', '.join(self.attributes)})")
+
+    def insert(self, row: Sequence[str]) -> None:
+        if len(row) != len(self.attributes):
+            raise QueryError(
+                f"arity mismatch for {self.name!r}: expected"
+                f" {len(self.attributes)} values, got {len(row)}")
+        stored = tuple(row)
+        self.rows.append(stored)
+        for attribute, value_map in self._indexes.items():
+            position = self.attribute_index(attribute)
+            value_map.setdefault(stored[position], []).append(stored)
+
+    def create_index(self, attribute: str) -> None:
+        position = self.attribute_index(attribute)
+        value_map: Dict[str, List[Row]] = {}
+        for row in self.rows:
+            value_map.setdefault(row[position], []).append(row)
+        self._indexes[attribute] = value_map
+
+    def select(self, attribute: str, value: str) -> List[Row]:
+        """σ(attribute = value) — indexed when an index exists."""
+        if attribute in self._indexes:
+            return list(self._indexes[attribute].get(value, ()))
+        position = self.attribute_index(attribute)
+        return [row for row in self.rows if row[position] == value]
+
+    def project(self, attributes: Sequence[str],
+                rows: Optional[Iterable[Row]] = None) -> List[Row]:
+        positions = [self.attribute_index(a) for a in attributes]
+        source = self.rows if rows is None else rows
+        return [tuple(row[p] for p in positions) for row in source]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class RelationalDatabase:
+    """A catalog of relations.  Querying requires schema knowledge:
+    every access names a relation and its attributes, which is exactly
+    the knowledge browsing is designed to avoid needing."""
+
+    def __init__(self):
+        self._relations: Dict[str, Relation] = {}
+
+    def create_relation(self, name: str,
+                        attributes: Sequence[str]) -> Relation:
+        if name in self._relations:
+            raise QueryError(f"relation {name!r} already exists")
+        relation = Relation(name=name, attributes=tuple(attributes))
+        self._relations[name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise QueryError(
+                f"no relation named {name!r} (schema knowledge required:"
+                f" known relations are {sorted(self._relations)})")
+
+    def relations(self) -> List[str]:
+        return sorted(self._relations)
+
+    def __len__(self) -> int:
+        return sum(len(r) for r in self._relations.values())
+
+    # ------------------------------------------------------------------
+    # The operations benchmark F3 prices
+    # ------------------------------------------------------------------
+    def lookup(self, relation_name: str, attribute: str,
+               value: str) -> List[Row]:
+        """Indexed point lookup — the organized system's fast path."""
+        return self.relation(relation_name).select(attribute, value)
+
+    def join(self, left_name: str, left_attribute: str, right_name: str,
+             right_attribute: str) -> Iterator[Tuple[Row, Row]]:
+        """Hash join of two relations on one attribute pair."""
+        left = self.relation(left_name)
+        right = self.relation(right_name)
+        right_position = right.attribute_index(right_attribute)
+        buckets: Dict[str, List[Row]] = defaultdict(list)
+        for row in right.rows:
+            buckets[row[right_position]].append(row)
+        left_position = left.attribute_index(left_attribute)
+        for row in left.rows:
+            for match in buckets.get(row[left_position], ()):
+                yield row, match
+
+    def find_mentions(self, value: str) -> List[Tuple[str, Row]]:
+        """Find a value *without* knowing which relation holds it —
+        the operation the paper's introduction says organized systems
+        make hard ("an extensive scan will be required").  Scans every
+        relation."""
+        mentions: List[Tuple[str, Row]] = []
+        for name in self.relations():
+            for row in self._relations[name].rows:
+                if value in row:
+                    mentions.append((name, row))
+        return mentions

@@ -1,0 +1,59 @@
+"""Measurement helpers shared by the benchmark modules.
+
+pytest-benchmark drives the timed loops; these helpers cover what it
+does not: parameter sweeps that produce the paper-style tables/series,
+and simple wall-clock measurement for one-shot shape checks inside
+benchmark files.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Measurement:
+    """One timed run."""
+
+    label: str
+    seconds: float
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+
+def timed(function: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``function()``."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        function()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best
+
+
+@dataclass
+class Sweep:
+    """A parameter sweep producing one row per parameter value."""
+
+    name: str
+    parameter: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add(self, value: object, **metrics: object) -> None:
+        row: Dict[str, object] = {self.parameter: value}
+        row.update(metrics)
+        self.rows.append(row)
+
+    def columns(self) -> List[str]:
+        columns: List[str] = [self.parameter]
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def series(self, metric: str) -> List[Tuple[object, object]]:
+        """(parameter, metric) pairs — one plotted line."""
+        return [(row[self.parameter], row.get(metric)) for row in self.rows]

@@ -1,0 +1,52 @@
+"""Plain-text reporting for benchmark sweeps.
+
+Benchmarks print the same rows/series the experiment index in DESIGN.md
+promises; these formatters keep that output uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .harness import Sweep
+
+
+def format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width text table."""
+    text_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [
+        max([len(header)] + [len(row[i]) for row in text_rows])
+        for i, header in enumerate(headers)
+    ]
+    gap = "  "
+    lines = [gap.join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append(gap.join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(gap.join(
+            cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_sweep(sweep: Sweep, title: Optional[str] = None) -> str:
+    """Render a sweep as a table, preceded by a title line."""
+    columns = sweep.columns()
+    rows = [[row.get(column, "") for column in columns]
+            for row in sweep.rows]
+    heading = title if title is not None else sweep.name
+    return f"== {heading} ==\n" + format_table(columns, rows)
+
+
+def print_sweep(sweep: Sweep, title: Optional[str] = None) -> None:
+    print()
+    print(format_sweep(sweep, title))

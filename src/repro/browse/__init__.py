@@ -1,0 +1,30 @@
+"""Browsing: navigation (§4) and probing with automatic retraction (§5)."""
+
+from .navigation import (
+    NavigationResult,
+    NavigationSession,
+    navigate,
+    star_template,
+)
+from .paths import AssociationPath, association_paths, semantic_distance
+from .probe import GeneralizationHierarchy
+from .render import format_columns, render_navigation, render_relation_table
+from .retraction import (
+    ConjunctiveQuery,
+    ProbeResult,
+    RetractedQuery,
+    RetractionStep,
+    RetractionSuccess,
+    Wave,
+    probe,
+    retraction_set,
+)
+
+__all__ = [
+    "NavigationResult", "NavigationSession", "navigate", "star_template",
+    "AssociationPath", "association_paths", "semantic_distance",
+    "GeneralizationHierarchy", "format_columns", "render_navigation",
+    "render_relation_table", "ConjunctiveQuery", "ProbeResult",
+    "RetractedQuery", "RetractionStep", "RetractionSuccess", "Wave",
+    "probe", "retraction_set",
+]

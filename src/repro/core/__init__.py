@@ -1,0 +1,58 @@
+"""Core fact model: entities, facts, templates, and the fact heap."""
+
+from .entities import (
+    BOTTOM,
+    CLASS_RELATIONSHIP,
+    CONTRA,
+    COMPOSITION_SEPARATOR,
+    EQ,
+    GE,
+    GT,
+    INDIVIDUAL_RELATIONSHIP,
+    INV,
+    ISA,
+    LE,
+    LT,
+    MATH_RELATIONSHIPS,
+    MEMBER,
+    NE,
+    SPECIAL_RELATIONSHIPS,
+    SYN,
+    TOP,
+    VIRTUAL_ENTITIES,
+    compose_relationship,
+    composition_length,
+    is_composed,
+    is_math_relationship,
+    is_numeric,
+    is_special_relationship,
+    numeric_value,
+    validate_entity,
+)
+from .errors import (
+    EntityError,
+    InfiniteRelationError,
+    IntegrityError,
+    ParseError,
+    QueryError,
+    ReproError,
+    RuleError,
+    StorageError,
+    TemplateError,
+    UnknownRuleError,
+)
+from .facts import Fact, Template, Variable, fact, template, var
+from .store import FactStore
+
+__all__ = [
+    "BOTTOM", "CLASS_RELATIONSHIP", "CONTRA", "COMPOSITION_SEPARATOR", "EQ",
+    "GE", "GT", "INDIVIDUAL_RELATIONSHIP", "INV", "ISA", "LE", "LT",
+    "MATH_RELATIONSHIPS", "MEMBER", "NE", "SPECIAL_RELATIONSHIPS", "SYN",
+    "TOP", "VIRTUAL_ENTITIES", "compose_relationship", "composition_length",
+    "is_composed", "is_math_relationship", "is_numeric",
+    "is_special_relationship", "numeric_value", "validate_entity",
+    "EntityError", "InfiniteRelationError", "IntegrityError", "ParseError",
+    "QueryError", "ReproError", "RuleError", "StorageError", "TemplateError",
+    "UnknownRuleError", "Fact", "Template", "Variable", "fact", "template",
+    "var", "FactStore",
+]

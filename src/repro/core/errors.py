@@ -1,0 +1,57 @@
+"""Exception hierarchy for the loosely structured database.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EntityError(ReproError):
+    """An entity name is malformed (empty, non-string, bad whitespace)."""
+
+
+class TemplateError(ReproError):
+    """A template or fact is structurally invalid."""
+
+
+class RuleError(ReproError):
+    """A rule is malformed (e.g. unsafe head variables)."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or cannot be evaluated safely."""
+
+
+class ParseError(QueryError):
+    """The textual query syntax could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class InfiniteRelationError(QueryError):
+    """A virtual (computed) relation was asked to enumerate an
+    unbounded set of facts — e.g. ``(x, <, y)`` with both sides free and
+    no active-domain restriction possible."""
+
+
+class IntegrityError(ReproError):
+    """The closure of the database contains a contradiction."""
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
+class StorageError(ReproError):
+    """The persistence layer encountered a malformed journal/snapshot."""
+
+
+class UnknownRuleError(RuleError):
+    """``include``/``exclude`` named a rule not present in the registry."""

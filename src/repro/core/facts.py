@@ -1,0 +1,168 @@
+"""Facts and templates (paper §2.1, §2.6, §2.7).
+
+A *fact* is a named pair of entities: the triplet
+``(source, relationship, target)``.  A *template* is a fact in which
+any position may hold a :class:`Variable`; templates are the atoms of
+both rules and queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, NamedTuple, Optional, Tuple, Union
+
+from .entities import Entity, validate_entity
+from .errors import TemplateError
+
+#: Names of the three positions of a fact, in order (§2.1).
+POSITIONS = ("source", "relationship", "target")
+
+
+@dataclass(frozen=True)
+class Variable:
+    """An entity variable (paper §2.4: "facts that include variables
+    are called templates").
+
+    Two variables with the same name are the same variable.  The
+    reserved name ``*`` is never used: the parser expands each ``*``
+    into a fresh anonymous variable (§4.1).
+    """
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise TemplateError("variable name must be a non-empty string")
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+def var(name: str) -> Variable:
+    """Convenience constructor: ``var("x")`` == ``Variable("x")``."""
+    return Variable(name)
+
+
+Component = Union[Entity, Variable]
+Binding = Dict[Variable, Entity]
+
+
+class Fact(NamedTuple):
+    """A ground triplet ``(source, relationship, target)`` — the basic
+    unit of information (§2.1)."""
+
+    source: Entity
+    relationship: Entity
+    target: Entity
+
+    def __repr__(self) -> str:
+        return f"({self.source}, {self.relationship}, {self.target})"
+
+
+def fact(source: str, relationship: str, target: str) -> Fact:
+    """Build a validated :class:`Fact`."""
+    return Fact(validate_entity(source), validate_entity(relationship),
+                validate_entity(target))
+
+
+class Template(NamedTuple):
+    """A triplet whose positions may hold entities or variables (§2.4).
+
+    Templates act as queries: presented to a database, a template
+    evaluates to all facts in the closure that match its non-variable
+    components (§2.7).
+    """
+
+    source: Component
+    relationship: Component
+    target: Component
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def variables(self) -> Tuple[Variable, ...]:
+        """All variables, in position order, duplicates included."""
+        return tuple(c for c in self if isinstance(c, Variable))
+
+    def variable_set(self) -> frozenset:
+        """The set of distinct variables in this template."""
+        return frozenset(self.variables())
+
+    def is_ground(self) -> bool:
+        """True if the template has no variables (it is a fact)."""
+        return not any(isinstance(c, Variable) for c in self)
+
+    def to_fact(self) -> Fact:
+        """Convert a ground template to a :class:`Fact`.
+
+        Raises:
+            TemplateError: if the template still has variables.
+        """
+        if not self.is_ground():
+            raise TemplateError(f"template is not ground: {self!r}")
+        return Fact(self.source, self.relationship, self.target)
+
+    # ------------------------------------------------------------------
+    # Matching and substitution
+    # ------------------------------------------------------------------
+    def substitute(self, binding: Binding) -> "Template":
+        """Apply a binding, replacing bound variables by entities."""
+        components = [
+            binding.get(c, c) if isinstance(c, Variable) else c for c in self
+        ]
+        return Template(*components)
+
+    def match(self, fact_: Fact,
+              binding: Optional[Binding] = None) -> Optional[Binding]:
+        """Match this template against a ground fact.
+
+        Returns the (extended) binding on success, ``None`` on failure.
+        Repeated variables must match equal entities, so the paper's
+        self-citation template ``(x, CITES, x)`` behaves correctly.
+        The input binding is never mutated.
+        """
+        result: Binding = dict(binding) if binding else {}
+        for component, entity in zip(self, fact_):
+            if isinstance(component, Variable):
+                bound = result.get(component)
+                if bound is None:
+                    result[component] = entity
+                elif bound != entity:
+                    return None
+            elif component != entity:
+                return None
+        return result
+
+    def rename(self, mapping: Dict[Variable, Variable]) -> "Template":
+        """Rename variables (used to standardize rules apart)."""
+        components = [
+            mapping.get(c, c) if isinstance(c, Variable) else c for c in self
+        ]
+        return Template(*components)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            repr(c) if isinstance(c, Variable) else str(c) for c in self)
+        return f"({parts})"
+
+
+def template(source: Component, relationship: Component,
+             target: Component) -> Template:
+    """Build a validated :class:`Template`.
+
+    Entity components are validated; :class:`Variable` components pass
+    through unchanged.
+    """
+    components = []
+    for component in (source, relationship, target):
+        if isinstance(component, Variable):
+            components.append(component)
+        else:
+            components.append(validate_entity(component))
+    return Template(*components)
+
+
+def iter_components(item: Union[Fact, Template]) -> Iterator[Tuple[str, Component]]:
+    """Yield ``(position_name, component)`` pairs for a fact/template."""
+    for name, component in zip(POSITIONS, item):
+        yield name, component

@@ -1,0 +1,224 @@
+"""The fact heap: an indexed in-memory store of triplets.
+
+The paper deliberately leaves storage strategy open (§6.2); this module
+provides the obvious main-memory organization — a set of facts with
+hash indexes on every access pattern — so that template matching (the
+primitive behind queries, browsing, and rule evaluation) is fast
+regardless of which positions are bound.
+
+All seven non-trivial access patterns are served:
+
+====================  =========================
+bound positions       index used
+====================  =========================
+s                     ``_by_s``
+r                     ``_by_r``
+t                     ``_by_t``
+s, r                  ``_by_sr``
+s, t                  ``_by_st``
+r, t                  ``_by_rt``
+s, r, t               membership test
+====================  =========================
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from .facts import Binding, Fact, Template, Variable
+
+
+class FactStore:
+    """A mutable, fully indexed heap of facts.
+
+    The store is *loose* in the paper's sense: any contradiction-free
+    collection of facts qualifies; nothing resembling a schema is
+    enforced here.  (Contradiction checking lives in
+    :mod:`repro.rules.integrity`, because it needs the closure.)
+    """
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        self._facts: Set[Fact] = set()
+        self._by_s: Dict[str, Set[Fact]] = defaultdict(set)
+        self._by_r: Dict[str, Set[Fact]] = defaultdict(set)
+        self._by_t: Dict[str, Set[Fact]] = defaultdict(set)
+        self._by_sr: Dict[Tuple[str, str], Set[Fact]] = defaultdict(set)
+        self._by_st: Dict[Tuple[str, str], Set[Fact]] = defaultdict(set)
+        self._by_rt: Dict[Tuple[str, str], Set[Fact]] = defaultdict(set)
+        # Reference counts so entity bookkeeping survives deletions.
+        self._entity_refs: Dict[str, int] = defaultdict(int)
+        self._relationship_refs: Dict[str, int] = defaultdict(int)
+        for f in facts:
+            self.add(f)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, fact: Fact) -> bool:
+        """Insert a fact.  Returns True if it was not already present."""
+        if fact in self._facts:
+            return False
+        self._facts.add(fact)
+        s, r, t = fact
+        self._by_s[s].add(fact)
+        self._by_r[r].add(fact)
+        self._by_t[t].add(fact)
+        self._by_sr[s, r].add(fact)
+        self._by_st[s, t].add(fact)
+        self._by_rt[r, t].add(fact)
+        for entity in fact:
+            self._entity_refs[entity] += 1
+        self._relationship_refs[r] += 1
+        return True
+
+    def add_all(self, facts: Iterable[Fact]) -> int:
+        """Insert many facts; returns the number actually new."""
+        return sum(1 for f in facts if self.add(f))
+
+    def discard(self, fact: Fact) -> bool:
+        """Remove a fact if present.  Returns True if it was present."""
+        if fact not in self._facts:
+            return False
+        self._facts.remove(fact)
+        s, r, t = fact
+        self._by_s[s].discard(fact)
+        self._by_r[r].discard(fact)
+        self._by_t[t].discard(fact)
+        self._by_sr[s, r].discard(fact)
+        self._by_st[s, t].discard(fact)
+        self._by_rt[r, t].discard(fact)
+        for entity in fact:
+            self._entity_refs[entity] -= 1
+            if not self._entity_refs[entity]:
+                del self._entity_refs[entity]
+        self._relationship_refs[r] -= 1
+        if not self._relationship_refs[r]:
+            del self._relationship_refs[r]
+        return True
+
+    def clear(self) -> None:
+        """Remove every fact."""
+        self.__init__()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __bool__(self) -> bool:
+        return bool(self._facts)
+
+    def copy(self) -> "FactStore":
+        """An independent copy of this store."""
+        return FactStore(self._facts)
+
+    def entities(self) -> Set[str]:
+        """The active domain: every entity occurring in any position."""
+        return set(self._entity_refs)
+
+    def relationships(self) -> Set[str]:
+        """Every entity occurring in relationship position."""
+        return set(self._relationship_refs)
+
+    def has_entity(self, entity: str) -> bool:
+        """True if the entity occurs anywhere in the store.
+
+        Probing uses this to report "no such database entities" (§5.2).
+        """
+        return entity in self._entity_refs
+
+    # ------------------------------------------------------------------
+    # Template matching
+    # ------------------------------------------------------------------
+    def _candidates(self, pattern: Template) -> Iterable[Fact]:
+        """The smallest indexed candidate set for a pattern.
+
+        ``pattern`` components are entities or variables; repeated
+        variables are handled by the caller's post-filter.
+        """
+        s = pattern.source if isinstance(pattern.source, str) else None
+        r = (pattern.relationship
+             if isinstance(pattern.relationship, str) else None)
+        t = pattern.target if isinstance(pattern.target, str) else None
+
+        if s is not None and r is not None and t is not None:
+            f = Fact(s, r, t)
+            return (f,) if f in self._facts else ()
+        if s is not None and r is not None:
+            return self._by_sr.get((s, r), ())
+        if s is not None and t is not None:
+            return self._by_st.get((s, t), ())
+        if r is not None and t is not None:
+            return self._by_rt.get((r, t), ())
+        if s is not None:
+            return self._by_s.get(s, ())
+        if r is not None:
+            return self._by_r.get(r, ())
+        if t is not None:
+            return self._by_t.get(t, ())
+        return self._facts
+
+    def match(self, pattern: Template,
+              binding: Optional[Binding] = None) -> Iterator[Fact]:
+        """All stored facts matching a template (under a binding).
+
+        The template's variables already bound in ``binding`` act as
+        constants; repeated variables must match equal entities.
+        """
+        if binding:
+            pattern = pattern.substitute(binding)
+        # Fast path: no repeated variables means the candidate set is
+        # exactly the answer.
+        variables = pattern.variables()
+        if len(variables) == len(set(variables)):
+            yield from self._candidates(pattern)
+            return
+        for candidate in self._candidates(pattern):
+            if pattern.match(candidate) is not None:
+                yield candidate
+
+    def solutions(self, pattern: Template,
+                  binding: Optional[Binding] = None) -> Iterator[Binding]:
+        """All extended bindings under which ``pattern`` matches."""
+        base = binding or {}
+        substituted = pattern.substitute(base) if base else pattern
+        for candidate in self._candidates(substituted):
+            extended = substituted.match(candidate, base)
+            if extended is not None:
+                yield extended
+
+    def count_estimate(self, pattern: Template,
+                       binding: Optional[Binding] = None) -> int:
+        """Upper bound on the number of matches, from index sizes.
+
+        Used by the query planner to order conjuncts by selectivity;
+        exact for patterns without repeated variables.
+        """
+        if binding:
+            pattern = pattern.substitute(binding)
+        candidates = self._candidates(pattern)
+        try:
+            return len(candidates)  # type: ignore[arg-type]
+        except TypeError:
+            return sum(1 for _ in candidates)
+
+    def facts_mentioning(self, entity: str) -> Set[Fact]:
+        """Every fact in which ``entity`` occurs, in any position.
+
+        This is the engine behind the ``try(e)`` operator (§6.1).
+        """
+        v = Variable("__any_a__")
+        w = Variable("__any_b__")
+        result: Set[Fact] = set()
+        for pattern in (Template(entity, v, w), Template(v, entity, w),
+                        Template(v, w, entity)):
+            result.update(self.match(pattern))
+        return result

@@ -1,0 +1,5 @@
+"""Datasets: the paper's worked examples and synthetic generators."""
+
+from . import books, movies, music, paper, synthetic, university
+
+__all__ = ["books", "movies", "music", "paper", "synthetic", "university"]

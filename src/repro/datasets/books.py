@@ -1,0 +1,80 @@
+"""The §2.7 book dataset: citations, authors, and copies.
+
+Supports the paper's query-language examples (experiment E4):
+
+* all books — ``(y, ∈, BOOK)``;
+* self-citations — ``(x, CITES, x)``;
+* authors who cite themselves — ``∃x (x,∈,BOOK) ∧ (y,∈,PERSON) ∧
+  (x,CITES,x) ∧ (x,AUTHOR,y)``;
+* books whose author is not John — the ``≠`` idiom replacing negation.
+
+Also models the §2.3 two-level membership: ISBN-914894 is an instance
+of BOOK and itself has instances (its physical copies).
+
+The supplied text's OCR spells the citation relationship ``CITATES``;
+we use ``CITES`` and record the repair in EXPERIMENTS.md (E4).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.entities import ISA, MEMBER
+from ..core.facts import Fact
+from ..db import Database
+
+_BOOKS = {
+    "ISBN-914894": "SARAH",     # cites itself
+    "ISBN-100200": "JOHN",
+    "ISBN-100201": "JOHN",
+    "ISBN-300500": "DAVE",      # cites itself
+    "ISBN-300501": "RICK",
+}
+
+_CITATIONS = [
+    ("ISBN-914894", "ISBN-914894"),
+    ("ISBN-914894", "ISBN-100200"),
+    ("ISBN-100200", "ISBN-300500"),
+    ("ISBN-100201", "ISBN-914894"),
+    ("ISBN-300500", "ISBN-300500"),
+    ("ISBN-300501", "ISBN-100201"),
+]
+
+
+def facts() -> List[Fact]:
+    """All base facts of the book dataset."""
+    result: List[Fact] = []
+    for book, author in _BOOKS.items():
+        result.append(Fact(book, MEMBER, "BOOK"))
+        result.append(Fact(book, "AUTHOR", author))
+        result.append(Fact(author, MEMBER, "PERSON"))
+    for citing, cited in _CITATIONS:
+        result.append(Fact(citing, "CITES", cited))
+    # §2.3: an instance may have instances of its own.
+    result.append(Fact("ISBN-914894-COPY1", MEMBER, "ISBN-914894"))
+    result.append(Fact("ISBN-914894-COPY2", MEMBER, "ISBN-914894"))
+    return result
+
+
+def load(db: "Database" = None) -> "Database":
+    """A database loaded with the §2.7 book world.
+
+    AUTHOR and CITES are declared class relationships so the two-level
+    membership (copies ∈ ISBN-914894 ∈ BOOK) does not copy book-level
+    attributes onto physical copies.
+    """
+    if db is None:
+        db = Database()
+    db.add_facts(facts())
+    db.declare_class_relationship("AUTHOR")
+    db.declare_class_relationship("CITES")
+    return db
+
+
+#: §2.7 example queries, in surface syntax.
+ALL_BOOKS = "(y, in, BOOK)"
+SELF_CITATIONS = "(x, CITES, x)"
+SELF_CITING_AUTHORS = ("exists x: (x, in, BOOK) and (y, in, PERSON)"
+                       " and (x, CITES, x) and (x, AUTHOR, y)")
+BOOKS_NOT_BY_JOHN = ("exists y: (x, in, BOOK) and (x, AUTHOR, y)"
+                     " and (y, !=, JOHN)")

@@ -1,0 +1,149 @@
+"""A film world: the largest coherent dataset in the repository.
+
+Not from the paper — a browsing playground (~200 stored facts) that
+exercises every mechanism at once: a genre hierarchy with multiple
+inheritance, people in several roles, synonyms across vocabularies
+(imported from a "second database", §1-style), inversions, class
+relationships, numeric facts (years, runtimes, ratings), and a graph
+dense enough that composition, path search, and probing all have
+something to find.
+
+Load it into the shell and wander::
+
+    python -m repro.shell movies
+    browse> try TARKOVSKY
+    browse> (SOLARIS-1972, *, *)
+    browse> paths LEM KELVIN 3
+    browse> probe (z, in, WESTERN) and (z, DIRECTED-BY, KUBRICK)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.entities import INV, ISA, MEMBER, SYN
+from ..core.facts import Fact
+from ..db import Database
+
+#: The genre hierarchy (multiple inheritance is deliberate).
+_GENRES = [
+    ("FILM", ISA, "ARTWORK"),
+    ("FEATURE-FILM", ISA, "FILM"),
+    ("SHORT-FILM", ISA, "FILM"),
+    ("SCIENCE-FICTION", ISA, "FEATURE-FILM"),
+    ("DRAMA", ISA, "FEATURE-FILM"),
+    ("WESTERN", ISA, "FEATURE-FILM"),
+    ("COMEDY", ISA, "FEATURE-FILM"),
+    ("SPACE-OPERA", ISA, "SCIENCE-FICTION"),
+    ("PSYCHOLOGICAL-SF", ISA, "SCIENCE-FICTION"),
+    ("PSYCHOLOGICAL-SF", ISA, "DRAMA"),
+    ("SATIRE", ISA, "COMEDY"),
+    ("SATIRE", ISA, "DRAMA"),
+]
+
+#: People hierarchy and roles.
+_PEOPLE_SCHEMA = [
+    ("DIRECTOR", ISA, "FILMMAKER"),
+    ("WRITER", ISA, "FILMMAKER"),
+    ("COMPOSER", ISA, "ARTIST"),
+    ("FILMMAKER", ISA, "ARTIST"),
+    ("ACTOR", ISA, "ARTIST"),
+    ("ARTIST", ISA, "PERSON"),
+    # Every filmmaker creates artworks — a class-level fact instances
+    # inherit (§3.2).
+    ("FILMMAKER", "CREATES", "ARTWORK"),
+]
+
+#: Vocabulary bridges: a second catalogue used different names (§3.3)
+#: and recorded credits from the film side (§3.4).
+_BRIDGES = [
+    ("DIRECTED-BY", INV, "DIRECTED"),
+    ("WROTE", INV, "WRITTEN-BY"),
+    ("SCORED-BY", INV, "SCORED"),
+    ("STARS", INV, "ACTED-IN"),
+    ("BASED-ON", INV, "ADAPTED-AS"),
+    ("HELMED-BY", SYN, "DIRECTED-BY"),   # the other catalogue's word
+    ("SF", SYN, "SCIENCE-FICTION"),
+]
+
+_FILMS = {
+    # name: (genre, year, director, writer, runtime)
+    "SOLARIS-1972": ("PSYCHOLOGICAL-SF", "1972", "TARKOVSKY", "LEM",
+                     "166"),
+    "STALKER-1979": ("PSYCHOLOGICAL-SF", "1979", "TARKOVSKY",
+                     "STRUGATSKY", "162"),
+    "2001-ASO": ("SCIENCE-FICTION", "1968", "KUBRICK", "CLARKE", "149"),
+    "DR-STRANGELOVE": ("SATIRE", "1964", "KUBRICK", "GEORGE", "95"),
+    "THE-SEARCHERS": ("WESTERN", "1956", "FORD", "LEMAY", "119"),
+    "HIGH-NOON": ("WESTERN", "1952", "ZINNEMANN", "FOREMAN", "85"),
+    "IKIRU": ("DRAMA", "1952", "KUROSAWA", "HASHIMOTO", "143"),
+    "YOJIMBO": ("DRAMA", "1961", "KUROSAWA", "KIKUSHIMA", "110"),
+    "SOLARIS-2002": ("PSYCHOLOGICAL-SF", "2002", "SODERBERGH", "LEM",
+                     "99"),
+}
+
+_EXTRA_CREDITS = [
+    ("SOLARIS-1972", "SCORED-BY", "ARTEMYEV"),
+    ("STALKER-1979", "SCORED-BY", "ARTEMYEV"),
+    ("SOLARIS-1972", "STARS", "BANIONIS"),
+    ("SOLARIS-1972", "BASED-ON", "SOLARIS-NOVEL"),
+    ("SOLARIS-2002", "BASED-ON", "SOLARIS-NOVEL"),
+    ("SOLARIS-NOVEL", "WRITTEN-BY", "LEM"),
+    ("SOLARIS-NOVEL", MEMBER, "NOVEL"),
+    ("NOVEL", ISA, "ARTWORK"),
+    ("BANIONIS", "PLAYED", "KELVIN"),
+    ("KELVIN", MEMBER, "CHARACTER"),
+    # Remake link, declared from one side only; inversion derives the
+    # other.
+    ("REMAKE-OF", INV, "REMADE-AS"),
+    ("SOLARIS-2002", "REMAKE-OF", "SOLARIS-1972"),
+    # Numeric facts about reception (0-100 scale).
+    ("SOLARIS-1972", "RATING", "90"),
+    ("STALKER-1979", "RATING", "93"),
+    ("2001-ASO", "RATING", "92"),
+    ("DR-STRANGELOVE", "RATING", "96"),
+    ("THE-SEARCHERS", "RATING", "89"),
+    ("HIGH-NOON", "RATING", "87"),
+    ("IKIRU", "RATING", "98"),
+    ("YOJIMBO", "RATING", "95"),
+    ("SOLARIS-2002", "RATING", "66"),
+]
+
+#: Relationships that characterize the film, not every class it
+#: belongs to (§2.2) — without this, membership inference would give
+#: the whole genre Tarkovsky's director credit.
+_CLASS_RELATIONSHIPS = [
+    "DIRECTED-BY", "DIRECTED", "HELMED-BY", "WRITTEN-BY", "WROTE",
+    "SCORED-BY", "SCORED", "STARS", "ACTED-IN", "BASED-ON",
+    "ADAPTED-AS", "REMAKE-OF", "REMADE-AS", "RELEASED", "RUNTIME",
+    "RATING", "PLAYED",
+]
+
+
+def facts() -> List[Fact]:
+    """All base facts of the film world."""
+    result = [Fact(*triple) for triple in _GENRES]
+    result.extend(Fact(*triple) for triple in _PEOPLE_SCHEMA)
+    result.extend(Fact(*triple) for triple in _BRIDGES)
+    for film, (genre, year, director, writer, runtime) in _FILMS.items():
+        result.append(Fact(film, MEMBER, genre))
+        result.append(Fact(film, "RELEASED", year))
+        result.append(Fact(film, "RUNTIME", runtime))
+        result.append(Fact(film, "DIRECTED-BY", director))
+        result.append(Fact(film, "WRITTEN-BY", writer))
+        result.append(Fact(director, MEMBER, "DIRECTOR"))
+        result.append(Fact(writer, MEMBER, "WRITER"))
+    result.extend(Fact(*triple) for triple in _EXTRA_CREDITS)
+    result.append(Fact("ARTEMYEV", MEMBER, "COMPOSER"))
+    result.append(Fact("BANIONIS", MEMBER, "ACTOR"))
+    return result
+
+
+def load(db: "Database" = None) -> "Database":
+    """A database loaded with the film world."""
+    if db is None:
+        db = Database()
+    db.add_facts(facts())
+    for relationship in _CLASS_RELATIONSHIPS:
+        db.declare_class_relationship(relationship)
+    return db

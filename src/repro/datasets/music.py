@@ -1,0 +1,98 @@
+"""The §4.1 navigation dataset: John, his music, and the Mozarts.
+
+Reconstructed from the paper's three navigation tables so that running
+the paper's session reproduces them, *including the derived entries*:
+
+* ``(JOHN, ∈, PERSON)`` comes from ``JOHN ∈ EMPLOYEE`` + ``EMPLOYEE ≺
+  PERSON`` (membership-upward inference);
+* ``(JOHN, LIKES, CAT)`` comes from ``JOHN LIKES FELIX`` + ``FELIX ∈
+  CAT`` (membership-target);
+* ``(JOHN, WORKS-FOR, DEPARTMENT)`` comes from ``JOHN WORKS-FOR
+  SHIPPING`` + ``SHIPPING ∈ DEPARTMENT``;
+* ``(PC#9-WAM, FAVORITE-OF, JOHN)`` comes from the inversion fact
+  ``FAVORITE-MUSIC ↔ FAVORITE-OF``;
+* ``(LEOPOLD, PERFORMED.PC#9-WAM.COMPOSED-BY, MOZART)`` — the §4.1
+  composed association — comes from inverting ``PERFORMED-BY`` and
+  composing through the concerto, with ``limit(2)``.
+
+Entity spellings follow the supplied text's tables (``HEALTHCLIFF``,
+``SIRKIN``, ``PC#2-PIT``, ``S#5-LVB``); see EXPERIMENTS.md E1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.entities import INV, ISA, MEMBER
+from ..core.facts import Fact
+from ..db import Database
+
+#: John's world: memberships and the ≺ link that derives PERSON.
+_MEMBERSHIP_FACTS = [
+    Fact("JOHN", MEMBER, "EMPLOYEE"),
+    Fact("EMPLOYEE", ISA, "PERSON"),
+    Fact("JOHN", MEMBER, "PET-OWNER"),
+    Fact("JOHN", MEMBER, "MUSIC-LOVER"),
+]
+
+#: Who John likes; CAT is derived from the cats' memberships.
+_LIKES_FACTS = [
+    Fact("JOHN", "LIKES", "FELIX"),
+    Fact("JOHN", "LIKES", "HEALTHCLIFF"),
+    Fact("JOHN", "LIKES", "MOZART"),
+    Fact("JOHN", "LIKES", "MARY"),
+    Fact("FELIX", MEMBER, "CAT"),
+    Fact("HEALTHCLIFF", MEMBER, "CAT"),
+]
+
+#: Work: DEPARTMENT is derived from SHIPPING's membership.
+_WORK_FACTS = [
+    Fact("JOHN", "WORKS-FOR", "SHIPPING"),
+    Fact("SHIPPING", MEMBER, "DEPARTMENT"),
+    Fact("JOHN", "BOSS", "PETER"),
+]
+
+#: John's favorite music, and what those pieces are.
+_MUSIC_FACTS = [
+    Fact("JOHN", "FAVORITE-MUSIC", "PC#9-WAM"),
+    Fact("JOHN", "FAVORITE-MUSIC", "PC#2-PIT"),
+    Fact("JOHN", "FAVORITE-MUSIC", "S#5-LVB"),
+    Fact("PC#9-WAM", MEMBER, "CONCERTO"),
+    Fact("CONCERTO", ISA, "CLASSICAL-COMPOSITION"),
+    Fact("PC#9-WAM", "COMPOSED-BY", "MOZART"),
+    Fact("PC#9-WAM", "PERFORMED-BY", "SIRKIN"),
+    Fact("PC#9-WAM", "PERFORMED-BY", "BARENBOIM"),
+    Fact("PC#9-WAM", "PERFORMED-BY", "LEOPOLD"),
+    Fact("FAVORITE-MUSIC", INV, "FAVORITE-OF"),
+    Fact("PERFORMED-BY", INV, "PERFORMED"),
+]
+
+#: The Mozart family.
+_FAMILY_FACTS = [
+    Fact("LEOPOLD", "FATHER-OF", "MOZART"),
+]
+
+#: Declared class relationships (§2.2).  FAVORITE-MUSIC relates John to
+#: the *specific piece*, not to every class the piece belongs to — if
+#: it were individual, membership inference would add
+#: ``(JOHN, FAVORITE-MUSIC, CONCERTO)`` and the paper's table 1 shows
+#: no such entry.  Likewise its inverse.
+_CLASS_RELATIONSHIPS = ["FAVORITE-MUSIC", "FAVORITE-OF"]
+
+
+def facts() -> List[Fact]:
+    """All base facts of the music dataset."""
+    return (_MEMBERSHIP_FACTS + _LIKES_FACTS + _WORK_FACTS + _MUSIC_FACTS
+            + _FAMILY_FACTS)
+
+
+def load(db: "Database" = None) -> "Database":
+    """A database loaded with the §4.1 world (composition off, as the
+    paper's first two tables require; enable ``limit(2)`` before the
+    LEOPOLD↔MOZART step)."""
+    if db is None:
+        db = Database()
+    db.add_facts(facts())
+    for relationship in _CLASS_RELATIONSHIPS:
+        db.declare_class_relationship(relationship)
+    return db

@@ -1,0 +1,69 @@
+"""The §6.1 ``relation()`` dataset: employees, departments, salaries.
+
+Loading it and running::
+
+    db.relation("EMPLOYEE", ("WORKS-FOR", "DEPARTMENT"),
+                ("EARNS", "SALARY"))
+
+regenerates the paper's table::
+
+    EMPLOYEE  WORKS-FOR DEPARTMENT  EARNS SALARY
+    JOHN      SHIPPING              $26000
+    TOM       ACCOUNTING            $27000
+    MARY      RECEIVING             $25000
+
+(The paper also uses this world for its §2/§3 running examples —
+employees earn salaries, salaries are compensation, managers are
+employees — so those inferences are testable on it.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.entities import ISA, MEMBER
+from ..core.facts import Fact
+from ..db import Database
+
+_EMPLOYEES = [
+    ("JOHN", "SHIPPING", "$26000"),
+    ("TOM", "ACCOUNTING", "$27000"),
+    ("MARY", "RECEIVING", "$25000"),
+]
+
+_SCHEMA_LEVEL_FACTS = [
+    # §2.2: EARN is an attribute of every individual employee;
+    # TOTAL-NUMBER characterizes the aggregate.
+    Fact("EMPLOYEE", "EARNS", "SALARY"),
+    Fact("EMPLOYEE", "WORKS-FOR", "DEPARTMENT"),
+    Fact("EMPLOYEE", "TOTAL-NUMBER", "180"),
+    # §3.1: generalizations.
+    Fact("MANAGER", ISA, "EMPLOYEE"),
+    Fact("EMPLOYEE", ISA, "PERSON"),
+    Fact("SALARY", ISA, "COMPENSATION"),
+    Fact("WORKS-FOR", ISA, "IS-PAID-BY"),
+]
+
+
+def facts() -> List[Fact]:
+    """All base facts of the employee dataset."""
+    result = list(_SCHEMA_LEVEL_FACTS)
+    for name, department, salary in _EMPLOYEES:
+        result.append(Fact(name, MEMBER, "EMPLOYEE"))
+        result.append(Fact(name, "WORKS-FOR", department))
+        result.append(Fact(name, "EARNS", salary))
+        result.append(Fact(department, MEMBER, "DEPARTMENT"))
+        result.append(Fact(salary, MEMBER, "SALARY"))
+    return result
+
+
+def load(db: "Database" = None) -> "Database":
+    """A database loaded with the §6.1 employee world."""
+    if db is None:
+        db = Database()
+    db.add_facts(facts())
+    # TOTAL-NUMBER characterizes the class EMPLOYEE, not each employee
+    # (§2.2) — without this, membership inference would give every
+    # employee a TOTAL-NUMBER of 180.
+    db.declare_class_relationship("TOTAL-NUMBER")
+    return db

@@ -1,0 +1,153 @@
+"""Parameterized synthetic workloads for the F-series benchmarks.
+
+All generators are deterministic given a seed, so benchmark runs are
+reproducible.  They return plain fact lists; callers load them into a
+:class:`~repro.db.Database` or a baseline store.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.entities import ISA, MEMBER
+from ..core.facts import Fact
+
+
+def hierarchy_facts(depth: int, fanout: int,
+                    prefix: str = "C") -> Tuple[List[Fact], List[str]]:
+    """A complete generalization tree of ``≺`` facts.
+
+    Level 0 is the single root ``{prefix}0``; every node at level *d*
+    has ``fanout`` children at level *d+1*, each generalized by its
+    parent.  Returns ``(facts, leaves)``.
+    """
+    if depth < 0 or fanout < 1:
+        raise ValueError("depth must be >= 0 and fanout >= 1")
+    facts: List[Fact] = []
+    level = [f"{prefix}0"]
+    counter = 1
+    for _ in range(depth):
+        next_level: List[str] = []
+        for parent in level:
+            for _ in range(fanout):
+                child = f"{prefix}{counter}"
+                counter += 1
+                facts.append(Fact(child, ISA, parent))
+                next_level.append(child)
+        level = next_level
+    return facts, level
+
+
+def membership_facts(classes: Sequence[str], instances_per_class: int,
+                     prefix: str = "I") -> List[Fact]:
+    """``instances_per_class`` fresh instances under each class."""
+    facts: List[Fact] = []
+    counter = 0
+    for class_entity in classes:
+        for _ in range(instances_per_class):
+            facts.append(Fact(f"{prefix}{counter}", MEMBER, class_entity))
+            counter += 1
+    return facts
+
+
+def random_heap(n_facts: int, n_entities: int, n_relationships: int,
+                seed: int = 0) -> List[Fact]:
+    """A uniformly random loose heap (no special relationships)."""
+    rng = random.Random(seed)
+    entities = [f"E{i}" for i in range(n_entities)]
+    relationships = [f"R{i}" for i in range(n_relationships)]
+    facts = set()
+    while len(facts) < n_facts:
+        facts.add(Fact(rng.choice(entities), rng.choice(relationships),
+                       rng.choice(entities)))
+    return sorted(facts)
+
+
+def chain_facts(length: int, relationship: str = "NEXT",
+                prefix: str = "N") -> List[Fact]:
+    """A linear chain — the worst case for unlimited composition:
+    ``length`` facts compose into Θ(length²) path facts."""
+    return [
+        Fact(f"{prefix}{i}", relationship, f"{prefix}{i + 1}")
+        for i in range(length)
+    ]
+
+
+def layered_dag_facts(layers: int, width: int, out_degree: int,
+                      seed: int = 0, prefix: str = "D") -> List[Fact]:
+    """A layered acyclic association graph for composition sweeps:
+    ``layers`` layers of ``width`` entities; each entity points to
+    ``out_degree`` random entities of the next layer."""
+    rng = random.Random(seed)
+    facts: List[Fact] = []
+    for layer in range(layers - 1):
+        targets = [f"{prefix}{layer + 1}_{j}" for j in range(width)]
+        for i in range(width):
+            source = f"{prefix}{layer}_{i}"
+            for target in rng.sample(targets, min(out_degree, width)):
+                facts.append(Fact(source, f"L{layer}", target))
+    return facts
+
+
+@dataclass
+class EmployeeWorkload:
+    """The organization-vs-utility workload (benchmark F3): the same
+    data as a loose fact heap and as schema'd relational tuples."""
+
+    facts: List[Fact]
+    employees: List[str]
+    departments: List[str]
+    #: (employee, department, salary) rows — the organized form.
+    rows: List[Tuple[str, str, str]]
+    salaries: Dict[str, int] = field(default_factory=dict)
+
+
+def employee_workload(n_employees: int, n_departments: int,
+                      seed: int = 0) -> EmployeeWorkload:
+    """Employees with departments and salaries, in both shapes."""
+    rng = random.Random(seed)
+    departments = [f"DEPT{i}" for i in range(n_departments)]
+    facts: List[Fact] = [Fact("EMPLOYEE", ISA, "PERSON")]
+    for department in departments:
+        facts.append(Fact(department, MEMBER, "DEPARTMENT"))
+    employees: List[str] = []
+    rows: List[Tuple[str, str, str]] = []
+    salaries: Dict[str, int] = {}
+    for i in range(n_employees):
+        employee = f"EMP{i}"
+        department = rng.choice(departments)
+        salary = rng.randrange(20000, 90000, 500)
+        employees.append(employee)
+        salaries[employee] = salary
+        rows.append((employee, department, str(salary)))
+        facts.append(Fact(employee, MEMBER, "EMPLOYEE"))
+        facts.append(Fact(employee, "WORKS-FOR", department))
+        facts.append(Fact(employee, "EARNS", str(salary)))
+    return EmployeeWorkload(facts=facts, employees=employees,
+                            departments=departments, rows=rows,
+                            salaries=salaries)
+
+
+def deep_retraction_workload(depth: int,
+                             prefix: str = "REL") -> Tuple[List[Fact], str]:
+    """A workload where probing must climb exactly ``depth`` waves.
+
+    The generalization chain runs over *relationship* entities
+    (``REL0 ≺ REL1 ≺ … ≺ REL{depth}``) and the only stored data fact
+    uses the top one, so the query phrased with ``REL0`` fails and each
+    wave broadens the relationship one level (benchmark F4).  Chains
+    over target entities would terminate early: a ``≺`` fact itself
+    witnesses ``Δ``-relationship retractions of its endpoints.
+
+    Returns ``(facts, query_text)``.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    facts: List[Fact] = []
+    for level in range(depth):
+        facts.append(Fact(f"{prefix}{level}", ISA, f"{prefix}{level + 1}"))
+    facts.append(Fact("SOMEONE", f"{prefix}{depth}", "THING"))
+    query = f"(SOMEONE, {prefix}0, THING)"
+    return facts, query

@@ -1,0 +1,103 @@
+"""The §5 probing datasets: opera lovers, students, and quarterbacks.
+
+Three worked examples live here:
+
+* **§5.1 opera** — minimal generalizations ``LOVES ≺ ENJOYS``,
+  ``OPERA ≺ MUSIC``, ``OPERA ≺ THEATER`` and the broader queries they
+  induce (experiment E2);
+* **§5.2 students** — the retraction-menu example: the query "free
+  things that all students love" fails, and exactly the FRESHMAN- and
+  CHEAP-retractions succeed (experiment E3);
+* **§5 quarterbacks** — the motivating USC example, plus the
+  misspelled-relationship case that ends in "no such database
+  entities".
+
+Also includes the §2.6 complex-fact decomposition (Tom's enrollment
+E123) so the paper's aggregation idiom is exercised.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.entities import ISA, MEMBER
+from ..core.facts import Fact
+from ..db import Database
+
+#: §5.1 — everybody who loves opera.
+_OPERA_FACTS = [
+    Fact("LOVES", ISA, "ENJOYS"),
+    Fact("OPERA", ISA, "MUSIC"),
+    Fact("OPERA", ISA, "THEATER"),
+    Fact("ANNA", "LOVES", "OPERA"),
+    Fact("BELA", "ENJOYS", "OPERA"),
+    Fact("CARL", "LOVES", "BALLET"),
+    Fact("BALLET", ISA, "THEATER"),
+]
+
+#: §5.2 — the retraction-menu world.  The original query
+#: (STUDENT, LOVE, z) ∧ (z, COSTS, FREE) fails; the FRESHMAN and CHEAP
+#: retractions succeed; the LIKE and Δ retractions fail.
+_STUDENT_FACTS = [
+    Fact("FRESHMAN", ISA, "STUDENT"),
+    Fact("LOVE", ISA, "LIKE"),
+    Fact("FREE", ISA, "CHEAP"),
+    # What all students love (none of it free or cheap).
+    Fact("STUDENT", "LOVE", "FOOTBALL-GAMES"),
+    Fact("FOOTBALL-GAMES", "COSTS", "$10"),
+    # What all students love that is cheap (the CHEAP retraction).
+    Fact("STUDENT", "LOVE", "COFFEE"),
+    Fact("COFFEE", "COSTS", "CHEAP"),
+    # What all freshmen love that is free (the FRESHMAN retraction).
+    Fact("FRESHMAN", "LOVE", "CAMPUS-CONCERTS"),
+    Fact("CAMPUS-CONCERTS", "COSTS", "FREE"),
+]
+
+#: §5 — quarterbacks who graduated from USC (none; one attended).
+_QUARTERBACK_FACTS = [
+    Fact("QUARTERBACK", ISA, "FOOTBALL-PLAYER"),
+    Fact("FOOTBALL-PLAYER", ISA, "ATHLETE"),
+    Fact("GRADUATE-OF", ISA, "ATTENDED"),
+    Fact("JAKE", MEMBER, "QUARTERBACK"),
+    Fact("JAKE", "ATTENDED", "USC"),
+    Fact("BOB", MEMBER, "QUARTERBACK"),
+    Fact("BOB", "GRADUATE-OF", "UCLA"),
+]
+
+#: §2.6 — the complex fact "Tom is enrolled in CS100 and received the
+#: grade A", broken into three atomic facts around the entity E123.
+_ENROLLMENT_FACTS = [
+    Fact("E123", "ENROLL-STUDENT", "TOM"),
+    Fact("E123", "ENROLL-COURSE", "CS100"),
+    Fact("E123", "ENROLL-GRADE", "A"),
+    Fact("TOM", MEMBER, "STUDENT"),
+    Fact("CS100", "TAUGHT-BY", "HARRY"),
+    Fact("TOM", "ENROLLED-IN", "CS100"),
+]
+
+
+def facts() -> List[Fact]:
+    """All base facts of the university dataset."""
+    return (_OPERA_FACTS + _STUDENT_FACTS + _QUARTERBACK_FACTS
+            + _ENROLLMENT_FACTS)
+
+
+def load(db: "Database" = None) -> "Database":
+    """A database loaded with the §5 probing world."""
+    if db is None:
+        db = Database()
+    db.add_facts(facts())
+    return db
+
+
+#: The §5.2 query, in surface syntax, for examples and benches.
+STUDENTS_LOVE_FREE = "(STUDENT, LOVE, z) and (z, COSTS, FREE)"
+
+#: The §5 motivating query.
+QUARTERBACKS_FROM_USC = "(z, in, QUARTERBACK) and (z, GRADUATE-OF, USC)"
+
+#: The §5.1 query whose retraction set the paper enumerates.
+LOVES_OPERA = "(z, LOVES, OPERA)"
+
+#: A query with a misspelled relationship (§5.2's diagnosis case).
+MISSPELLED = "(STUDENT, LUVS, z)"

@@ -1,0 +1,534 @@
+"""The public facade: a loosely structured database (paper §2.6).
+
+"A loosely structured database is a set of facts P and a set of rules
+R, such that the closure of P under R is free of contradictions."
+
+:class:`Database` owns the base fact heap, the rule registry, the
+composition limit, and a cached closure; it exposes the standard query
+language (§2.7), navigation (§4), probing (§5), and the §6.1 operators.
+
+Example::
+
+    from repro import Database
+
+    db = Database()
+    db.add("JOHN", "∈", "EMPLOYEE")
+    db.add("EMPLOYEE", "EARNS", "SALARY")
+    db.query("(JOHN, EARNS, y)")        # {("SALARY",)}
+    print(db.navigate("(JOHN, *, *)").render())
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from .browse.navigation import NavigationResult, NavigationSession, navigate
+from .browse.probe import GeneralizationHierarchy
+from .browse.retraction import DEFAULT_MAX_WAVES, ProbeResult, probe
+from .core.entities import (
+    CONTRA, EQ, GE, GT, INV, LE, LT, NE,
+    CLASS_RELATIONSHIP, INDIVIDUAL_RELATIONSHIP, MEMBER,
+)
+from .core.errors import IntegrityError, QueryError
+from .core.facts import Fact, Template, fact as make_fact
+from .core.store import FactStore
+from .operators.definitions import OperatorRegistry
+from .operators.ops import (
+    FunctionView,
+    RelationTable,
+    relation as relation_op,
+    try_ as try_op,
+)
+from .query.ast import Query
+from .query.evaluate import Evaluator
+from .query.parser import parse_query, parse_template
+from .rules.composition import COMPOSITION_OFF, compose_closure
+from .rules.engine import (
+    ClosureResult,
+    extend_closure,
+    naive_closure,
+    semi_naive_closure,
+)
+from .rules.integrity import Diagnosis, Violation, diagnose, find_contradictions
+from .rules.deletion import DeletionStats, delete_with_rederivation
+from .rules.lazy import LazyEngine
+from .rules.provenance import (
+    DerivationTree,
+    ProvenanceError,
+    add_composition_provenance,
+    explain_fact,
+)
+from .rules.registry import RuleRegistry
+from .rules.rule import RelationshipClassifier, Rule, RuleContext
+from .virtual.computed import FactView, VirtualRegistry
+from .virtual.special import standard_virtual_registry
+
+#: Facts every database is seeded with (unless ``with_axioms=False``):
+#: ``↔`` and ``⊥`` are their own inverses (§3.4, §3.5), and the
+#: mathematical comparators are pairwise contradictory (§3.5–3.6).
+AXIOM_FACTS: Tuple[Fact, ...] = (
+    Fact(INV, INV, INV),
+    Fact(CONTRA, INV, CONTRA),
+    Fact(LT, CONTRA, GT),
+    Fact(LT, CONTRA, EQ),
+    Fact(GT, CONTRA, EQ),
+    Fact(EQ, CONTRA, NE),
+    Fact(LE, CONTRA, GT),
+    Fact(GE, CONTRA, LT),
+)
+
+
+class Database:
+    """A heap of facts plus rules, with browsing as the principal
+    retrieval method."""
+
+    def __init__(self, facts: Iterable[Fact] = (), *,
+                 with_axioms: bool = True,
+                 auto_check: bool = False,
+                 engine: str = "semi-naive",
+                 incremental: bool = True,
+                 trace: bool = False,
+                 virtual: Optional[VirtualRegistry] = None):
+        """
+        Args:
+            facts: initial facts.
+            with_axioms: seed :data:`AXIOM_FACTS`.
+            auto_check: verify the closure stays contradiction-free on
+                every mutation (rolls the mutation back on violation).
+            engine: ``"semi-naive"`` (default) or ``"naive"`` closure
+                engine — the latter exists as the F2 baseline.
+            incremental: maintain the cached closure in place when
+                facts are *inserted* (deletions always recompute);
+                disable to force full recomputation on every mutation
+                (benchmark F8 compares the two).
+            trace: record derivation provenance so :meth:`why` can
+                show why any closure fact holds (small time/memory
+                overhead on closure computation).
+            virtual: override the virtual-relation registry (tests).
+        """
+        if engine not in ("semi-naive", "naive"):
+            raise ValueError(f"unknown engine: {engine!r}")
+        from .views import ViewCatalog
+
+        self._base = FactStore()
+        self.rules = RuleRegistry()
+        self.operators = OperatorRegistry()
+        self.views = ViewCatalog(self)
+        self.engine = engine
+        self.auto_check = auto_check
+        self.incremental = incremental
+        self.trace = trace
+        self._composition_limit: Optional[int] = COMPOSITION_OFF
+        self._virtual = virtual if virtual is not None \
+            else standard_virtual_registry()
+        # The closure is cached in two layers: the standard-rule
+        # closure (maintainable incrementally under insertion) and the
+        # full closure (standard + composition facts).
+        self._standard_result: Optional[ClosureResult] = None
+        self._full_result: Optional[ClosureResult] = None
+        self._lazy_engine: Optional[LazyEngine] = None
+        self._view: Optional[FactView] = None
+        self._hierarchy: Optional[GeneralizationHierarchy] = None
+        self._on_mutation = None  # set by storage.DurableSession.attach
+        if with_axioms:
+            self._base.add_all(AXIOM_FACTS)
+        for initial in facts:
+            self._base.add(initial)
+
+    # ------------------------------------------------------------------
+    # Facts
+    # ------------------------------------------------------------------
+    @property
+    def facts(self) -> FactStore:
+        """The base fact heap (stored facts only, no closure)."""
+        return self._base
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    def __contains__(self, item: Fact) -> bool:
+        """Membership in the *closure* (stored, derived, or virtual)."""
+        return item in self.view()
+
+    def add(self, source: str, relationship: str, target: str) -> bool:
+        """Add one fact from its three components."""
+        return self.add_fact(make_fact(source, relationship, target))
+
+    def add_fact(self, new_fact: Fact) -> bool:
+        """Add a fact; returns True if it was new.
+
+        With ``auto_check`` enabled, an addition whose closure would
+        contain a contradiction is rolled back and raises
+        :class:`~repro.core.errors.IntegrityError` (§2.6: the closure
+        must be free of contradictions).
+        """
+        if not self._base.add(new_fact):
+            return False
+        if self._can_extend_incrementally(new_fact):
+            extend_closure(self._standard_result, (new_fact,),
+                           list(self.rules), self.rule_context())
+            # Composition (if on) and the derived caches rebuild lazily
+            # from the extended standard closure.
+            if self._full_result is not self._standard_result:
+                self._full_result = None
+            self._lazy_engine = None
+            self._view = None
+            self._hierarchy = None
+        else:
+            self._invalidate()
+        if self.auto_check:
+            violations = self.check_integrity()
+            if violations:
+                self._base.discard(new_fact)
+                self._invalidate()
+                raise IntegrityError(
+                    f"adding {new_fact} contradicts the closure",
+                    violations)
+        if self._on_mutation is not None:
+            self._on_mutation("add", new_fact)
+        return True
+
+    def _can_extend_incrementally(self, new_fact: Fact) -> bool:
+        """True if the cached closure can be maintained in place.
+
+        Insertions are monotone under the standard rules *except* for
+        relationship re-classification: declaring ``(r, ∈, R_c)``
+        retroactively blocks inferences already drawn, so those
+        declarations force recomputation.
+        """
+        if not self.incremental or self.engine != "semi-naive":
+            return False
+        if self._standard_result is None:
+            return False
+        if (new_fact.relationship == MEMBER and new_fact.target in (
+                CLASS_RELATIONSHIP, INDIVIDUAL_RELATIONSHIP)):
+            return False
+        return True
+
+    def add_facts(self, new_facts: Iterable[Fact]) -> int:
+        """Add many facts; returns the number actually new."""
+        return sum(1 for f in new_facts if self.add_fact(f))
+
+    def remove_fact(self, old_fact: Fact) -> bool:
+        """Remove a stored fact; returns True if it was present.
+
+        With incremental maintenance on, the cached closure is updated
+        by Delete/Rederive (:mod:`repro.rules.deletion`) instead of
+        being recomputed.
+        """
+        if not self._base.discard(old_fact):
+            return False
+        if self._can_extend_incrementally(old_fact):
+            delete_with_rederivation(
+                self._standard_result, self._base, old_fact,
+                list(self.rules), self.rule_context())
+            if self._full_result is not self._standard_result:
+                self._full_result = None
+            self._lazy_engine = None
+            self._view = None
+            self._hierarchy = None
+        else:
+            self._invalidate()
+        if self._on_mutation is not None:
+            self._on_mutation("remove", old_fact)
+        return True
+
+    # ------------------------------------------------------------------
+    # Relationship classification (§2.2)
+    # ------------------------------------------------------------------
+    def declare_class_relationship(self, relationship: str) -> bool:
+        """Put a relationship into R_c (no inheritance to instances)."""
+        return self.add(relationship, MEMBER, CLASS_RELATIONSHIP)
+
+    def declare_individual_relationship(self, relationship: str) -> bool:
+        """Put a relationship into R_i (the default)."""
+        return self.add(relationship, MEMBER, INDIVIDUAL_RELATIONSHIP)
+
+    # ------------------------------------------------------------------
+    # Rules and composition (§3, §6.1)
+    # ------------------------------------------------------------------
+    def define_rule(self, name: str, text: str,
+                    is_constraint: bool = False) -> Rule:
+        """Define (and enable) a rule from text (§2.5–2.6)::
+
+            db.define_rule("age-positive", "(x, in, AGE) => (x, >, 0)",
+                           is_constraint=True)
+            db.define_rule("sym", "(a, MARRIED-TO, b) => (b, MARRIED-TO, a)")
+        """
+        from .rules.parse import parse_rule
+
+        rule = parse_rule(text, name, is_constraint=is_constraint)
+        self.rules.include(rule)
+        self._invalidate()
+        return rule
+
+    def include(self, rule: Union[str, Rule]) -> None:
+        """Enable a rule — the paper's ``include(rule)``."""
+        self.rules.include(rule)
+        self._invalidate()
+
+    def exclude(self, rule: Union[str, Rule]) -> None:
+        """Disable a rule — the paper's ``exclude(rule)``."""
+        self.rules.exclude(rule)
+        self._invalidate()
+
+    def limit(self, n: Optional[int]) -> None:
+        """Bound composition chains — the paper's ``limit(n)`` (§6.1).
+
+        ``limit(1)`` disables composition (the default); ``limit(None)``
+        permits unlimited composition.
+        """
+        if n is not None and n < 1:
+            raise ValueError("composition limit must be >= 1 (or None)")
+        self._composition_limit = n
+        self._invalidate()
+
+    @property
+    def composition_limit(self) -> Optional[int]:
+        return self._composition_limit
+
+    @composition_limit.setter
+    def composition_limit(self, n: Optional[int]) -> None:
+        self.limit(n)
+
+    # ------------------------------------------------------------------
+    # Closure (§2.6)
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._standard_result = None
+        self._full_result = None
+        self._lazy_engine = None
+        self._view = None
+        self._hierarchy = None
+
+    def rule_context(self) -> RuleContext:
+        return RuleContext(classifier=RelationshipClassifier(self._base))
+
+    @property
+    def _composition_enabled(self) -> bool:
+        return (self._composition_limit is None
+                or self._composition_limit > COMPOSITION_OFF)
+
+    def standard_closure(self) -> ClosureResult:
+        """The closure under the enabled rules, *without* composition
+        facts — the layer incremental maintenance extends in place."""
+        if self._standard_result is None:
+            engine = (semi_naive_closure if self.engine == "semi-naive"
+                      else naive_closure)
+            self._standard_result = engine(self._base, list(self.rules),
+                                           self.rule_context(),
+                                           trace=self.trace)
+            self._full_result = None
+        return self._standard_result
+
+    def closure(self) -> ClosureResult:
+        """The closure of the facts under the enabled rules, cached
+        until the next mutation.  Composition facts (bounded by the
+        limit) are folded into the closed store."""
+        if self._full_result is None:
+            standard = self.standard_closure()
+            if not self._composition_enabled:
+                self._full_result = standard
+            else:
+                combined = standard.store.copy()
+                composed = compose_closure(standard.store,
+                                           self._composition_limit)
+                added = combined.add_all(composed.facts)
+                provenance = standard.provenance
+                if provenance is not None:
+                    add_composition_provenance(
+                        provenance, composed.chain_lengths,
+                        composed.facts)
+                self._full_result = ClosureResult(
+                    store=combined,
+                    base_count=standard.base_count,
+                    derived_count=standard.derived_count + added,
+                    iterations=standard.iterations,
+                    rule_firings=dict(standard.rule_firings),
+                    provenance=provenance,
+                )
+        return self._full_result
+
+    def view(self) -> FactView:
+        """Closure + virtual relations: what queries evaluate against."""
+        if self._view is None:
+            self._view = FactView(self.closure().store, self._virtual)
+        return self._view
+
+    def lazy_engine(self) -> LazyEngine:
+        """The query-driven (tabled) inference engine over the enabled
+        rules — derives on demand instead of materializing the closure.
+        Composition facts are not available lazily (see
+        :mod:`repro.rules.lazy`); cached until the next mutation."""
+        if self._lazy_engine is None:
+            self._lazy_engine = LazyEngine(
+                self._base, list(self.rules), self.rule_context())
+        return self._lazy_engine
+
+    def lazy_view(self) -> FactView:
+        """Lazy engine + virtual relations, behind the view interface."""
+        return FactView(self.lazy_engine(), self._virtual)
+
+    def query_lazy(self, query: Union[str, Query]) -> Set[tuple]:
+        """Evaluate a query with on-demand inference (no closure
+        materialization).  Equivalent to :meth:`query` for everything
+        except composed relationships."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return Evaluator(self.lazy_view()).evaluate(query)
+
+    def hierarchy(self) -> GeneralizationHierarchy:
+        """The generalization hierarchy of the closure (cached)."""
+        if self._hierarchy is None:
+            self._hierarchy = GeneralizationHierarchy.from_store(
+                self.closure().store)
+        return self._hierarchy
+
+    # ------------------------------------------------------------------
+    # Integrity (§2.5, §3.5)
+    # ------------------------------------------------------------------
+    def check_integrity(self) -> List[Violation]:
+        """All contradictions in the closure (empty = consistent)."""
+        return find_contradictions(self.closure().store)
+
+    def verify(self) -> None:
+        """Raise :class:`IntegrityError` unless the closure is free of
+        contradictions."""
+        violations = self.check_integrity()
+        if violations:
+            summary = "; ".join(str(v) for v in violations[:5])
+            raise IntegrityError(
+                f"{len(violations)} contradiction(s) in the closure:"
+                f" {summary}", violations)
+
+    def diagnose(self) -> List[Diagnosis]:
+        """Trace every contradiction to the stored facts responsible
+        (requires ``trace=True``) — what to remove to repair §2.6's
+        "free of contradictions" invariant."""
+        violations = self.check_integrity()
+        if not violations:
+            return []
+        result = self.closure()
+        if result.provenance is None:
+            raise ProvenanceError(
+                "diagnosis needs provenance — create the database with"
+                " Database(trace=True)")
+        return diagnose(violations, self._base, result.provenance)
+
+    # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+    def why(self, fact: Union[Fact, str]) -> DerivationTree:
+        """The derivation tree of a closure fact (requires
+        ``trace=True``).
+
+        Accepts a :class:`Fact` or template text such as
+        ``"(JOHN, EARNS, SALARY)"`` (which must be ground).  Virtual
+        facts (mathematical, endpoint) are reported as ``[virtual]``
+        leaves.
+        """
+        if isinstance(fact, str):
+            fact = parse_template(fact).to_fact()
+        if fact in self._base:
+            return DerivationTree(fact=fact, rule=None)
+        result = self.closure()
+        if result.provenance is None:
+            raise ProvenanceError(
+                "provenance tracing is off — create the database with"
+                " Database(trace=True)")
+        if fact in result.provenance:
+            return explain_fact(fact, self._base, result.provenance)
+        if fact in self.view():
+            return DerivationTree(fact=fact, rule="virtual")
+        raise ProvenanceError(f"{fact} is not in the closure")
+
+    # ------------------------------------------------------------------
+    # Standard queries (§2.7)
+    # ------------------------------------------------------------------
+    def evaluator(self) -> Evaluator:
+        return Evaluator(self.view())
+
+    def query(self, query: Union[str, Query]) -> Set[tuple]:
+        """The value {Q} of a query: the set of satisfying tuples."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.evaluator().evaluate(query)
+
+    def ask(self, query: Union[str, Query]) -> bool:
+        """Truth value of a proposition (closed formula)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.evaluator().ask(query)
+
+    def match(self, pattern: Union[str, Template]) -> List[Fact]:
+        """All closure facts matching one template."""
+        if isinstance(pattern, str):
+            pattern = parse_template(pattern)
+        return sorted(set(self.view().match(pattern)))
+
+    # ------------------------------------------------------------------
+    # Browsing (§4, §5)
+    # ------------------------------------------------------------------
+    def navigate(self, pattern: Union[str, Template]) -> NavigationResult:
+        """One navigation (star-template) query."""
+        return navigate(self.view(), pattern)
+
+    def session(self) -> NavigationSession:
+        """Start an interactive navigation session."""
+        return NavigationSession(self.view())
+
+    def probe(self, query: Union[str, Query],
+              max_waves: int = DEFAULT_MAX_WAVES) -> ProbeResult:
+        """Evaluate with automatic retraction on failure (§5.2)."""
+        return probe(self.evaluator(), query, self.hierarchy(),
+                     max_waves=max_waves)
+
+    # ------------------------------------------------------------------
+    # Operators (§6.1)
+    # ------------------------------------------------------------------
+    def try_(self, entity: str) -> List[Fact]:
+        """``try(e)``: every fact mentioning the entity."""
+        return try_op(self.view(), entity)
+
+    def relation(self, class_entity: str,
+                 *columns: Tuple[str, str]) -> RelationTable:
+        """``relation(s, r1 t1, …)``: a structured (non-1NF) view."""
+        return relation_op(self.view(), class_entity, *columns)
+
+    def function(self, relationship: str) -> FunctionView:
+        """View a relationship through the functional model (§6.1)."""
+        return FunctionView(self.view(), relationship)
+
+    def explain(self, query: Union[str, Query]):
+        """Explain how a query will be evaluated (planner order,
+        estimates, safety)."""
+        from .query.explain import explain as explain_query
+        return explain_query(self.view(), query)
+
+    def define(self, name: str, definition) -> None:
+        """Define a new retrieval operator (§6)."""
+        self.operators.define(name, definition)
+
+    def invoke(self, name: str, *arguments):
+        """Invoke a user-defined operator."""
+        return self.operators.invoke(name, self, *arguments)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Size/derivation statistics (used by benches and examples)."""
+        closure = self.closure()
+        return {
+            "base_facts": len(self._base),
+            "closure_facts": len(closure.store),
+            "derived_facts": len(closure.store) - len(self._base),
+            "entities": len(self._base.entities()),
+            "relationships": len(self._base.relationships()),
+            "enabled_rules": self.rules.enabled_names(),
+            "composition_limit": self._composition_limit,
+            "iterations": closure.iterations,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Database({len(self._base)} facts,"
+                f" {len(self.rules)} rules enabled,"
+                f" limit={self._composition_limit})")

@@ -1,0 +1,191 @@
+"""Multi-database merging aids (paper §1).
+
+"Unified access to multiple databases is much simpler with databases
+whose architecture does not emphasize structure."  Mechanically the
+merge *is* simple — a union of fact heaps — so the real work is what
+this module provides around it:
+
+* :func:`merge` — pour one heap into another, reporting what was new,
+  what was duplicate, and which *contradictions the merge introduced*
+  (the §2.6 invariant, checked before/after);
+* :func:`suggest_entity_bridges` / :func:`suggest_relationship_bridges`
+  — candidate ``≈`` facts: entities (or relationships) from the two
+  vocabularies whose neighborhoods overlap, ranked by Jaccard
+  similarity.  The §3.3 synonym mechanism does the actual unification;
+  these functions find where to apply it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .core.entities import SYN, is_special_relationship
+from .core.facts import Fact
+from .db import Database
+from .rules.integrity import Violation
+
+
+@dataclass
+class MergeReport:
+    """What happened when one heap was poured into another."""
+
+    added: int
+    duplicates: int
+    #: contradictions present after the merge that were not before.
+    new_violations: Tuple[Violation, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_violations
+
+    def render(self) -> str:
+        lines = [f"merged: {self.added} new facts"
+                 f" ({self.duplicates} duplicates)"]
+        if self.new_violations:
+            lines.append("contradictions introduced by the merge:")
+            lines.extend(f"  {violation}"
+                         for violation in self.new_violations)
+        else:
+            lines.append("no contradictions introduced")
+        return "\n".join(lines)
+
+
+def merge(target: Database, source: Iterable[Fact],
+          check: bool = True) -> MergeReport:
+    """Add every fact of ``source`` to ``target``.
+
+    Args:
+        target: the database merged into (mutated).
+        source: facts (or another database's ``.facts``) to pour in.
+        check: compare integrity before and after, reporting only the
+            violations the merge *introduced*.
+    """
+    source_facts = list(source)
+    before: Set[Tuple] = set()
+    if check:
+        before = {(v.fact, v.conflicting, v.reason)
+                  for v in target.check_integrity()}
+    duplicates = 0
+    added = 0
+    for fact in source_facts:
+        if target.add_fact(fact):
+            added += 1
+        else:
+            duplicates += 1
+    new_violations: Tuple[Violation, ...] = ()
+    if check:
+        after = target.check_integrity()
+        new_violations = tuple(
+            v for v in after
+            if (v.fact, v.conflicting, v.reason) not in before)
+    return MergeReport(added=added, duplicates=duplicates,
+                       new_violations=new_violations)
+
+
+# ----------------------------------------------------------------------
+# Bridge suggestion
+# ----------------------------------------------------------------------
+def _entity_contexts(facts: Iterable[Fact]) -> Dict[str, Set[Tuple]]:
+    """Each entity's neighborhood signature: the (direction,
+    relationship, neighbor) triples it participates in."""
+    contexts: Dict[str, Set[Tuple]] = {}
+    for fact in facts:
+        if is_special_relationship(fact.relationship):
+            continue
+        contexts.setdefault(fact.source, set()).add(
+            ("out", fact.relationship, fact.target))
+        contexts.setdefault(fact.target, set()).add(
+            ("in", fact.relationship, fact.source))
+    return contexts
+
+
+def _relationship_contexts(facts: Iterable[Fact]) -> Dict[str, Set[Tuple]]:
+    """Each relationship's usage signature: its (source, target) pairs."""
+    contexts: Dict[str, Set[Tuple]] = {}
+    for fact in facts:
+        if is_special_relationship(fact.relationship):
+            continue
+        contexts.setdefault(fact.relationship, set()).add(
+            (fact.source, fact.target))
+    return contexts
+
+
+def _jaccard(left: Set, right: Set) -> float:
+    if not left or not right:
+        return 0.0
+    union = left | right
+    return len(left & right) / len(union)
+
+
+@dataclass(frozen=True)
+class BridgeSuggestion:
+    """A candidate synonym fact with its evidence."""
+
+    left: str
+    right: str
+    similarity: float
+    shared: int
+
+    def as_fact(self) -> Fact:
+        return Fact(self.left, SYN, self.right)
+
+    def render(self) -> str:
+        return (f"({self.left}, ≈, {self.right})"
+                f"   similarity {self.similarity:.2f},"
+                f" {self.shared} shared contexts")
+
+
+def _suggest(contexts: Dict[str, Set[Tuple]],
+             left_universe: Optional[Set[str]],
+             right_universe: Optional[Set[str]],
+             min_similarity: float,
+             limit: int) -> List[BridgeSuggestion]:
+    names = sorted(contexts)
+    suggestions: List[BridgeSuggestion] = []
+    for i, left in enumerate(names):
+        if left_universe is not None and left not in left_universe:
+            continue
+        for right in names[i + 1:]:
+            if right_universe is not None and right not in right_universe:
+                continue
+            if left == right:
+                continue
+            similarity = _jaccard(contexts[left], contexts[right])
+            if similarity >= min_similarity:
+                suggestions.append(BridgeSuggestion(
+                    left=left, right=right, similarity=similarity,
+                    shared=len(contexts[left] & contexts[right])))
+    suggestions.sort(key=lambda s: (-s.similarity, -s.shared,
+                                    s.left, s.right))
+    return suggestions[:limit]
+
+
+def suggest_entity_bridges(db: Database,
+                           left_universe: Optional[Iterable[str]] = None,
+                           right_universe: Optional[Iterable[str]] = None,
+                           min_similarity: float = 0.5,
+                           limit: int = 10) -> List[BridgeSuggestion]:
+    """Candidate entity synonyms, by neighborhood overlap.
+
+    Restrict ``left_universe``/``right_universe`` to the entities that
+    came from each source database to only propose cross-vocabulary
+    bridges; leave them None to scan everything.
+    """
+    contexts = _entity_contexts(db.facts)
+    return _suggest(contexts,
+                    set(left_universe) if left_universe else None,
+                    set(right_universe) if right_universe else None,
+                    min_similarity, limit)
+
+
+def suggest_relationship_bridges(
+        db: Database,
+        min_similarity: float = 0.5,
+        limit: int = 10) -> List[BridgeSuggestion]:
+    """Candidate relationship synonyms, by usage overlap — two
+    relationship names repeatedly connecting the same entity pairs are
+    probably the same relationship in two vocabularies (§3.3's
+    SALARY/WAGE/PAY)."""
+    contexts = _relationship_contexts(db.facts)
+    return _suggest(contexts, None, None, min_similarity, limit)

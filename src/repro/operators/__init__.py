@@ -1,0 +1,7 @@
+"""The §6.1 operators: try, relation, and user-defined operators."""
+
+from .definitions import OperatorRegistry
+from .ops import FunctionView, RelationRow, RelationTable, relation, try_
+
+__all__ = ["OperatorRegistry", "FunctionView", "RelationRow",
+           "RelationTable", "relation", "try_"]

@@ -1,0 +1,86 @@
+"""User-defined retrieval operators (paper §6).
+
+"One possible extension is to provide a definition facility to
+implement new retrieval operators, based on the standard query
+language."  An operator definition is a named query *text* with
+``$1 … $n`` placeholders; invoking the operator substitutes the
+arguments and evaluates the resulting query.  Callable definitions are
+also accepted for operators (like ``relation``) whose output is not a
+plain value set.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Union
+
+from ..core.errors import QueryError
+
+_PLACEHOLDER_RE = re.compile(r"\$(\d+)")
+
+Definition = Union[str, Callable]
+
+
+class OperatorRegistry:
+    """Named user-defined operators over a database."""
+
+    def __init__(self):
+        self._definitions: Dict[str, Definition] = {}
+
+    def define(self, name: str, definition: Definition) -> None:
+        """Register an operator.
+
+        Args:
+            name: the operator's name.
+            definition: either a query template string with ``$i``
+                placeholders, e.g.
+                ``"(x, ∈, $1) and (x, $2, $3)"``, or a callable taking
+                ``(database, *arguments)``.
+        """
+        if not name:
+            raise QueryError("operator name must be non-empty")
+        self._definitions[name] = definition
+
+    def undefine(self, name: str) -> None:
+        del self._definitions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._definitions
+
+    def names(self) -> List[str]:
+        return sorted(self._definitions)
+
+    def expand(self, name: str, arguments) -> str:
+        """The query text of a string-defined operator, with
+        placeholders substituted (quoted, so arbitrary entities are
+        safe)."""
+        definition = self._definitions[name]
+        if callable(definition):
+            raise QueryError(
+                f"operator {name!r} is defined by a callable, not a query")
+
+        def substitute(match: "re.Match") -> str:
+            index = int(match.group(1))
+            if not 1 <= index <= len(arguments):
+                raise QueryError(
+                    f"operator {name!r} references ${index} but got"
+                    f" {len(arguments)} argument(s)")
+            escaped = str(arguments[index - 1]).replace("\\", "\\\\")
+            escaped = escaped.replace('"', '\\"')
+            return f'"{escaped}"'
+
+        return _PLACEHOLDER_RE.sub(substitute, definition)
+
+    def invoke(self, name: str, database, *arguments):
+        """Run an operator against a database.
+
+        String definitions evaluate as queries (returning the value
+        set); callables receive ``(database, *arguments)`` and may
+        return anything.
+        """
+        if name not in self._definitions:
+            raise QueryError(f"unknown operator: {name!r}")
+        definition = self._definitions[name]
+        if callable(definition):
+            return definition(database, *arguments)
+        return database.query(self.expand(name, arguments))

@@ -1,0 +1,156 @@
+"""The §6.1 retrieval operators: ``try``, ``relation``, and friends.
+
+These are conveniences "implemented with the standard query language"
+— each operator body below really is the query the paper gives for it,
+run through the ordinary evaluator/matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from ..core.entities import MEMBER
+from ..core.facts import Fact, Template, Variable
+from ..virtual.computed import FactView
+from ..browse.render import render_relation_table
+
+
+def try_(view: FactView, entity: str) -> List[Fact]:
+    """``try(e)``: all database facts that include ``e`` (§6.1).
+
+    "With a couple of tries, even users completely unfamiliar with the
+    database should be able to pick a starting point for navigation."
+    Implemented as the disjunction ``(e,y,z) ∨ (x,e,z) ∨ (x,y,e)``.
+    """
+    x, y = Variable("x"), Variable("y")
+    seen = set()
+    results: List[Fact] = []
+    for pattern in (Template(entity, x, y), Template(x, entity, y),
+                    Template(x, y, entity)):
+        for fact in view.match(pattern):
+            if fact not in seen:
+                seen.add(fact)
+                results.append(fact)
+    results.sort()
+    return results
+
+
+@dataclass
+class RelationRow:
+    """One row of a ``relation(...)`` table: the instance entity plus
+    one (possibly multi-valued) cell per requested relationship."""
+
+    instance: str
+    cells: Tuple[Tuple[str, ...], ...]
+
+    def as_tuple(self) -> Tuple[Union[str, Tuple[str, ...]], ...]:
+        return (self.instance,) + self.cells
+
+
+@dataclass
+class RelationTable:
+    """The structured view built by ``relation(s, r1 t1, …, rn tn)``.
+
+    "Such relations are not necessarily in first normal form" (§6.1):
+    every cell except the first column holds a tuple of entities.
+    """
+
+    class_entity: str
+    columns: Tuple[Tuple[str, str], ...]  # (relationship, target class)
+    rows: List[RelationRow]
+
+    def headers(self) -> List[str]:
+        return [self.class_entity] + [
+            f"{relationship} {target}" for relationship, target in self.columns
+        ]
+
+    def render(self) -> str:
+        return render_relation_table(
+            self.headers(), [row.as_tuple() for row in self.rows])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class FunctionView:
+    """A relationship viewed through the functional data model (§6.1:
+    "the user may view this information as if it is structured
+    according to different data models, such as the relational or the
+    functional").
+
+    ``f = FunctionView(view, "EARNS")`` makes ``f("JOHN")`` the tuple
+    of John's EARNS-targets in the closure.  Multi-valued results are
+    the norm in a loose heap; :meth:`is_single_valued` reports whether
+    the relationship currently behaves as a true function.
+    """
+
+    def __init__(self, view: FactView, relationship: str):
+        self.view = view
+        self.relationship = relationship
+
+    def __call__(self, entity: str) -> Tuple[str, ...]:
+        """The images of ``entity`` under the relationship, sorted."""
+        target = Variable("t")
+        return tuple(sorted({
+            f.target
+            for f in self.view.match(
+                Template(entity, self.relationship, target))
+        }))
+
+    def inverse(self, value: str) -> Tuple[str, ...]:
+        """The pre-images of ``value``, sorted."""
+        source = Variable("s")
+        return tuple(sorted({
+            f.source
+            for f in self.view.match(
+                Template(source, self.relationship, value))
+        }))
+
+    def domain(self) -> List[str]:
+        """Every entity with at least one image, sorted."""
+        source, target = Variable("s"), Variable("t")
+        return sorted({
+            f.source
+            for f in self.view.match(
+                Template(source, self.relationship, target))
+        })
+
+    def is_single_valued(self) -> bool:
+        """True if no entity currently has two images."""
+        return all(len(self(entity)) <= 1 for entity in self.domain())
+
+    def items(self):
+        """(entity, images) pairs over the domain."""
+        for entity in self.domain():
+            yield entity, self(entity)
+
+
+def relation(view: FactView, class_entity: str,
+             *columns: Tuple[str, str]) -> RelationTable:
+    """``relation(s, r1 t1, …, rn tn)`` (§6.1).
+
+    Returns a table whose first column holds the instances of
+    ``class_entity``; column *i* holds, for each instance ``y``, every
+    ``z`` with ``(y, ri, z)`` and ``(z, ∈, ti)`` — the paper's
+    implementing query ``(y,∈,s) ∧ (z_i,∈,t_i) ∧ (y,r_i,z_i)``.
+    """
+    instance_var = Variable("y")
+    instances = sorted(
+        {f.source for f in view.match(
+            Template(instance_var, MEMBER, class_entity))})
+    rows: List[RelationRow] = []
+    value_var = Variable("z")
+    for instance in instances:
+        cells: List[Tuple[str, ...]] = []
+        for relationship, target_class in columns:
+            values = sorted({
+                f.target
+                for f in view.match(Template(instance, relationship, value_var))
+                if any(True for _ in view.match(
+                    Template(f.target, MEMBER, target_class)))
+            })
+            cells.append(tuple(values))
+        rows.append(RelationRow(instance=instance, cells=tuple(cells)))
+    return RelationTable(class_entity=class_entity,
+                         columns=tuple(columns), rows=rows)

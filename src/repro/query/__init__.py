@@ -1,0 +1,28 @@
+"""The standard query language: predicate-logic formulas over templates."""
+
+from .ast import (
+    And,
+    Atom,
+    Exists,
+    ForAll,
+    Formula,
+    Or,
+    Query,
+    atom,
+    exists,
+    forall,
+)
+from .canonical import canonical_form
+from .evaluate import Evaluator, check_safety, limited_variables
+from .explain import Explanation, PlanStep, explain
+from .parser import ALIASES, parse_formula, parse_query, parse_template
+from .planner import estimate_cost, next_conjunct, order_conjuncts
+from .reference import brute_force_evaluate
+
+__all__ = [
+    "And", "Atom", "Exists", "ForAll", "Formula", "Or", "Query", "atom",
+    "exists", "forall", "canonical_form", "Evaluator", "check_safety",
+    "limited_variables", "Explanation", "PlanStep", "explain", "ALIASES",
+    "parse_formula", "parse_query", "parse_template", "estimate_cost",
+    "next_conjunct", "order_conjuncts", "brute_force_evaluate",
+]

@@ -1,0 +1,195 @@
+"""The query language's abstract syntax (paper §2.7).
+
+"Templates are the only predicates, and each predicate is an atomic
+formula.  If A and B are formulas and x is a variable, then (A ∧ B),
+(A ∨ B), (∃x)A and (∀x)A are formulas."
+
+A :class:`Query` is a formula together with the order of its free
+variables; its value is the set of tuples satisfying it.  There is no
+negation operator — per the paper, negative assertions use
+complementary relationships such as ``≠``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..core.errors import QueryError
+from ..core.facts import Template, Variable
+
+
+class Formula:
+    """Base class of all well-formed formulas."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        raise NotImplementedError
+
+    # Convenience combinators so formulas compose fluently in client
+    # code and examples: ``atom1 & atom2 | atom3``.
+    def __and__(self, other: "Formula") -> "And":
+        return And(_flatten(And, (self, other)))
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(_flatten(Or, (self, other)))
+
+
+def _flatten(kind, parts: Iterable[Formula]) -> Tuple[Formula, ...]:
+    flattened = []
+    for part in parts:
+        if isinstance(part, kind):
+            flattened.extend(part.parts)
+        else:
+            flattened.append(part)
+    return tuple(flattened)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """An atomic formula: a template predicate."""
+
+    pattern: Template
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.pattern.variable_set()
+
+    def __str__(self) -> str:
+        return repr(self.pattern)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction of two or more formulas."""
+
+    parts: Tuple[Formula, ...]
+
+    def __post_init__(self):
+        if len(self.parts) < 1:
+            raise QueryError("conjunction needs at least one part")
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        result: FrozenSet[Variable] = frozenset()
+        for part in self.parts:
+            result |= part.free_variables()
+        return result
+
+    def __str__(self) -> str:
+        return "(" + " ∧ ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction of two or more formulas."""
+
+    parts: Tuple[Formula, ...]
+
+    def __post_init__(self):
+        if len(self.parts) < 1:
+            raise QueryError("disjunction needs at least one part")
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        result: FrozenSet[Variable] = frozenset()
+        for part in self.parts:
+            result |= part.free_variables()
+        return result
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """(∃x) A — existential quantification."""
+
+    variable: Variable
+    body: Formula
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.body.free_variables() - {self.variable}
+
+    def __str__(self) -> str:
+        return f"(∃{self.variable.name}) {self.body}"
+
+
+@dataclass(frozen=True)
+class ForAll(Formula):
+    """(∀x) A — universal quantification over the active domain."""
+
+    variable: Variable
+    body: Formula
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.body.free_variables() - {self.variable}
+
+    def __str__(self) -> str:
+        return f"(∀{self.variable.name}) {self.body}"
+
+
+def atom(source, relationship, target) -> Atom:
+    """Shorthand: build an :class:`Atom` from three components."""
+    from ..core.facts import template
+    return Atom(template(source, relationship, target))
+
+
+def exists(variables, body: Formula) -> Formula:
+    """Wrap ``body`` in one :class:`Exists` per variable."""
+    if isinstance(variables, Variable):
+        variables = (variables,)
+    result = body
+    for variable in reversed(tuple(variables)):
+        result = Exists(variable, result)
+    return result
+
+
+def forall(variables, body: Formula) -> Formula:
+    """Wrap ``body`` in one :class:`ForAll` per variable."""
+    if isinstance(variables, Variable):
+        variables = (variables,)
+    result = body
+    for variable in reversed(tuple(variables)):
+        result = ForAll(variable, result)
+    return result
+
+
+@dataclass(frozen=True)
+class Query:
+    """A formula with a fixed order on its free variables (§2.7).
+
+    A query with no free variables is a *proposition*: its value is a
+    truth value rather than a set of tuples.
+    """
+
+    formula: Formula
+    variables: Tuple[Variable, ...]
+
+    @staticmethod
+    def of(formula: Formula,
+           variables: Optional[Iterable[Variable]] = None) -> "Query":
+        """Build a query; variable order defaults to sorted-by-name."""
+        free = formula.free_variables()
+        if variables is None:
+            ordered = tuple(sorted(free, key=lambda v: v.name))
+        else:
+            ordered = tuple(variables)
+            declared = set(ordered)
+            if declared != free:
+                missing = {v.name for v in free - declared}
+                extra = {v.name for v in declared - free}
+                raise QueryError(
+                    "query variable list must equal the formula's free"
+                    f" variables (missing: {sorted(missing)},"
+                    f" extra: {sorted(extra)})")
+            if len(ordered) != len(declared):
+                raise QueryError("duplicate variable in query variable list")
+        return Query(formula=formula, variables=ordered)
+
+    @property
+    def is_proposition(self) -> bool:
+        """True for closed formulas (§2.7)."""
+        return not self.variables
+
+    def __str__(self) -> str:
+        if self.is_proposition:
+            return str(self.formula)
+        names = ", ".join(v.name for v in self.variables)
+        return f"Q({names}) = {self.formula}"

@@ -1,0 +1,86 @@
+"""EXPLAIN: show how the evaluator will attack a query.
+
+The planner re-ranks conjuncts dynamically per binding, so a full
+static plan does not exist; what *can* be shown — and what this module
+renders — is the greedy static order from the initial state, each
+part's estimated cost, and the safety classification of the query's
+variables.  Useful for understanding why a probe is slow and for
+testing the planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Union
+
+from ..core.facts import Variable
+from ..virtual.computed import FactView
+from .ast import And, Atom, Exists, ForAll, Formula, Or, Query
+from .evaluate import check_safety, limited_variables
+from .parser import parse_query
+from .planner import estimate_cost, order_conjuncts
+
+
+@dataclass
+class PlanStep:
+    """One conjunct in the chosen static order."""
+
+    order: int
+    formula: Formula
+    estimated_cost: float
+    bound_before: Set[str]
+
+    def describe(self) -> str:
+        bound = ", ".join(sorted(self.bound_before)) or "-"
+        return (f"{self.order}. {self.formula}"
+                f"   [est {self.estimated_cost:.1f}; bound: {bound}]")
+
+
+@dataclass
+class Explanation:
+    """The full explanation of a query."""
+
+    query: Query
+    steps: List[PlanStep]
+    safe: bool
+    safety_error: str = ""
+
+    def render(self) -> str:
+        lines = [f"query: {self.query}"]
+        lines.append(
+            "safety: ok" if self.safe else f"safety: {self.safety_error}")
+        if self.steps:
+            lines.append("initial conjunct order:")
+            lines.extend("  " + step.describe() for step in self.steps)
+        else:
+            lines.append("single-part formula; no join ordering needed")
+        return "\n".join(lines)
+
+
+def explain(view: FactView, query: Union[str, Query]) -> Explanation:
+    """Explain the evaluation of ``query`` against ``view``."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    safe, error = True, ""
+    try:
+        check_safety(query.formula)
+    except Exception as exc:  # QueryError, reported not raised
+        safe, error = False, str(exc)
+
+    steps: List[PlanStep] = []
+    formula = query.formula
+    while isinstance(formula, Exists):
+        formula = formula.body
+    if isinstance(formula, And):
+        bound: Set[Variable] = set()
+        ordered = order_conjuncts(list(formula.parts), bound, view)
+        for index, part in enumerate(ordered, start=1):
+            steps.append(PlanStep(
+                order=index,
+                formula=part,
+                estimated_cost=estimate_cost(part, bound, view),
+                bound_before={v.name for v in bound},
+            ))
+            bound |= part.free_variables()
+    return Explanation(query=query, steps=steps, safe=safe,
+                       safety_error=error)

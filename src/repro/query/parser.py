@@ -1,0 +1,310 @@
+"""Surface syntax for queries.
+
+The paper writes queries in plain predicate notation; this parser
+accepts the same shape as text::
+
+    (JOHN, *, *)
+    exists x: (x, in, BOOK) and (x, CITES, x) and (x, AUTHOR, y)
+    (JOHN, LIKES, FELIX) and (FELIX, LIKES, JOHN)
+
+Lexical rules:
+
+* ``(c1, c2, c3)`` is a template; components are entities, variables,
+  or ``*`` (a fresh anonymous variable per star, §4.1).
+* identifiers starting with a lowercase letter are variables;
+  everything else is an entity.  ``and`` / ``or`` / ``exists`` /
+  ``forall`` are reserved (case-insensitive).
+* the special entities may be written by glyph (``≺ ∈ ≈ ↔ ⊥ Δ ∇``) or
+  by ASCII alias: ``ISA IN SYN INV CONTRA TOP BOTTOM``, and ``!= <= >=``
+  for ``≠ ≤ ≥``.
+* entities containing spaces, commas, or parentheses must be quoted:
+  ``"$25,000"``.
+
+Free variables are reported in first-appearance order, which fixes the
+column order of the query's value.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.entities import (
+    BOTTOM, CONTRA, GE, INV, ISA, LE, MEMBER, NE, SYN, TOP, validate_entity,
+)
+from ..core.errors import ParseError
+from ..core.facts import Template, Variable
+from .ast import And, Atom, Exists, ForAll, Formula, Or, Query
+
+#: ASCII spellings accepted for the special entities.
+ALIASES = {
+    "ISA": ISA,
+    "IN": MEMBER,
+    "MEMBER": MEMBER,
+    "SYN": SYN,
+    "INV": INV,
+    "CONTRA": CONTRA,
+    "TOP": TOP,
+    "BOTTOM": BOTTOM,
+    "!=": NE,
+    "<=": LE,
+    ">=": GE,
+}
+
+_KEYWORDS = {"and", "or", "exists", "forall"}
+_VARIABLE_RE = re.compile(r"[a-z][a-zA-Z0-9_]*\Z")
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        "(?:[^"\\]|\\.)*"      # double-quoted entity
+      | '(?:[^'\\]|\\.)*'      # single-quoted entity
+      | [(),:]                 # punctuation
+      | [^\s(),:'"]+           # bare word
+    )
+    """, re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class _Token:
+    text: str
+    position: int
+    quoted: bool = False
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(
+                f"cannot tokenize at position {position}: {remainder[:20]!r}",
+                position)
+        raw = match.group(1)
+        start = match.start(1)
+        if raw and raw[0] in "\"'":
+            body = raw[1:-1]
+            unescaped = re.sub(r"\\(.)", r"\1", body)
+            tokens.append(_Token(unescaped, start, quoted=True))
+        else:
+            tokens.append(_Token(raw, start))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+        self.star_count = 0
+        self.appearance_order: List[Variable] = []
+
+    # ----------------------------------------------------------------
+    # Token helpers
+    # ----------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        target = self.index + offset
+        if target < len(self.tokens):
+            return self.tokens[target]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query", len(self.text))
+        self.index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.quoted or token.text != text:
+            raise ParseError(
+                f"expected {text!r}, found {token.text!r}"
+                f" at position {token.position}", token.position)
+        return token
+
+    def _is_keyword(self, token: Optional[_Token], keyword: str) -> bool:
+        return (token is not None and not token.quoted
+                and token.text.lower() == keyword)
+
+    # ----------------------------------------------------------------
+    # Grammar
+    # ----------------------------------------------------------------
+    def parse_formula(self) -> Formula:
+        return self._disjunction()
+
+    def _disjunction(self) -> Formula:
+        parts = [self._conjunction()]
+        while self._is_keyword(self._peek(), "or"):
+            self._next()
+            parts.append(self._conjunction())
+        if len(parts) == 1:
+            return parts[0]
+        return Or(tuple(parts))
+
+    def _conjunction(self) -> Formula:
+        parts = [self._unit()]
+        while self._is_keyword(self._peek(), "and"):
+            self._next()
+            parts.append(self._unit())
+        if len(parts) == 1:
+            return parts[0]
+        return And(tuple(parts))
+
+    def _unit(self) -> Formula:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query", len(self.text))
+        if self._is_keyword(token, "exists") or self._is_keyword(
+                token, "forall"):
+            quantifier = self._next().text.lower()
+            variables = self._variable_list()
+            self._expect(":")
+            # Quantifier scope extends as far right as possible, so
+            # "exists x: A and B" quantifies over the conjunction.
+            body = self.parse_formula()
+            wrapper = Exists if quantifier == "exists" else ForAll
+            for variable in reversed(variables):
+                body = wrapper(variable, body)
+            return body
+        if not token.quoted and token.text == "(":
+            if self._looks_like_template():
+                return Atom(self._template())
+            self._next()
+            inner = self.parse_formula()
+            self._expect(")")
+            return inner
+        raise ParseError(
+            f"expected a template, '(', or a quantifier; found"
+            f" {token.text!r} at position {token.position}", token.position)
+
+    def _variable_list(self) -> List[Variable]:
+        variables = [self._variable()]
+        while True:
+            token = self._peek()
+            if token is not None and not token.quoted and token.text == ",":
+                self._next()
+                variables.append(self._variable())
+            else:
+                return variables
+
+    def _variable(self) -> Variable:
+        token = self._next()
+        if token.quoted or not _VARIABLE_RE.match(token.text):
+            raise ParseError(
+                f"expected a variable (lowercase identifier), found"
+                f" {token.text!r} at position {token.position}",
+                token.position)
+        if token.text in _KEYWORDS:
+            raise ParseError(
+                f"{token.text!r} is a reserved word at position"
+                f" {token.position}", token.position)
+        return Variable(token.text)
+
+    def _looks_like_template(self) -> bool:
+        """A '(' opens a template iff the next tokens have the shape
+        ``( c , c , c )`` with single-token components."""
+        def is_component(token: Optional[_Token]) -> bool:
+            return token is not None and (
+                token.quoted or token.text not in "(),:")
+
+        def is_punct(token: Optional[_Token], text: str) -> bool:
+            return (token is not None and not token.quoted
+                    and token.text == text)
+
+        return (is_component(self._peek(1)) and is_punct(self._peek(2), ",")
+                and is_component(self._peek(3))
+                and is_punct(self._peek(4), ",")
+                and is_component(self._peek(5))
+                and is_punct(self._peek(6), ")"))
+
+    def _template(self) -> Template:
+        self._expect("(")
+        source = self._component()
+        self._expect(",")
+        relationship = self._component()
+        self._expect(",")
+        target = self._component()
+        self._expect(")")
+        return Template(source, relationship, target)
+
+    def _component(self):
+        token = self._next()
+        if token.quoted:
+            return validate_entity(token.text)
+        text = token.text
+        if text == "*":
+            self.star_count += 1
+            return Variable(f"_star{self.star_count}")
+        if text.lower() in _KEYWORDS:
+            raise ParseError(
+                f"{text!r} is a reserved word at position {token.position}",
+                token.position)
+        # The ASCII aliases win over variable syntax in any case
+        # (``in`` means ``∈``); quote an entity to escape them.
+        if text.upper() in ALIASES:
+            return ALIASES[text.upper()]
+        if _VARIABLE_RE.match(text):
+            variable = Variable(text)
+            if variable not in self.appearance_order:
+                self.appearance_order.append(variable)
+            return variable
+        entity = ALIASES.get(text, text)
+        try:
+            return validate_entity(entity)
+        except Exception as error:
+            raise ParseError(
+                f"invalid entity {text!r} at position {token.position}:"
+                f" {error}", token.position)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a formula; raises :class:`ParseError` on bad syntax."""
+    parser = _Parser(_tokenize(text), text)
+    formula = parser.parse_formula()
+    trailing = parser._peek()
+    if trailing is not None:
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r} at position"
+            f" {trailing.position}", trailing.position)
+    return formula
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query; free variables keep first-appearance order.
+
+    Anonymous ``*`` variables are treated as existential: they do not
+    become output columns (the paper's navigation tables key on the
+    named structure of the template, not on star positions — see
+    :mod:`repro.browse.navigation` for how stars are displayed).
+    """
+    parser = _Parser(_tokenize(text), text)
+    formula = parser.parse_formula()
+    trailing = parser._peek()
+    if trailing is not None:
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r} at position"
+            f" {trailing.position}", trailing.position)
+    free = formula.free_variables()
+    named = [v for v in parser.appearance_order if v in free]
+    stars = sorted(
+        (v for v in free if v.name.startswith("_star")),
+        key=lambda v: v.name)
+    return Query.of(formula, tuple(named) + tuple(stars))
+
+
+def parse_template(text: str) -> Template:
+    """Parse a single template such as ``(JOHN, *, *)``."""
+    parser = _Parser(_tokenize(text), text)
+    parsed = parser._template()
+    trailing = parser._peek()
+    if trailing is not None:
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r} at position"
+            f" {trailing.position}", trailing.position)
+    return parsed

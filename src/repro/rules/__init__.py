@@ -1,0 +1,52 @@
+"""Rules: inference, integrity, composition, and closure engines."""
+
+from .builtin import STANDARD_RULES, STANDARD_RULES_BY_NAME
+from .composition import (
+    COMPOSITION_OFF,
+    UNLIMITED,
+    CompositionResult,
+    composable,
+    compose_closure,
+    compose_pair,
+)
+from .engine import (
+    ClosureResult,
+    Justification,
+    extend_closure,
+    naive_closure,
+    semi_naive_closure,
+)
+from .lazy import LazyEngine, canonical_goal
+from .provenance import (
+    DerivationTree,
+    ProvenanceError,
+    explain_fact,
+)
+from .integrity import (
+    Violation,
+    contradictory_pairs,
+    find_contradictions,
+    is_consistent,
+)
+from .registry import RuleRegistry
+from .rule import (
+    Condition,
+    Distinct,
+    IndividualRelationship,
+    NotSpecial,
+    RelationshipClassifier,
+    Rule,
+    RuleContext,
+)
+
+__all__ = [
+    "STANDARD_RULES", "STANDARD_RULES_BY_NAME", "COMPOSITION_OFF",
+    "UNLIMITED", "CompositionResult", "composable", "compose_closure",
+    "compose_pair", "ClosureResult", "Justification", "extend_closure",
+    "naive_closure", "semi_naive_closure", "LazyEngine", "canonical_goal",
+    "DerivationTree", "ProvenanceError", "explain_fact",
+    "Violation", "contradictory_pairs", "find_contradictions",
+    "is_consistent", "RuleRegistry", "Condition", "Distinct",
+    "IndividualRelationship", "NotSpecial", "RelationshipClassifier",
+    "Rule", "RuleContext",
+]

@@ -1,0 +1,199 @@
+"""The paper's standard inference rules (§3), as :class:`Rule` objects.
+
+The published text states each rule formally and then illustrates it
+with worked examples; where OCR garbles the quantifier subscripts, the
+examples disambiguate (see DESIGN.md §5).  Each rule below cites the
+example that pins its reading down.
+
+All of these are registered (enabled) by default in a
+:class:`~repro.db.Database`; each can be toggled with
+``include``/``exclude`` (§6.1), which benchmark F7 exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.entities import CONTRA, INV, ISA, MEMBER, SYN
+from ..core.facts import Template, Variable
+from .rule import Distinct, IndividualRelationship, NotSpecial, Rule
+
+_S = Variable("s")
+_R = Variable("r")
+_T = Variable("t")
+_S2 = Variable("s2")
+_R2 = Variable("r2")
+_T2 = Variable("t2")
+
+#: Ordinary-relationship guard: the rules of §3.1/§3.2 quantify over
+#: R_i and must not re-derive the special relationships' own semantics.
+_ORDINARY_R = (IndividualRelationship(_R), NotSpecial(_R))
+
+
+GEN_TRANSITIVE = Rule(
+    name="gen-transitive",
+    body=(Template(_S, ISA, _T), Template(_T, ISA, _T2)),
+    head=(Template(_S, ISA, _T2),),
+    conditions=(Distinct(_S, _T), Distinct(_T, _T2)),
+    description="(s,≺,t) ∧ (t,≺,t') ⇒ (s,≺,t') — transitivity of "
+                "generalization (§3.1, derived from rule (1) with r=≺)",
+)
+
+GEN_SOURCE = Rule(
+    name="gen-source",
+    body=(Template(_S, _R, _T), Template(_S2, ISA, _S)),
+    head=(Template(_S2, _R, _T),),
+    conditions=_ORDINARY_R + (Distinct(_S2, _S),),
+    description="(s,r,t) ∧ (s',≺,s) ⇒ (s',r,t) — e.g. every MANAGER "
+                "WORKS-FOR a DEPARTMENT because every EMPLOYEE does (§3.1)",
+)
+
+GEN_RELATIONSHIP = Rule(
+    name="gen-relationship",
+    body=(Template(_S, _R, _T), Template(_R, ISA, _R2)),
+    head=(Template(_S, _R2, _T),),
+    conditions=_ORDINARY_R + (NotSpecial(_R2), Distinct(_R, _R2)),
+    description="(s,r,t) ∧ (r,≺,r') ⇒ (s,r',t) — e.g. WORKS-FOR ≺ "
+                "IS-PAID-BY lets JOHN IS-PAID-BY SHIPPING (§3.1)",
+)
+
+GEN_TARGET = Rule(
+    name="gen-target",
+    body=(Template(_S, _R, _T), Template(_T, ISA, _T2)),
+    head=(Template(_S, _R, _T2),),
+    conditions=_ORDINARY_R + (Distinct(_T, _T2),),
+    description="(s,r,t) ∧ (t,≺,t') ⇒ (s,r,t') — e.g. EMPLOYEE EARNS "
+                "COMPENSATION because SALARY ≺ COMPENSATION (§3.1)",
+)
+
+MEM_UPWARD = Rule(
+    name="mem-upward",
+    body=(Template(_S, MEMBER, _T), Template(_T, ISA, _T2)),
+    head=(Template(_S, MEMBER, _T2),),
+    conditions=(Distinct(_T, _T2),),
+    description="(s,∈,c) ∧ (c,≺,c') ⇒ (s,∈,c') — an instance of an "
+                "entity is an instance of every more general entity (§3.2)",
+)
+
+MEM_SOURCE = Rule(
+    name="mem-source",
+    body=(Template(_S2, MEMBER, _S), Template(_S, _R, _T)),
+    head=(Template(_S2, _R, _T),),
+    conditions=_ORDINARY_R,
+    description="(s',∈,s) ∧ (s,r,t) ⇒ (s',r,t) — JOHN ∈ EMPLOYEE and "
+                "EMPLOYEE WORKS-FOR DEPARTMENT give JOHN WORKS-FOR "
+                "DEPARTMENT (§3.2)",
+)
+
+MEM_TARGET = Rule(
+    name="mem-target",
+    body=(Template(_S, _R, _T), Template(_T, MEMBER, _T2)),
+    head=(Template(_S, _R, _T2),),
+    conditions=_ORDINARY_R,
+    description="(s,r,t) ∧ (t,∈,t') ⇒ (s,r,t') — TOM WORKS-FOR SHIPPING "
+                "and SHIPPING ∈ DEPARTMENT give TOM WORKS-FOR "
+                "DEPARTMENT (§3.2)",
+)
+
+SYN_TO_GEN = Rule(
+    name="syn-to-gen",
+    body=(Template(_S, SYN, _T),),
+    head=(Template(_S, ISA, _T), Template(_T, ISA, _S)),
+    conditions=(Distinct(_S, _T),),
+    description="(s,≈,t) ⇒ (s,≺,t) ∧ (t,≺,s) — synonyms generalize "
+                "each other (§3.3)",
+)
+
+GEN_TO_SYN = Rule(
+    name="gen-to-syn",
+    body=(Template(_S, ISA, _T), Template(_T, ISA, _S)),
+    head=(Template(_S, SYN, _T),),
+    conditions=(Distinct(_S, _T),),
+    description="(s,≺,t) ∧ (t,≺,s) ⇒ (s,≈,t) — the definition of the "
+                "synonym relationship, read back (§3.3)",
+)
+
+SYN_SOURCE = Rule(
+    name="syn-source",
+    body=(Template(_S, SYN, _S2), Template(_S, _R, _T)),
+    head=(Template(_S2, _R, _T),),
+    conditions=(Distinct(_S, _S2),),
+    description="given (s,≈,s'), s may be replaced with s' in the "
+                "source of every fact — including ∈/≺ facts, so JOHNNY "
+                "∈ EMPLOYEE follows from JOHN ∈ EMPLOYEE (§3.3)",
+)
+
+SYN_RELATIONSHIP = Rule(
+    name="syn-relationship",
+    body=(Template(_R, SYN, _R2), Template(_S, _R, _T)),
+    head=(Template(_S, _R2, _T),),
+    conditions=(Distinct(_R, _R2), NotSpecial(_R), NotSpecial(_R2)),
+    description="given (r,≈,r'), r may be replaced with r' as the "
+                "relationship of every fact — SALARY ≈ WAGE ≈ PAY (§3.3)",
+)
+
+SYN_TARGET = Rule(
+    name="syn-target",
+    body=(Template(_T, SYN, _T2), Template(_S, _R, _T)),
+    head=(Template(_S, _R, _T2),),
+    conditions=(Distinct(_T, _T2),),
+    description="given (t,≈,t'), t may be replaced with t' in the "
+                "target of every fact (§3.3)",
+)
+
+SYN_SYMMETRY = Rule(
+    name="syn-symmetry",
+    body=(Template(_S, SYN, _T),),
+    head=(Template(_T, SYN, _S),),
+    conditions=(Distinct(_S, _T),),
+    description="(s,≈,t) ⇒ (t,≈,s) — symmetry of the synonym "
+                "relationship (obvious from its definition, §3.3)",
+)
+
+INVERSION = Rule(
+    name="inversion",
+    body=(Template(_S, _R, _T), Template(_R, INV, _R2)),
+    head=(Template(_T, _R2, _S),),
+    conditions=(NotSpecial(_R2),),
+    description="(s,r,t) ∧ (r,↔,r') ⇒ (t,r',s) — TEACHES ↔ TAUGHT-BY "
+                "(§3.4); with the axiom (↔,↔,↔), inversion facts come "
+                "in pairs",
+)
+
+INVERSION_SYMMETRY = Rule(
+    name="inversion-symmetry",
+    body=(Template(_R, INV, _R2),),
+    head=(Template(_R2, INV, _R),),
+    description="(r,↔,r') ⇒ (r',↔,r) — guaranteed by the fact "
+                "(↔,↔,↔) (§3.4); stated directly so it survives "
+                "exclusion of the general inversion rule",
+)
+
+CONTRADICTION_SYMMETRY = Rule(
+    name="contradiction-symmetry",
+    body=(Template(_R, CONTRA, _R2),),
+    head=(Template(_R2, CONTRA, _R),),
+    description="(r,⊥,r') ⇒ (r',⊥,r) — ⊥ is its own inverse (§3.5)",
+)
+
+#: The standard rule set, in the order the paper presents them.
+STANDARD_RULES: List[Rule] = [
+    GEN_TRANSITIVE,
+    GEN_SOURCE,
+    GEN_RELATIONSHIP,
+    GEN_TARGET,
+    MEM_UPWARD,
+    MEM_SOURCE,
+    MEM_TARGET,
+    SYN_TO_GEN,
+    GEN_TO_SYN,
+    SYN_SOURCE,
+    SYN_RELATIONSHIP,
+    SYN_TARGET,
+    SYN_SYMMETRY,
+    INVERSION,
+    INVERSION_SYMMETRY,
+    CONTRADICTION_SYMMETRY,
+]
+
+STANDARD_RULES_BY_NAME: Dict[str, Rule] = {r.name: r for r in STANDARD_RULES}

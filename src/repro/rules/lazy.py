@@ -1,0 +1,306 @@
+"""Lazy, query-driven inference: tabled top-down evaluation.
+
+The production engine materializes the closure (§2.6) before answering
+anything.  This module is the other classical strategy — answer a
+*template* on demand, deriving only what the question needs — which
+the paper leaves open under "suitable storage strategies [and]
+performance" (§6.2).  Benchmark F9 compares the two.
+
+The algorithm is naive tabling:
+
+* every template asked (by the user or by a rule body) becomes a
+  *goal*, canonicalized up to variable renaming;
+* each goal's table is seeded with the stored facts matching it;
+* rules run top-down: a rule contributes to a goal when one of its
+  head atoms unifies with it, and its body atoms are answered from the
+  tables (registering new goals as needed);
+* a global fixpoint loop re-derives every registered goal until no
+  table grows.  Goals and derivable facts are finite (the standard
+  rules never invent entities), so this terminates.
+
+Limitations, by design:
+
+* composition (§3.7) is not evaluated lazily — composed relationship
+  names are data-dependent and unbounded; use the materialized closure
+  (with ``limit``) for path browsing;
+* answers are complete with respect to the *standard* rule mechanism:
+  rule heads must be templates (they are — §2.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.facts import Binding, Component, Fact, Template, Variable
+from ..core.store import FactStore
+from .rule import Condition, Rule, RuleContext
+
+
+def canonical_goal(pattern: Template) -> Template:
+    """Rename variables positionally so α-equivalent templates are the
+    same goal: ``(x, CITES, x)`` and ``(q, CITES, q)`` both become
+    ``(_g0, CITES, _g0)``."""
+    names: Dict[Variable, Variable] = {}
+    components: List[Component] = []
+    for component in pattern:
+        if isinstance(component, Variable):
+            renamed = names.get(component)
+            if renamed is None:
+                renamed = Variable(f"_g{len(names)}")
+                names[component] = renamed
+            components.append(renamed)
+        else:
+            components.append(component)
+    return Template(*components)
+
+
+def lookup_goal(pattern: Template) -> Template:
+    """The goal a pattern is answered from.
+
+    Fully ground patterns are answered by *filtering* the goal with
+    the target position freed: rule joins generate ground membership
+    probes per candidate pair, and tabling each of them separately
+    explodes the goal count quadratically in the number of entities.
+    Folding them into the per-(source, relationship) goal caps the
+    table count and shares derivation work.
+    """
+    if pattern.is_ground():
+        return Template(pattern.source, pattern.relationship,
+                        Variable("_g0"))
+    return canonical_goal(pattern)
+
+
+def _unify_head(head: Template, goal: Template) -> Optional[Binding]:
+    """Bind head variables against the goal's ground positions.
+
+    Goal variables impose no binding (the body will enumerate);
+    repeated goal variables are enforced by the final ``goal.match``
+    filter on each derived fact.  Returns None when a ground head
+    position clashes with a ground goal position.
+    """
+    binding: Binding = {}
+    for head_component, goal_component in zip(head, goal):
+        if isinstance(goal_component, Variable):
+            continue
+        if isinstance(head_component, Variable):
+            bound = binding.get(head_component)
+            if bound is None:
+                binding[head_component] = goal_component
+            elif bound != goal_component:
+                return None
+        elif head_component != goal_component:
+            return None
+    return binding
+
+
+@dataclass
+class LazyStats:
+    """Work counters for benchmarks and tests."""
+
+    goals: int = 0
+    rounds: int = 0
+    derived: int = 0
+    base_matches: int = 0
+
+
+class LazyEngine:
+    """Tabled top-down evaluation of template queries."""
+
+    def __init__(self, base: FactStore, rules: Sequence[Rule],
+                 context: RuleContext,
+                 max_rounds: Optional[int] = None):
+        self.base = base
+        self.rules = list(rules)
+        self.context = context
+        self.max_rounds = max_rounds
+        self._tables: Dict[Template, Set[Fact]] = {}
+        #: goal -> goals whose derivation consulted it; when a table
+        #: grows, exactly its dependents are re-derived.
+        self._dependents: Dict[Template, Set[Template]] = {}
+        self._pending: Set[Template] = set()
+        self._deriving: Optional[Template] = None
+        self.stats = LazyStats()
+
+    # ------------------------------------------------------------------
+    # Public interface (mirrors FactStore's matching surface)
+    # ------------------------------------------------------------------
+    def match(self, pattern: Template,
+              binding: Optional[Binding] = None) -> Iterator[Fact]:
+        """All stored-or-derivable facts matching ``pattern``."""
+        if binding:
+            pattern = pattern.substitute(binding)
+        goal = lookup_goal(pattern)
+        self._ensure(goal)
+        self._solve()
+        # Snapshot: nested queries may register new goals while the
+        # caller is still consuming this one.  Tables already at
+        # fixpoint never grow again (their derivations consult only
+        # tables fixpointed alongside them), so the snapshot is
+        # complete.
+        snapshot = list(self._tables[goal])
+        if goal == pattern:
+            yield from snapshot
+            return
+        for fact in snapshot:
+            if pattern.match(fact) is not None:
+                yield fact
+
+    def solutions(self, pattern: Template,
+                  binding: Optional[Binding] = None) -> Iterator[Binding]:
+        base_binding = binding or {}
+        substituted = (pattern.substitute(base_binding)
+                       if base_binding else pattern)
+        for fact in self.match(substituted):
+            extended = substituted.match(fact, base_binding)
+            if extended is not None:
+                yield extended
+
+    def count_estimate(self, pattern: Template,
+                       binding: Optional[Binding] = None) -> int:
+        # Estimating without solving would defeat laziness; use the
+        # base store's index sizes as the (under-)estimate.
+        return self.base.count_estimate(pattern, binding)
+
+    def entities(self) -> Set[str]:
+        """The active domain.  The standard rules never invent
+        entities, so the base store's domain is the closure's."""
+        return self.base.entities()
+
+    def relationships(self) -> Set[str]:
+        return self.base.relationships()
+
+    def has_entity(self, entity: str) -> bool:
+        return self.base.has_entity(entity)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return any(True for _ in self.match(Template(*fact)))
+
+    def __len__(self) -> int:
+        # Size of the full derivable set: forces the open goal.
+        return sum(1 for _ in self.match(
+            Template(Variable("s"), Variable("r"), Variable("t"))))
+
+    def __iter__(self) -> Iterator[Fact]:
+        return self.match(
+            Template(Variable("s"), Variable("r"), Variable("t")))
+
+    def facts_mentioning(self, entity: str) -> Set[Fact]:
+        s, r = Variable("__m1__"), Variable("__m2__")
+        result: Set[Fact] = set()
+        for pattern in (Template(entity, s, r), Template(s, entity, r),
+                        Template(s, r, entity)):
+            result.update(self.match(pattern))
+        return result
+
+    # ------------------------------------------------------------------
+    # Tabling machinery
+    # ------------------------------------------------------------------
+    def _ensure(self, goal: Template) -> Set[Fact]:
+        table = self._tables.get(goal)
+        if table is None:
+            table = set(self.base.match(goal))
+            self.stats.base_matches += len(table)
+            self._tables[goal] = table
+            self._dependents[goal] = set()
+            self._pending.add(goal)
+            self.stats.goals += 1
+        return table
+
+    def _solve(self) -> None:
+        """Run derivation rounds until quiescence.
+
+        Dependency-driven: a goal is (re-)derived when it is new or
+        when a table one of its previous derivations consulted has
+        grown since — the tabling analogue of semi-naive evaluation.
+        """
+        while self._pending:
+            if (self.max_rounds is not None
+                    and self.stats.rounds >= self.max_rounds):
+                return
+            self.stats.rounds += 1
+            batch = list(self._pending)
+            self._pending = set()
+            grown: Set[Template] = set()
+            for goal in batch:
+                if self._derive(goal):
+                    grown.add(goal)
+            for goal in grown:
+                self._pending.update(self._dependents.get(goal, ()))
+
+    def _derive(self, goal: Template) -> bool:
+        """One top-down derivation pass; True if the table grew."""
+        table = self._tables[goal]
+        previous_deriving = self._deriving
+        self._deriving = goal
+        grew = False
+        try:
+            for rule in self.rules:
+                for head in rule.head:
+                    seed = _unify_head(head, goal)
+                    if seed is None:
+                        continue
+                    for binding in self._solve_body(rule, dict(seed)):
+                        fact = head.substitute(binding).to_fact()
+                        if goal.match(fact) is None:
+                            continue
+                        if fact not in table:
+                            table.add(fact)
+                            self.stats.derived += 1
+                            grew = True
+        finally:
+            self._deriving = previous_deriving
+        return grew
+
+    @staticmethod
+    def _openness(atom: Template, bound: Set[Variable]) -> int:
+        """How unconstrained an atom is under the current binding —
+        the count of its still-free variable positions."""
+        return sum(
+            1 for c in atom
+            if isinstance(c, Variable) and c not in bound)
+
+    def _solve_body(self, rule: Rule,
+                    binding: Binding) -> Iterator[Binding]:
+        """Join the rule body against the current tables, picking the
+        most-bound remaining atom at every step so open goals (whole-
+        closure tables) are only registered when truly unavoidable."""
+
+        def extend(atoms: List[Template], current: Binding,
+                   remaining: List[Condition]) -> Iterator[Binding]:
+            if not atoms:
+                if all(c.holds(current, self.context) for c in remaining):
+                    yield current
+                return
+            bound = set(current)
+            index = min(range(len(atoms)),
+                        key=lambda i: self._openness(atoms[i], bound))
+            atom = atoms[index]
+            rest_atoms = atoms[:index] + atoms[index + 1:]
+            for extended in self._lookup(atom, current):
+                now_bound = set(extended)
+                ready = [c for c in remaining
+                         if c.variables() <= now_bound]
+                if all(c.holds(extended, self.context) for c in ready):
+                    rest = [c for c in remaining if c not in ready]
+                    yield from extend(rest_atoms, extended, rest)
+
+        yield from extend(list(rule.body), binding,
+                          list(rule.conditions))
+
+    def _lookup(self, atom: Template,
+                binding: Binding) -> Iterator[Binding]:
+        """Answers for one body atom from the tables (registering the
+        goal if new — its table completes over later rounds)."""
+        pattern = atom.substitute(binding)
+        goal = lookup_goal(pattern)
+        table = self._ensure(goal)
+        if self._deriving is not None:
+            self._dependents[goal].add(self._deriving)
+        # Snapshot: a self-recursive rule (e.g. ≺-transitivity) adds to
+        # the very table it is reading; additions are picked up by the
+        # next fixpoint round.
+        for fact in list(table):
+            extended = pattern.match(fact, binding)
+            if extended is not None:
+                yield extended

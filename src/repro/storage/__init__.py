@@ -1,0 +1,12 @@
+"""Persistence substrate: journal, snapshot, durable sessions."""
+
+from .interchange import dumps, loads, read_facts, write_facts
+from .journal import OP_ADD, OP_REMOVE, Journal, JournalEntry
+from .session import DurableSession, open_database
+from .snapshot import SnapshotState, read_snapshot, write_snapshot
+
+__all__ = [
+    "dumps", "loads", "read_facts", "write_facts",
+    "OP_ADD", "OP_REMOVE", "Journal", "JournalEntry", "DurableSession",
+    "open_database", "SnapshotState", "read_snapshot", "write_snapshot",
+]

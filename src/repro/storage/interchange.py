@@ -1,0 +1,120 @@
+"""Plain-text fact interchange.
+
+A loose heap's natural exchange format is one fact per line::
+
+    JOHN LIKES FELIX
+    "NEW YORK" ∈ CITY
+    # comments and blank lines are ignored
+
+Components are whitespace-separated; entities containing whitespace or
+quotes are double-quoted with backslash escapes.  The format is
+deliberately trivial — greppable, diffable, and stable — so heaps can
+be versioned, mailed, and merged (§1's multi-database motivation) with
+ordinary text tools.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from ..core.errors import StorageError
+from ..core.facts import Fact, fact as make_fact
+
+_TOKEN_RE = re.compile(
+    r'\s*("(?:[^"\\]|\\.)*"|\S+)')
+
+_NEEDS_QUOTING_RE = re.compile(r'[\s"\\#]')
+
+
+def format_component(entity: str) -> str:
+    """One entity, quoted if the bare spelling would be ambiguous."""
+    if not entity or _NEEDS_QUOTING_RE.search(entity):
+        escaped = entity.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return entity
+
+
+def format_fact(fact: Fact) -> str:
+    """One fact as one line."""
+    return " ".join(format_component(component) for component in fact)
+
+
+def parse_line(line: str, line_number: int = 0) -> Fact:
+    """Parse one fact line.
+
+    Raises:
+        StorageError: on malformed lines (wrong arity, bad quoting).
+    """
+    tokens: List[str] = []
+    position = 0
+    while position < len(line):
+        match = _TOKEN_RE.match(line, position)
+        if match is None:
+            break
+        raw = match.group(1)
+        if raw.startswith('"'):
+            if len(raw) < 2 or not raw.endswith('"'):
+                raise StorageError(
+                    f"line {line_number}: unterminated quote: {line!r}")
+            tokens.append(re.sub(r"\\(.)", r"\1", raw[1:-1]))
+        else:
+            tokens.append(raw)
+        position = match.end()
+    if len(tokens) != 3:
+        raise StorageError(
+            f"line {line_number}: expected 3 components, found"
+            f" {len(tokens)}: {line!r}")
+    try:
+        return make_fact(*tokens)
+    except Exception as error:
+        raise StorageError(
+            f"line {line_number}: invalid fact: {error}") from error
+
+
+def dump_lines(facts: Iterable[Fact]) -> Iterator[str]:
+    """Facts as lines, sorted for stable diffs."""
+    for fact in sorted(facts):
+        yield format_fact(fact)
+
+
+def dumps(facts: Iterable[Fact]) -> str:
+    """The whole heap as one text block."""
+    return "\n".join(dump_lines(facts)) + "\n"
+
+
+def loads(text: str) -> List[Fact]:
+    """Parse a text block; comments (#) and blank lines are skipped."""
+    facts: List[Fact] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        facts.append(parse_line(stripped, line_number))
+    return facts
+
+
+def write_facts(path: Union[str, Path], facts: Iterable[Fact],
+                header: str = "") -> int:
+    """Write a heap to a file; returns the fact count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for line in dump_lines(facts):
+            handle.write(line + "\n")
+            count += 1
+    return count
+
+
+def read_facts(path: Union[str, Path]) -> List[Fact]:
+    """Read a heap from a file."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no fact file at {path}")
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,132 @@
+"""Append-only journal of fact mutations.
+
+The paper defers storage strategies to future work (§6.2); this is the
+minimal durable substrate a usable library needs: every ``add`` /
+``remove`` appends one JSON line, and recovery replays the journal over
+the latest snapshot.  One line per mutation keeps the format greppable
+and the writes crash-safe up to the last completed line (a torn final
+line is detected and ignored on replay).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from ..core.errors import StorageError
+from ..core.facts import Fact
+
+OP_ADD = "add"
+OP_REMOVE = "remove"
+
+_VALID_OPS = frozenset({OP_ADD, OP_REMOVE})
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One recorded mutation."""
+
+    op: str
+    fact: Fact
+
+    def to_json(self) -> str:
+        return json.dumps({"op": self.op, "fact": list(self.fact)},
+                          ensure_ascii=False)
+
+    @staticmethod
+    def from_json(line: str) -> "JournalEntry":
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise StorageError(f"malformed journal line: {line!r}") from error
+        if not isinstance(record, dict):
+            raise StorageError(f"journal line is not an object: {line!r}")
+        op = record.get("op")
+        raw_fact = record.get("fact")
+        if op not in _VALID_OPS:
+            raise StorageError(f"unknown journal op in line: {line!r}")
+        if (not isinstance(raw_fact, list) or len(raw_fact) != 3
+                or not all(isinstance(c, str) for c in raw_fact)):
+            raise StorageError(f"malformed fact in journal line: {line!r}")
+        return JournalEntry(op=op, fact=Fact(*raw_fact))
+
+
+class Journal:
+    """A file-backed, append-only mutation log."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _ensure_open(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, op: str, fact: Fact) -> None:
+        """Record one mutation and flush it to the OS."""
+        if op not in _VALID_OPS:
+            raise StorageError(f"unknown journal op: {op!r}")
+        handle = self._ensure_open()
+        handle.write(JournalEntry(op, fact).to_json() + "\n")
+        handle.flush()
+
+    def sync(self) -> None:
+        """fsync the journal (durability point)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def truncate(self) -> None:
+        """Discard all entries (after a snapshot has captured them)."""
+        self.close()
+        if self.path.exists():
+            self.path.unlink()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def entries(self, strict: bool = True) -> Iterator[JournalEntry]:
+        """Replay the journal.
+
+        Args:
+            strict: if False, a malformed *final* line (torn write) is
+                ignored instead of raising; malformed interior lines
+                always raise.
+        """
+        if not self.path.exists():
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            lines: List[str] = [
+                line.rstrip("\n") for line in handle
+            ]
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                yield JournalEntry.from_json(line)
+            except StorageError:
+                if not strict and index == len(lines) - 1:
+                    return
+                raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())

@@ -1,0 +1,112 @@
+"""Durable sessions: snapshot + journal under one directory.
+
+Layout::
+
+    <directory>/
+        snapshot.json   # latest checkpoint (atomic)
+        journal.jsonl   # mutations since that checkpoint
+
+``open_database`` recovers the state (snapshot, then journal replay);
+``attach`` wires a live :class:`~repro.db.Database` so subsequent
+mutations journal automatically; ``checkpoint`` folds the journal into
+a fresh snapshot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from .journal import OP_ADD, OP_REMOVE, Journal
+from .snapshot import SnapshotState, read_snapshot, write_snapshot
+
+SNAPSHOT_NAME = "snapshot.json"
+JOURNAL_NAME = "journal.jsonl"
+
+
+class DurableSession:
+    """Binds a database to an on-disk directory."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.snapshot_path = self.directory / SNAPSHOT_NAME
+        self.journal = Journal(self.directory / JOURNAL_NAME)
+        self._database = None
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self, strict_journal: bool = False):
+        """Rebuild a Database from snapshot + journal replay."""
+        from ..db import Database
+
+        if self.snapshot_path.exists():
+            state = read_snapshot(self.snapshot_path)
+            database = Database(with_axioms=False)
+            database.rules.restore_state(state.rule_states)
+            database.composition_limit = state.composition_limit
+            database.add_facts(state.facts)
+        else:
+            database = Database()
+        for entry in self.journal.entries(strict=strict_journal):
+            if entry.op == OP_ADD:
+                database.add_fact(entry.fact)
+            else:
+                database.remove_fact(entry.fact)
+        return database
+
+    # ------------------------------------------------------------------
+    # Live attachment
+    # ------------------------------------------------------------------
+    def attach(self, database) -> None:
+        """Journal every subsequent mutation of ``database``."""
+        self._database = database
+        database._on_mutation = self._record  # noqa: SLF001 (by design)
+
+    def detach(self) -> None:
+        if self._database is not None:
+            self._database._on_mutation = None
+            self._database = None
+
+    def _record(self, op: str, fact) -> None:
+        self.journal.append(OP_ADD if op == "add" else OP_REMOVE, fact)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Fold the journal into a fresh snapshot."""
+        if self._database is None:
+            raise RuntimeError("no database attached; call attach() first")
+        database = self._database
+        state = SnapshotState(
+            facts=list(database.facts),
+            rule_states=database.rules.snapshot_state(),
+            composition_limit=database.composition_limit,
+        )
+        write_snapshot(self.snapshot_path, state)
+        self.journal.truncate()
+
+    def close(self) -> None:
+        self.detach()
+        self.journal.close()
+
+    def __enter__(self) -> "DurableSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_database(directory: Union[str, Path],
+                  strict_journal: bool = False):
+    """Open (or create) a durable database at ``directory``.
+
+    Returns ``(database, session)``; mutations journal automatically.
+    Call ``session.checkpoint()`` to compact, ``session.close()`` when
+    done.
+    """
+    session = DurableSession(directory)
+    database = session.recover(strict_journal=strict_journal)
+    session.attach(database)
+    return database, session

@@ -1,0 +1,89 @@
+"""Snapshots: a full, atomic image of the database state.
+
+A snapshot records the base facts (never the closure — derived facts
+are recomputed), the rule enable/disable map, and the composition
+limit.  Written via a temporary file + rename so a crash mid-write
+leaves the previous snapshot intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.errors import StorageError
+from ..core.facts import Fact
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class SnapshotState:
+    """Everything a snapshot round-trips."""
+
+    facts: List[Fact]
+    rule_states: Dict[str, bool] = field(default_factory=dict)
+    composition_limit: Optional[int] = 1
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": FORMAT_VERSION,
+                "composition_limit": self.composition_limit,
+                "rule_states": self.rule_states,
+                "facts": sorted(list(f) for f in self.facts),
+            },
+            ensure_ascii=False, indent=0)
+
+    @staticmethod
+    def from_json(text: str) -> "SnapshotState":
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise StorageError("malformed snapshot") from error
+        if not isinstance(record, dict):
+            raise StorageError("snapshot is not an object")
+        version = record.get("version")
+        if version != FORMAT_VERSION:
+            raise StorageError(f"unsupported snapshot version: {version!r}")
+        raw_facts = record.get("facts", [])
+        facts: List[Fact] = []
+        for raw in raw_facts:
+            if (not isinstance(raw, list) or len(raw) != 3
+                    or not all(isinstance(c, str) for c in raw)):
+                raise StorageError(f"malformed fact in snapshot: {raw!r}")
+            facts.append(Fact(*raw))
+        rule_states = record.get("rule_states", {})
+        if not isinstance(rule_states, dict) or not all(
+                isinstance(k, str) and isinstance(v, bool)
+                for k, v in rule_states.items()):
+            raise StorageError("malformed rule_states in snapshot")
+        limit = record.get("composition_limit", 1)
+        if limit is not None and not isinstance(limit, int):
+            raise StorageError("malformed composition_limit in snapshot")
+        return SnapshotState(facts=facts, rule_states=rule_states,
+                             composition_limit=limit)
+
+
+def write_snapshot(path: Union[str, Path], state: SnapshotState) -> None:
+    """Atomically write a snapshot (tmp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_suffix(path.suffix + ".tmp")
+    with open(temporary, "w", encoding="utf-8") as handle:
+        handle.write(state.to_json())
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)
+
+
+def read_snapshot(path: Union[str, Path]) -> SnapshotState:
+    """Load a snapshot; raises :class:`StorageError` when malformed."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no snapshot at {path}")
+    with open(path, encoding="utf-8") as handle:
+        return SnapshotState.from_json(handle.read())

@@ -1,0 +1,16 @@
+"""Virtual (computed) relations: the facts the paper assumes present
+"without actually storing them" (§3.6, §2.3)."""
+
+from .computed import ComputedRelation, FactView, VirtualRegistry
+from .math_facts import MathRelation, compare, entities_equal
+from .special import (
+    EndpointWitness,
+    ReflexiveGeneralization,
+    standard_virtual_registry,
+)
+
+__all__ = [
+    "ComputedRelation", "FactView", "VirtualRegistry", "MathRelation",
+    "compare", "entities_equal", "EndpointWitness",
+    "ReflexiveGeneralization", "standard_virtual_registry",
+]

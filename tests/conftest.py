@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.datasets import books, music, paper, university
+
+
+@pytest.fixture
+def empty_db() -> Database:
+    return Database()
+
+
+@pytest.fixture
+def music_db() -> Database:
+    return music.load()
+
+
+@pytest.fixture
+def paper_db() -> Database:
+    return paper.load()
+
+
+@pytest.fixture
+def university_db() -> Database:
+    return university.load()
+
+
+@pytest.fixture
+def books_db() -> Database:
+    return books.load()

@@ -1,0 +1,159 @@
+"""Composition inference tests (§3.7, §6.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import ISA, MEMBER, composition_length
+from repro.core.facts import Fact
+from repro.core.store import FactStore
+from repro.datasets.synthetic import chain_facts
+from repro.rules.composition import (
+    COMPOSITION_OFF,
+    composable,
+    compose_closure,
+    compose_pair,
+)
+
+TOM_CS = Fact("TOM", "ENROLLED-IN", "CS100")
+CS_HARRY = Fact("CS100", "TAUGHT-BY", "HARRY")
+
+
+class TestComposable:
+    def test_chained_facts_compose(self):
+        assert composable(TOM_CS, CS_HARRY)
+
+    def test_disconnected_facts_do_not(self):
+        assert not composable(TOM_CS, Fact("MATH101", "TAUGHT-BY", "SUE"))
+
+    def test_cyclicity_guard(self):
+        """The paper's JOHN-loves-MARY-loves-JOHN example must not
+        compose."""
+        loves = Fact("JOHN", "LOVES", "MARY")
+        loved = Fact("MARY", "LOVES", "JOHN")
+        assert not composable(loves, loved)
+
+    def test_special_relationships_do_not_compose(self):
+        isa = Fact("CS100", ISA, "COURSE")
+        member = Fact("TOM", MEMBER, "STUDENT")
+        assert not composable(TOM_CS, isa)
+        assert not composable(member, Fact("STUDENT", "LOVE", "X"))
+
+
+class TestComposePair:
+    def test_paper_example(self):
+        composed = compose_pair(TOM_CS, CS_HARRY)
+        assert composed == Fact(
+            "TOM", "ENROLLED-IN.CS100.TAUGHT-BY", "HARRY")
+
+    def test_composed_length(self):
+        composed = compose_pair(TOM_CS, CS_HARRY)
+        assert composition_length(composed.relationship) == 2
+
+
+class TestComposeClosure:
+    def test_off_by_default_value(self):
+        store = FactStore([TOM_CS, CS_HARRY])
+        result = compose_closure(store, COMPOSITION_OFF)
+        assert result.count == 0
+
+    def test_single_level(self):
+        store = FactStore([TOM_CS, CS_HARRY])
+        result = compose_closure(store, 2)
+        assert result.facts == {
+            Fact("TOM", "ENROLLED-IN.CS100.TAUGHT-BY", "HARRY")}
+
+    def test_limit_two_blocks_longer_chains(self):
+        store = FactStore(chain_facts(4))
+        lengths = {
+            composition_length(f.relationship)
+            for f in compose_closure(store, 2).facts
+        }
+        assert lengths == {2}
+
+    def test_limit_three_allows_three(self):
+        store = FactStore(chain_facts(4))
+        lengths = {
+            composition_length(f.relationship)
+            for f in compose_closure(store, 3).facts
+        }
+        assert lengths == {2, 3}
+
+    def test_chain_counts(self):
+        """A simple chain of n facts has C(n, 2) contiguous subpaths of
+        length >= 2."""
+        n = 12
+        store = FactStore(chain_facts(n))
+        result = compose_closure(store, None)
+        assert result.count == n * (n - 1) // 2
+
+    def test_unlimited_terminates_on_cycle(self):
+        cycle = [Fact("A", "R", "B"), Fact("B", "R", "C"),
+                 Fact("C", "R", "A")]
+        result = compose_closure(FactStore(cycle), None)
+        # Simple paths only: each of the 3 length-2 arcs, and nothing
+        # longer (a length-3 chain would close the cycle).
+        assert result.count == 3
+
+    def test_bounded_limit_on_cycle_follows_paper_guard(self):
+        cycle = [Fact("A", "R", "B"), Fact("B", "R", "C"),
+                 Fact("C", "R", "A")]
+        result = compose_closure(FactStore(cycle), 4)
+        # With the paper's endpoint guard only, longer-than-simple
+        # chains are allowed as long as the endpoints differ.
+        lengths = sorted(
+            composition_length(f.relationship) for f in result.facts)
+        assert lengths.count(2) == 3
+        assert max(lengths) == 4
+
+    def test_two_hop_diamond(self):
+        facts = [
+            Fact("A", "R", "B1"), Fact("A", "R", "B2"),
+            Fact("B1", "S", "C"), Fact("B2", "S", "C"),
+        ]
+        result = compose_closure(FactStore(facts), 2)
+        assert result.facts == {
+            Fact("A", "R.B1.S", "C"), Fact("A", "R.B2.S", "C")}
+
+    def test_composition_does_not_mutate_store(self):
+        store = FactStore([TOM_CS, CS_HARRY])
+        before = set(store)
+        compose_closure(store, 3)
+        assert set(store) == before
+
+    def test_self_loop_excluded_from_unlimited_composition(self):
+        """A self-loop is never on a simple path, so unlimited
+        composition ignores it (and therefore terminates)."""
+        store = FactStore([Fact("A", "R", "A"), Fact("A", "S", "B")])
+        result = compose_closure(store, None)
+        assert result.count == 0
+
+    def test_self_loop_composes_under_bounded_limit(self):
+        """Bounded composition uses exactly the paper's endpoint guard,
+        which allows chaining through a self-loop."""
+        store = FactStore([Fact("A", "R", "A"), Fact("A", "S", "B")])
+        result = compose_closure(store, 2)
+        assert Fact("A", "R.A.S", "B") in result.facts
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=2, max_value=8),
+       limit=st.integers(min_value=2, max_value=6))
+def test_chain_lengths_never_exceed_limit(n, limit):
+    store = FactStore(chain_facts(n))
+    result = compose_closure(store, limit)
+    for fact in result.facts:
+        assert composition_length(fact.relationship) <= limit
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=2, max_value=7))
+def test_larger_limits_are_supersets(n):
+    store = FactStore(chain_facts(n))
+    previous = set()
+    for limit in range(2, n + 1):
+        current = compose_closure(store, limit).facts
+        assert previous <= current
+        previous = current

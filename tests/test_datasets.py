@@ -1,0 +1,136 @@
+"""Sanity tests for the datasets: the paper worlds stay consistent and
+the synthetic generators honor their contracts."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import ISA, MEMBER
+from repro.core.facts import Fact
+from repro.datasets import books, music, paper, university
+from repro.datasets.synthetic import (
+    EmployeeWorkload,
+    chain_facts,
+    deep_retraction_workload,
+    employee_workload,
+    hierarchy_facts,
+    layered_dag_facts,
+    membership_facts,
+    random_heap,
+)
+from repro.db import Database
+
+
+class TestPaperDatasets:
+    @pytest.mark.parametrize("dataset", [books, music, paper, university])
+    def test_loadable_and_consistent(self, dataset):
+        db = dataset.load()
+        assert len(db.facts) > 0
+        assert db.check_integrity() == []
+
+    @pytest.mark.parametrize("dataset", [books, music, paper, university])
+    def test_facts_are_deterministic(self, dataset):
+        assert dataset.facts() == dataset.facts()
+
+    def test_load_into_existing_database(self):
+        db = Database()
+        same = music.load(db)
+        assert same is db
+        assert Fact("JOHN", "LIKES", "FELIX") in db.facts
+
+    def test_datasets_compose_into_one_heap(self):
+        """§1: unified access to multiple databases."""
+        db = Database()
+        for dataset in (books, music, paper, university):
+            dataset.load(db)
+        assert db.check_integrity() == []
+        # Entities from different datasets are reachable in one query.
+        assert db.ask("(JOHN, LIKES, FELIX)")          # music
+        assert db.ask("(ISBN-914894, CITES, ISBN-914894)")  # books
+        assert db.ask("(TOM, WORKS-FOR, ACCOUNTING)")  # paper
+
+
+class TestHierarchyFacts:
+    def test_counts(self):
+        facts, leaves = hierarchy_facts(3, 2)
+        assert len(facts) == 2 + 4 + 8
+        assert len(leaves) == 8
+
+    def test_every_fact_is_isa(self):
+        facts, _ = hierarchy_facts(2, 3)
+        assert all(f.relationship == ISA for f in facts)
+
+    def test_depth_zero(self):
+        facts, leaves = hierarchy_facts(0, 2)
+        assert facts == []
+        assert leaves == ["C0"]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            hierarchy_facts(-1, 2)
+        with pytest.raises(ValueError):
+            hierarchy_facts(2, 0)
+
+    @settings(max_examples=20)
+    @given(depth=st.integers(0, 4), fanout=st.integers(1, 3))
+    def test_leaf_count_property(self, depth, fanout):
+        facts, leaves = hierarchy_facts(depth, fanout)
+        assert len(leaves) == fanout ** depth
+        assert len(facts) == sum(
+            fanout ** level for level in range(1, depth + 1))
+
+
+class TestOtherGenerators:
+    def test_membership_facts(self):
+        facts = membership_facts(["A", "B"], 3)
+        assert len(facts) == 6
+        assert all(f.relationship == MEMBER for f in facts)
+        assert len({f.source for f in facts}) == 6  # fresh instances
+
+    def test_random_heap_deterministic(self):
+        assert random_heap(50, 20, 5, seed=3) == random_heap(
+            50, 20, 5, seed=3)
+        assert random_heap(50, 20, 5, seed=3) != random_heap(
+            50, 20, 5, seed=4)
+
+    def test_random_heap_size(self):
+        facts = random_heap(75, 30, 6, seed=0)
+        assert len(facts) == 75
+        assert len(set(facts)) == 75
+
+    def test_chain_facts(self):
+        facts = chain_facts(5)
+        assert len(facts) == 5
+        assert facts[0] == Fact("N0", "NEXT", "N1")
+        assert facts[-1] == Fact("N4", "NEXT", "N5")
+
+    def test_layered_dag_is_acyclic_by_construction(self):
+        facts = layered_dag_facts(4, 5, 2, seed=1)
+        for fact in facts:
+            source_layer = int(fact.source.split("_")[0][1:])
+            target_layer = int(fact.target.split("_")[0][1:])
+            assert target_layer == source_layer + 1
+
+    def test_employee_workload_shapes(self):
+        workload = employee_workload(40, 4, seed=2)
+        assert isinstance(workload, EmployeeWorkload)
+        assert len(workload.employees) == 40
+        assert len(workload.rows) == 40
+        assert all(dept.startswith("DEPT") for _, dept, _ in workload.rows)
+        # Facts: 1 ≺ + 4 department memberships + 3 per employee.
+        assert len(workload.facts) == 1 + 4 + 3 * 40
+
+    def test_deep_retraction_workload_contract(self):
+        facts, query = deep_retraction_workload(3)
+        db = Database()
+        db.add_facts(facts)
+        result = db.probe(query)
+        assert not result.succeeded
+        assert len(result.waves) == 3
+        assert result.waves[-1].successes
+
+    def test_deep_retraction_validates(self):
+        with pytest.raises(ValueError):
+            deep_retraction_workload(0)

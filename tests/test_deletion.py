@@ -1,0 +1,183 @@
+"""Delete/Rederive (DRed) tests: equivalence with recomputation under
+arbitrary deletion sequences, alternative-derivation survival, and
+provenance pruning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import INV, ISA, MEMBER, SYN
+from repro.core.facts import Fact
+from repro.core.store import FactStore
+from repro.db import Database
+from repro.rules.builtin import STANDARD_RULES
+from repro.rules.deletion import delete_with_rederivation
+from repro.rules.engine import semi_naive_closure
+from repro.rules.rule import RelationshipClassifier, RuleContext
+
+
+def _closure_of(facts):
+    store = FactStore(facts)
+    context = RuleContext(classifier=RelationshipClassifier(store))
+    return semi_naive_closure(facts, STANDARD_RULES, context)
+
+
+class TestDeleteWithRederivation:
+    def test_consequences_removed(self):
+        facts = [Fact("JOHN", MEMBER, "EMPLOYEE"),
+                 Fact("EMPLOYEE", "EARNS", "SALARY")]
+        result = _closure_of(facts)
+        base = FactStore(facts)
+        deleted = Fact("JOHN", MEMBER, "EMPLOYEE")
+        base.discard(deleted)
+        context = RuleContext(classifier=RelationshipClassifier(base))
+        stats = delete_with_rederivation(result, base, deleted,
+                                         STANDARD_RULES, context)
+        assert Fact("JOHN", "EARNS", "SALARY") not in result.store
+        assert stats.overdeleted >= 2
+
+    def test_alternative_derivation_survives(self):
+        """(B, R, X) is endangered through the synonym derivation but
+        survives because it is stored; (A, R, X) is rederived from it."""
+        facts = [Fact("A", SYN, "B"), Fact("A", "R", "X"),
+                 Fact("B", "R", "X")]
+        result = _closure_of(facts)
+        base = FactStore(facts)
+        deleted = Fact("A", "R", "X")
+        base.discard(deleted)
+        context = RuleContext(classifier=RelationshipClassifier(base))
+        stats = delete_with_rederivation(result, base, deleted,
+                                         STANDARD_RULES, context)
+        assert Fact("B", "R", "X") in result.store
+        assert Fact("A", "R", "X") in result.store  # via syn-source
+        assert stats.rederived >= 1
+
+    def test_deleting_absent_fact_is_noop(self):
+        facts = [Fact("A", "R", "B")]
+        result = _closure_of(facts)
+        base = FactStore(facts)
+        context = RuleContext(classifier=RelationshipClassifier(base))
+        stats = delete_with_rederivation(
+            result, base, Fact("Z", "Z", "Z"), STANDARD_RULES, context)
+        assert stats.overdeleted == 0
+        assert Fact("A", "R", "B") in result.store
+
+    def test_other_base_facts_never_endangered(self):
+        facts = [Fact("A", ISA, "B"), Fact("B", ISA, "C")]
+        result = _closure_of(facts)
+        base = FactStore(facts)
+        deleted = Fact("A", ISA, "B")
+        base.discard(deleted)
+        context = RuleContext(classifier=RelationshipClassifier(base))
+        delete_with_rederivation(result, base, deleted,
+                                 STANDARD_RULES, context)
+        assert Fact("B", ISA, "C") in result.store
+        assert Fact("A", ISA, "C") not in result.store
+
+
+class TestDatabaseDeletion:
+    def test_queries_after_incremental_delete(self):
+        db = Database()
+        db.add("JOHN", MEMBER, "EMPLOYEE")
+        db.add("EMPLOYEE", "EARNS", "SALARY")
+        assert db.ask("(JOHN, EARNS, SALARY)")  # cache built
+        db.remove_fact(Fact("JOHN", MEMBER, "EMPLOYEE"))
+        assert not db.ask("(JOHN, EARNS, SALARY)")
+
+    def test_composition_refreshes_after_delete(self):
+        db = Database()
+        db.limit(2)
+        db.add("A", "R", "B")
+        db.add("B", "S", "C")
+        assert db.ask("(A, R.B.S, C)")
+        db.remove_fact(Fact("B", "S", "C"))
+        assert not db.ask("(A, R.B.S, C)")
+
+    def test_provenance_pruned_and_restored(self):
+        db = Database(trace=True)
+        db.add("A", SYN, "B")
+        db.add("A", "R", "X")
+        db.add("B", "R", "X")
+        db.closure()
+        db.remove_fact(Fact("A", "R", "X"))
+        tree = db.why("(A, R, X)")  # now derived, not stored
+        assert not tree.is_stored
+        assert Fact("B", "R", "X") in tree.stored_support()
+
+    def test_classification_removal_recomputes(self):
+        db = Database()
+        db.add("JOHN", MEMBER, "EMPLOYEE")
+        db.add("EMPLOYEE", "TOTAL-NUMBER", "180")
+        db.declare_class_relationship("TOTAL-NUMBER")
+        assert not db.ask("(JOHN, TOTAL-NUMBER, 180)")
+        db.remove_fact(
+            Fact("TOTAL-NUMBER", MEMBER, "CLASS-RELATIONSHIP"))
+        # Un-classifying re-enables inheritance: only a recomputation
+        # can discover the new derivations.
+        assert db.ask("(JOHN, TOTAL-NUMBER, 180)")
+
+    def test_hierarchy_refreshes_after_delete(self):
+        db = Database()
+        db.add("A", ISA, "B")
+        db.add("B", ISA, "C")
+        assert db.hierarchy().generalizes("C", "A")
+        db.remove_fact(Fact("B", ISA, "C"))
+        assert not db.hierarchy().generalizes("C", "A")
+
+
+# ----------------------------------------------------------------------
+# Property: DRed equals recomputation for arbitrary add/remove
+# sequences with reads interleaved.
+# ----------------------------------------------------------------------
+_entities = st.sampled_from(["A", "B", "C", "D"])
+_relationships = st.sampled_from(["R", "S", ISA, MEMBER, SYN, INV])
+_facts = st.builds(Fact, _entities, _relationships, _entities)
+
+
+@settings(max_examples=40, deadline=None)
+@given(initial=st.lists(_facts, min_size=1, max_size=10),
+       removals=st.lists(st.integers(0, 9), max_size=5))
+def test_dred_equals_recomputation(initial, removals):
+    incremental = Database(with_axioms=False)
+    incremental.add_facts(initial)
+    incremental.closure()  # materialize before deleting
+    survivors = list(dict.fromkeys(initial))
+    for index in removals:
+        if not survivors:
+            break
+        target = survivors[index % len(survivors)]
+        survivors.remove(target)
+        incremental.remove_fact(target)
+        incremental.closure()
+    fresh = Database(with_axioms=False)
+    fresh.add_facts(survivors)
+    assert set(incremental.closure().store) == set(fresh.closure().store)
+
+
+@settings(max_examples=25, deadline=None)
+@given(initial=st.lists(_facts, min_size=2, max_size=10),
+       flips=st.lists(st.tuples(st.booleans(), st.integers(0, 9)),
+                      max_size=8))
+def test_mixed_add_remove_equals_recomputation(initial, flips):
+    """Random interleavings of insertion (extend) and deletion (DRed)
+    against the same final state recomputed fresh."""
+    incremental = Database(with_axioms=False)
+    incremental.add_facts(initial)
+    present = list(dict.fromkeys(initial))
+    extra_pool = [Fact("E", "R", e) for e in ("A", "B", "C", "D")]
+    for add, index in flips:
+        incremental.closure()
+        if add:
+            fact = extra_pool[index % len(extra_pool)]
+            if fact not in present:
+                present.append(fact)
+            incremental.add_fact(fact)
+        elif present:
+            fact = present[index % len(present)]
+            present.remove(fact)
+            incremental.remove_fact(fact)
+    fresh = Database(with_axioms=False)
+    fresh.add_facts(present)
+    assert set(incremental.closure().store) == set(fresh.closure().store)

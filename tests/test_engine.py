@@ -1,0 +1,258 @@
+"""Closure engine tests: every §3 inference the paper works through,
+evaluated on both engines, plus engine-equivalence properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import INV, ISA, MEMBER, SYN
+from repro.core.facts import Fact, Template, var
+from repro.core.store import FactStore
+from repro.rules.builtin import STANDARD_RULES
+from repro.rules.engine import naive_closure, semi_naive_closure
+from repro.rules.rule import RelationshipClassifier, Rule, RuleContext
+
+X, Y = var("x"), var("y")
+
+
+def close(facts, rules=None, engine=semi_naive_closure):
+    store = FactStore(facts)
+    context = RuleContext(classifier=RelationshipClassifier(store))
+    return engine(facts, STANDARD_RULES if rules is None else rules, context)
+
+
+@pytest.fixture(params=[naive_closure, semi_naive_closure],
+                ids=["naive", "semi-naive"])
+def engine(request):
+    return request.param
+
+
+class TestGeneralizationInference:
+    """§3.1 — the three rules, each with the paper's own example."""
+
+    def test_source_specialization(self, engine):
+        result = close([
+            Fact("EMPLOYEE", "WORKS-FOR", "DEPARTMENT"),
+            Fact("MANAGER", ISA, "EMPLOYEE"),
+        ], engine=engine)
+        assert Fact("MANAGER", "WORKS-FOR", "DEPARTMENT") in result.store
+
+    def test_target_generalization(self, engine):
+        result = close([
+            Fact("EMPLOYEE", "EARNS", "SALARY"),
+            Fact("SALARY", ISA, "COMPENSATION"),
+        ], engine=engine)
+        assert Fact("EMPLOYEE", "EARNS", "COMPENSATION") in result.store
+
+    def test_relationship_generalization(self, engine):
+        result = close([
+            Fact("JOHN", "WORKS-FOR", "SHIPPING"),
+            Fact("WORKS-FOR", ISA, "IS-PAID-BY"),
+        ], engine=engine)
+        assert Fact("JOHN", "IS-PAID-BY", "SHIPPING") in result.store
+
+    def test_transitivity(self, engine):
+        result = close([
+            Fact("A", ISA, "B"), Fact("B", ISA, "C"), Fact("C", ISA, "D"),
+        ], engine=engine)
+        assert Fact("A", ISA, "C") in result.store
+        assert Fact("A", ISA, "D") in result.store
+
+    def test_class_relationship_not_inherited(self, engine):
+        """§2.2: TOTAL-NUMBER characterizes the aggregate, so it must
+        not propagate to subclasses or instances."""
+        result = close([
+            Fact("EMPLOYEE", "TOTAL-NUMBER", "180"),
+            Fact("TOTAL-NUMBER", MEMBER, "CLASS-RELATIONSHIP"),
+            Fact("MANAGER", ISA, "EMPLOYEE"),
+            Fact("JOHN", MEMBER, "EMPLOYEE"),
+        ], engine=engine)
+        assert Fact("MANAGER", "TOTAL-NUMBER", "180") not in result.store
+        assert Fact("JOHN", "TOTAL-NUMBER", "180") not in result.store
+
+
+class TestMembershipInference:
+    """§3.2 — both rules with the paper's examples."""
+
+    def test_member_inherits_class_fact(self, engine):
+        result = close([
+            Fact("JOHN", MEMBER, "EMPLOYEE"),
+            Fact("EMPLOYEE", "WORKS-FOR", "DEPARTMENT"),
+        ], engine=engine)
+        assert Fact("JOHN", "WORKS-FOR", "DEPARTMENT") in result.store
+
+    def test_target_abstracts_to_class(self, engine):
+        result = close([
+            Fact("TOM", "WORKS-FOR", "SHIPPING"),
+            Fact("SHIPPING", MEMBER, "DEPARTMENT"),
+        ], engine=engine)
+        assert Fact("TOM", "WORKS-FOR", "DEPARTMENT") in result.store
+
+    def test_membership_climbs_generalization(self, engine):
+        result = close([
+            Fact("JOHN", MEMBER, "EMPLOYEE"),
+            Fact("EMPLOYEE", ISA, "PERSON"),
+        ], engine=engine)
+        assert Fact("JOHN", MEMBER, "PERSON") in result.store
+
+    def test_membership_does_not_chain_through_membership(self, engine):
+        """An instance of an instance is not an instance (§2.3's
+        book/copy example)."""
+        result = close([
+            Fact("COPY1", MEMBER, "ISBN-914894"),
+            Fact("ISBN-914894", MEMBER, "BOOK"),
+        ], engine=engine)
+        assert Fact("COPY1", MEMBER, "BOOK") not in result.store
+
+
+class TestSynonymInference:
+    """§3.3 — substitution in every position, symmetry, transitivity."""
+
+    def test_substitution_in_source(self, engine):
+        result = close([
+            Fact("JOHN", SYN, "JOHNNY"),
+            Fact("JOHN", "EARNS", "$25000"),
+        ], engine=engine)
+        assert Fact("JOHNNY", "EARNS", "$25000") in result.store
+
+    def test_substitution_in_relationship(self, engine):
+        result = close([
+            Fact("SALARY", SYN, "WAGE"),
+            Fact("JOHN", "SALARY", "$25000"),
+        ], engine=engine)
+        assert Fact("JOHN", "WAGE", "$25000") in result.store
+
+    def test_substitution_in_target(self, engine):
+        result = close([
+            Fact("USC", SYN, "SOUTHERN-CAL"),
+            Fact("JAKE", "ATTENDED", "USC"),
+        ], engine=engine)
+        assert Fact("JAKE", "ATTENDED", "SOUTHERN-CAL") in result.store
+
+    def test_substitution_into_membership_facts(self, engine):
+        result = close([
+            Fact("JOHN", SYN, "JOHNNY"),
+            Fact("JOHN", MEMBER, "EMPLOYEE"),
+        ], engine=engine)
+        assert Fact("JOHNNY", MEMBER, "EMPLOYEE") in result.store
+
+    def test_symmetry(self, engine):
+        result = close([Fact("SALARY", SYN, "WAGE")], engine=engine)
+        assert Fact("WAGE", SYN, "SALARY") in result.store
+
+    def test_transitivity_through_shared_synonym(self, engine):
+        """The paper's example: WAGE ≈ PAY from SALARY ≈ WAGE and
+        SALARY ≈ PAY."""
+        result = close([
+            Fact("SALARY", SYN, "WAGE"),
+            Fact("SALARY", SYN, "PAY"),
+        ], engine=engine)
+        assert Fact("WAGE", SYN, "PAY") in result.store
+
+    def test_synonym_implies_mutual_generalization(self, engine):
+        result = close([Fact("A", SYN, "B")], engine=engine)
+        assert Fact("A", ISA, "B") in result.store
+        assert Fact("B", ISA, "A") in result.store
+
+    def test_mutual_generalization_implies_synonym(self, engine):
+        result = close([
+            Fact("A", ISA, "B"), Fact("B", ISA, "A"),
+        ], engine=engine)
+        assert Fact("A", SYN, "B") in result.store
+
+
+class TestInversionInference:
+    """§3.4 — with the ↔ axiom making inversion facts come in pairs."""
+
+    AXIOMS = [Fact(INV, INV, INV)]
+
+    def test_basic_inversion(self, engine):
+        result = close(self.AXIOMS + [
+            Fact("INSTRUCTOR", "TEACHES", "COURSE"),
+            Fact("TEACHES", INV, "TAUGHT-BY"),
+        ], engine=engine)
+        assert Fact("COURSE", "TAUGHT-BY", "INSTRUCTOR") in result.store
+
+    def test_inversion_fact_pairs(self, engine):
+        result = close(self.AXIOMS + [
+            Fact("TEACHES", INV, "TAUGHT-BY"),
+        ], engine=engine)
+        assert Fact("TAUGHT-BY", INV, "TEACHES") in result.store
+
+    def test_round_trip_through_both_directions(self, engine):
+        result = close(self.AXIOMS + [
+            Fact("COURSE", "TAUGHT-BY", "INSTRUCTOR"),
+            Fact("TEACHES", INV, "TAUGHT-BY"),
+        ], engine=engine)
+        assert Fact("INSTRUCTOR", "TEACHES", "COURSE") in result.store
+
+    def test_contradiction_symmetry(self, engine):
+        result = close([Fact("LOVES", "⊥", "HATES")], engine=engine)
+        assert Fact("HATES", "⊥", "LOVES") in result.store
+
+
+class TestEngineMechanics:
+    def test_iterations_reported(self):
+        result = close([
+            Fact("A", ISA, "B"), Fact("B", ISA, "C"), Fact("C", ISA, "D"),
+        ])
+        assert result.iterations >= 2
+        assert result.derived_count == result.total - result.base_count
+
+    def test_rule_firings_recorded(self):
+        result = close([
+            Fact("A", ISA, "B"), Fact("B", ISA, "C"),
+        ])
+        assert result.rule_firings["gen-transitive"] >= 1
+
+    def test_max_iterations_caps_work(self):
+        chain = [Fact(f"N{i}", ISA, f"N{i+1}") for i in range(10)]
+        capped = close(chain)
+        limited = semi_naive_closure(
+            chain, STANDARD_RULES,
+            RuleContext(classifier=RelationshipClassifier(FactStore(chain))),
+            max_iterations=1)
+        assert len(limited.store) < len(capped.store)
+
+    def test_no_rules_means_no_derivation(self):
+        result = close([Fact("A", "R", "B")], rules=[])
+        assert result.derived_count == 0
+        assert result.iterations <= 1
+
+    def test_multi_head_rule(self, engine):
+        rule = Rule(name="pair", body=(Template(X, "R", Y),),
+                    head=(Template(X, "LEFT", Y), Template(Y, "RIGHT", X)))
+        store = [Fact("A", "R", "B")]
+        context = RuleContext(
+            classifier=RelationshipClassifier(FactStore(store)))
+        result = engine(store, [rule], context)
+        assert Fact("A", "LEFT", "B") in result.store
+        assert Fact("B", "RIGHT", "A") in result.store
+
+
+# ----------------------------------------------------------------------
+# Property: the two engines compute identical closures.
+# ----------------------------------------------------------------------
+_entities = st.sampled_from(["A", "B", "C", "D", "E"])
+_relationships = st.sampled_from(["R", "S", ISA, MEMBER, SYN])
+_random_facts = st.lists(
+    st.builds(Fact, _entities, _relationships, _entities), max_size=14)
+
+
+@settings(max_examples=40, deadline=None)
+@given(facts=_random_facts)
+def test_engines_agree(facts):
+    naive = close(facts, engine=naive_closure)
+    semi = close(facts, engine=semi_naive_closure)
+    assert set(naive.store) == set(semi.store)
+
+
+@settings(max_examples=30, deadline=None)
+@given(facts=_random_facts)
+def test_closure_is_monotone_and_idempotent(facts):
+    once = close(facts)
+    again = close(list(once.store))
+    assert set(facts) <= set(once.store)
+    assert set(again.store) == set(once.store)

@@ -1,0 +1,137 @@
+"""Unit tests for repro.core.entities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import (
+    BOTTOM,
+    CONTRA,
+    EQ,
+    GE,
+    GT,
+    INV,
+    ISA,
+    LE,
+    LT,
+    MATH_RELATIONSHIPS,
+    MEMBER,
+    NE,
+    SPECIAL_RELATIONSHIPS,
+    SYN,
+    TOP,
+    compose_relationship,
+    composition_length,
+    is_composed,
+    is_math_relationship,
+    is_numeric,
+    is_special_relationship,
+    numeric_value,
+    validate_entity,
+)
+from repro.core.errors import EntityError
+
+
+class TestValidateEntity:
+    def test_accepts_plain_names(self):
+        assert validate_entity("JOHN") == "JOHN"
+
+    def test_accepts_symbols_and_digits(self):
+        assert validate_entity("PC#9-WAM") == "PC#9-WAM"
+        assert validate_entity("$25000") == "$25000"
+
+    def test_accepts_special_glyphs(self):
+        for glyph in (ISA, MEMBER, SYN, INV, CONTRA, TOP, BOTTOM):
+            assert validate_entity(glyph) == glyph
+
+    def test_rejects_empty(self):
+        with pytest.raises(EntityError):
+            validate_entity("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(EntityError):
+            validate_entity(25000)
+
+    def test_rejects_surrounding_whitespace(self):
+        with pytest.raises(EntityError):
+            validate_entity(" JOHN")
+        with pytest.raises(EntityError):
+            validate_entity("JOHN ")
+
+    def test_rejects_newlines(self):
+        with pytest.raises(EntityError):
+            validate_entity("JO\nHN")
+
+    def test_allows_interior_spaces(self):
+        assert validate_entity("NEW YORK") == "NEW YORK"
+
+
+class TestSpecialSets:
+    def test_math_subset_of_special(self):
+        assert MATH_RELATIONSHIPS <= SPECIAL_RELATIONSHIPS
+
+    def test_special_relationship_predicate(self):
+        assert is_special_relationship(ISA)
+        assert is_special_relationship(LT)
+        assert not is_special_relationship("LIKES")
+
+    def test_math_predicate(self):
+        for comparator in (LT, GT, EQ, NE, LE, GE):
+            assert is_math_relationship(comparator)
+        assert not is_math_relationship(ISA)
+
+    def test_top_bottom_not_relationships(self):
+        assert TOP not in SPECIAL_RELATIONSHIPS
+        assert BOTTOM not in SPECIAL_RELATIONSHIPS
+
+
+class TestNumericValue:
+    def test_plain_integer(self):
+        assert numeric_value("25000") == 25000
+
+    def test_dollar_prefix(self):
+        assert numeric_value("$25000") == 25000
+
+    def test_thousands_separators(self):
+        assert numeric_value("$25,000") == 25000
+
+    def test_float(self):
+        assert numeric_value("2.6") == 2.6
+
+    def test_negative(self):
+        assert numeric_value("-5") == -5
+
+    def test_non_numeric_is_none(self):
+        assert numeric_value("JOHN") is None
+
+    def test_bare_dollar_is_none(self):
+        assert numeric_value("$") is None
+
+    def test_inf_nan_are_names_not_numbers(self):
+        assert numeric_value("inf") is None
+        assert numeric_value("nan") is None
+        assert numeric_value("-inf") is None
+
+    def test_is_numeric(self):
+        assert is_numeric("$27000")
+        assert not is_numeric("SHIPPING")
+
+
+class TestComposition:
+    def test_compose_relationship_name(self):
+        name = compose_relationship("ENROLLED-IN", "CS100", "TAUGHT-BY")
+        assert name == "ENROLLED-IN.CS100.TAUGHT-BY"
+
+    def test_is_composed(self):
+        assert is_composed("ENROLLED-IN.CS100.TAUGHT-BY")
+        assert not is_composed("ENROLLED-IN")
+
+    def test_composition_length_primitive(self):
+        assert composition_length("LIKES") == 1
+
+    def test_composition_length_single(self):
+        assert composition_length("A.B.C") == 2
+
+    def test_composition_length_nested(self):
+        nested = compose_relationship("A.B.C", "D", "E")
+        assert composition_length(nested) == 3

@@ -1,0 +1,194 @@
+"""Error-path and edge-case tests across the library: the behaviors a
+downstream user hits when they hold something wrong."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import ISA, MEMBER, TOP
+from repro.core.errors import (
+    EntityError,
+    ParseError,
+    QueryError,
+    ReproError,
+    RuleError,
+    StorageError,
+    TemplateError,
+)
+from repro.core.facts import Fact, Template, var
+from repro.db import Database
+from repro.query.parser import parse_query, parse_template
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("error_type", [
+        EntityError, ParseError, QueryError, RuleError, StorageError,
+        TemplateError,
+    ])
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_parse_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_template("(A, B)")
+        assert info.value.position >= 0
+
+    def test_provenance_error_is_repro_error(self):
+        from repro.rules.provenance import ProvenanceError
+
+        assert issubclass(ProvenanceError, ReproError)
+        assert issubclass(ProvenanceError, LookupError)
+
+
+class TestDatabaseEdgeCases:
+    def test_query_on_empty_database(self):
+        db = Database(with_axioms=False)
+        assert db.query("(x, R, y)") == set()
+        assert db.navigate("(A, *, *)").is_empty()
+
+    def test_probe_on_empty_database(self):
+        db = Database(with_axioms=False)
+        result = db.probe("(A, R, B)")
+        assert not result.succeeded
+        assert result.exhausted
+        assert set(result.unknown_entities) == {"A", "R", "B"}
+
+    def test_entity_with_spaces_roundtrips(self):
+        db = Database()
+        db.add("NEW YORK", "∈", "CITY")
+        assert db.query('(x, in, CITY)') == {("NEW YORK",)}
+        assert db.query('("NEW YORK", in, c)') == {("CITY",)}
+
+    def test_unicode_entities(self):
+        db = Database()
+        db.add("Müller", "WOHNT-IN", "Köln")
+        assert db.ask('(Müller, WOHNT-IN, Köln)')
+
+    def test_numeric_entity_as_source(self):
+        db = Database()
+        db.add("25000", "∈", "SALARY")
+        assert db.ask("(25000, <, 30000)")
+        assert db.ask("(25000, in, SALARY)")
+
+    def test_self_referential_fact(self):
+        db = Database()
+        db.add("NARCISSUS", "LOVES", "NARCISSUS")
+        assert db.query("(x, LOVES, x)") == {("NARCISSUS",)}
+
+    def test_entity_equal_to_relationship_name(self):
+        """Loose heaps allow the same entity in every position."""
+        db = Database()
+        db.add("LOVES", "∈", "EMOTION")
+        db.add("JOHN", "LOVES", "MARY")
+        assert db.ask("(LOVES, in, EMOTION)")
+        assert db.ask("(JOHN, LOVES, MARY)")
+
+    def test_large_entity_names(self):
+        db = Database()
+        big = "X" * 5000
+        db.add(big, "R", "B")
+        assert db.ask(f"({big}, R, B)")
+
+    def test_relation_operator_on_empty_class(self, paper_db):
+        table = paper_db.relation("GHOST-CLASS", ("EARNS", "SALARY"))
+        assert len(table) == 0
+        assert "GHOST-CLASS" in table.render()
+
+    def test_navigate_unknown_entity(self, paper_db):
+        assert paper_db.navigate("(MARTIAN, *, *)").is_empty()
+
+    def test_try_on_relationship_entity(self, paper_db):
+        facts = paper_db.try_("EARNS")
+        assert any(f.relationship == "EARNS" for f in facts)
+
+
+class TestQueryEdgeCases:
+    def test_conjunction_of_identical_atoms(self, paper_db):
+        value = paper_db.query("(JOHN, EARNS, y) and (JOHN, EARNS, y)")
+        assert value == paper_db.query("(JOHN, EARNS, y)")
+
+    def test_deeply_nested_parentheses(self, paper_db):
+        value = paper_db.query("(((((JOHN, EARNS, y)))))")
+        assert ("$26000",) in value
+
+    def test_exists_over_unused_variable(self, paper_db):
+        # ∃q over a body not mentioning q: q ranges over the domain,
+        # so the query succeeds iff the body does.
+        assert paper_db.query(
+            "exists q: (JOHN, EARNS, y)") == paper_db.query(
+            "(JOHN, EARNS, y)")
+
+    def test_comparator_between_non_numbers_matches_nothing(self,
+                                                            paper_db):
+        assert paper_db.query("(JOHN, <, y)") == set()
+
+    def test_top_entity_in_query(self, paper_db):
+        # (JOHN, EARNS, Δ): earns anything at all.
+        assert paper_db.ask(f"(JOHN, EARNS, {TOP})")
+        assert not paper_db.ask(f"(NOBODY, EARNS, {TOP})")
+
+    def test_query_variable_shadowing_inner_exists(self, paper_db):
+        value = paper_db.query(
+            "(x, in, EMPLOYEE) and (exists x: (x, in, DEPARTMENT))")
+        assert value == paper_db.query("(x, in, EMPLOYEE)")
+
+
+class TestMutationEdgeCases:
+    def test_remove_axiom_fact(self):
+        from repro.db import AXIOM_FACTS
+
+        db = Database()
+        assert db.remove_fact(AXIOM_FACTS[0])
+        assert AXIOM_FACTS[0] not in db.facts
+
+    def test_readd_after_remove(self):
+        db = Database()
+        fact = Fact("A", "R", "B")
+        db.add_fact(fact)
+        db.closure()
+        db.remove_fact(fact)
+        db.add_fact(fact)
+        assert db.ask("(A, R, B)")
+
+    def test_remove_derived_fact_is_noop(self):
+        """Only stored facts can be removed; a derived fact is not in
+        the base heap."""
+        db = Database()
+        db.add("JOHN", MEMBER, "EMPLOYEE")
+        db.add("EMPLOYEE", "EARNS", "SALARY")
+        derived = Fact("JOHN", "EARNS", "SALARY")
+        assert derived in db
+        assert not db.remove_fact(derived)
+        assert derived in db
+
+    def test_interleaved_limit_changes(self):
+        db = Database()
+        db.add("A", "R", "B")
+        db.add("B", "S", "C")
+        for limit, expected in ((1, False), (2, True), (1, False),
+                                (None, True)):
+            db.limit(limit)
+            assert db.ask("(A, R.B.S, C)") is expected
+
+
+class TestShellRobustness:
+    def test_every_command_survives_empty_args(self, music_db):
+        from repro.shell import BrowserShell
+
+        shell = BrowserShell(music_db)
+        for command in ("go", "incoming", "between", "paths", "try",
+                        "query", "ask", "explain", "why", "probe",
+                        "select", "relation", "function", "add",
+                        "remove", "limit", "include", "exclude",
+                        "rule", "export", "import"):
+            output = shell.execute(command)
+            assert isinstance(output, str) and output, command
+
+    def test_garbage_input(self, music_db):
+        from repro.shell import BrowserShell
+
+        shell = BrowserShell(music_db)
+        for line in ("((((", "'unclosed", "add A", "limit -3"):
+            output = shell.execute(line)
+            assert isinstance(output, str)
+            assert not shell.done

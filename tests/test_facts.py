@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.facts: facts, templates, matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TemplateError
+from repro.core.facts import (
+    Fact,
+    Template,
+    Variable,
+    fact,
+    iter_components,
+    template,
+    var,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert {Variable("x"), Variable("x")} == {Variable("x")}
+
+    def test_var_helper(self):
+        assert var("x") == Variable("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TemplateError):
+            Variable("")
+
+    def test_repr(self):
+        assert repr(Variable("x")) == "?x"
+
+
+class TestFact:
+    def test_positions(self):
+        f = fact("JOHN", "EARNS", "$25000")
+        assert f.source == "JOHN"
+        assert f.relationship == "EARNS"
+        assert f.target == "$25000"
+
+    def test_is_tuple(self):
+        assert tuple(fact("A", "R", "B")) == ("A", "R", "B")
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            fact("", "R", "B")
+
+    def test_iter_components(self):
+        f = fact("A", "R", "B")
+        assert list(iter_components(f)) == [
+            ("source", "A"), ("relationship", "R"), ("target", "B")]
+
+
+class TestTemplateBasics:
+    def test_ground_detection(self):
+        assert template("A", "R", "B").is_ground()
+        assert not template(var("x"), "R", "B").is_ground()
+
+    def test_to_fact(self):
+        assert template("A", "R", "B").to_fact() == Fact("A", "R", "B")
+
+    def test_to_fact_rejects_variables(self):
+        with pytest.raises(TemplateError):
+            template(var("x"), "R", "B").to_fact()
+
+    def test_variables_in_order_with_duplicates(self):
+        t = template(var("x"), "R", var("x"))
+        assert t.variables() == (var("x"), var("x"))
+        assert t.variable_set() == frozenset({var("x")})
+
+    def test_validation_of_entities(self):
+        with pytest.raises(Exception):
+            template("  bad", "R", "B")
+
+
+class TestTemplateMatching:
+    def test_exact_match(self):
+        t = template("A", "R", "B")
+        assert t.match(Fact("A", "R", "B")) == {}
+        assert t.match(Fact("A", "R", "C")) is None
+
+    def test_binds_variables(self):
+        t = template(var("x"), "R", var("y"))
+        binding = t.match(Fact("A", "R", "B"))
+        assert binding == {var("x"): "A", var("y"): "B"}
+
+    def test_repeated_variable_requires_equal_entities(self):
+        t = template(var("x"), "CITES", var("x"))
+        assert t.match(Fact("B1", "CITES", "B1")) == {var("x"): "B1"}
+        assert t.match(Fact("B1", "CITES", "B2")) is None
+
+    def test_respects_existing_binding(self):
+        t = template(var("x"), "R", var("y"))
+        bound = t.match(Fact("A", "R", "B"), {var("x"): "A"})
+        assert bound == {var("x"): "A", var("y"): "B"}
+        assert t.match(Fact("A", "R", "B"), {var("x"): "Z"}) is None
+
+    def test_match_does_not_mutate_input_binding(self):
+        t = template(var("x"), "R", var("y"))
+        binding = {var("x"): "A"}
+        t.match(Fact("A", "R", "B"), binding)
+        assert binding == {var("x"): "A"}
+
+    def test_substitute(self):
+        t = template(var("x"), "R", var("y"))
+        s = t.substitute({var("x"): "A"})
+        assert s == template("A", "R", var("y"))
+
+    def test_substitute_leaves_unbound(self):
+        t = template(var("x"), var("r"), var("y"))
+        s = t.substitute({})
+        assert s == t
+
+    def test_rename(self):
+        t = template(var("x"), "R", var("y"))
+        renamed = t.rename({var("x"): var("x1")})
+        assert renamed == template(var("x1"), "R", var("y"))

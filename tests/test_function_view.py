@@ -1,0 +1,65 @@
+"""Tests for the functional-model view (§6.1) and Database.explain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.operators.ops import FunctionView
+
+
+class TestFunctionView:
+    def test_images(self, paper_db):
+        earns = paper_db.function("EARNS")
+        assert earns("JOHN") == ("$26000", "COMPENSATION", "SALARY")
+
+    def test_unknown_entity_has_no_images(self, paper_db):
+        assert paper_db.function("EARNS")("NOBODY") == ()
+
+    def test_inverse(self, paper_db):
+        earns = paper_db.function("EARNS")
+        assert earns.inverse("$27000") == ("TOM",)
+
+    def test_domain(self, paper_db):
+        works_for = paper_db.function("WORKS-FOR")
+        assert "JOHN" in works_for.domain()
+        assert "MANAGER" in works_for.domain()  # inferred
+
+    def test_single_valued_detection(self):
+        db = Database()
+        db.add("A", "F", "B")
+        db.add("C", "F", "D")
+        assert db.function("F").is_single_valued()
+        db.add("A", "F", "E")
+        assert not db.function("F").is_single_valued()
+
+    def test_items(self):
+        db = Database()
+        db.add("A", "F", "B")
+        db.add("A", "F", "C")
+        assert list(db.function("F").items()) == [("A", ("B", "C"))]
+
+    def test_sees_inferred_facts(self):
+        db = Database()
+        db.add("JOHN", "∈", "EMPLOYEE")
+        db.add("EMPLOYEE", "EARNS", "SALARY")
+        assert db.function("EARNS")("JOHN") == ("SALARY",)
+
+    def test_standalone_construction(self, paper_db):
+        view = FunctionView(paper_db.view(), "WORKS-FOR")
+        assert "SHIPPING" in view("JOHN")
+
+
+class TestDatabaseExplain:
+    def test_render(self, paper_db):
+        text = paper_db.explain(
+            "(x, EARNS, y) and (JOHN, WORKS-FOR, x)").render()
+        assert "safety: ok" in text
+        assert "initial conjunct order" in text
+
+    def test_explains_probe_style_query(self, university_db):
+        from repro.datasets import university
+
+        explanation = university_db.explain(university.STUDENTS_LOVE_FREE)
+        assert explanation.safe
+        assert len(explanation.steps) == 2

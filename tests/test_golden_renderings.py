@@ -1,0 +1,92 @@
+"""Golden-output tests: the paper's tables and menus, byte-for-byte.
+
+The benchmarks assert the *content* of the regenerated tables; these
+tests pin the exact rendered text, so any change to grouping, column
+order, alignment, or menu wording shows up as a diff here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import music, paper, university
+
+GOLDEN_TABLE_1 = """\
+(JOHN, *, *)
+∈            BOSS   FAVORITE-MUSIC  LIKES        WORKS-FOR
+-----------  -----  --------------  -----------  ----------
+EMPLOYEE     PETER  PC#2-PIT        CAT          DEPARTMENT
+MUSIC-LOVER         PC#9-WAM        FELIX        SHIPPING
+PERSON              S#5-LVB         HEALTHCLIFF
+PET-OWNER                           MARY
+                                    MOZART"""
+
+GOLDEN_TABLE_2 = """\
+(PC#9-WAM, *, *)
+∈                      COMPOSED-BY  FAVORITE-OF  PERFORMED-BY
+---------------------  -----------  -----------  ------------
+CLASSICAL-COMPOSITION  MOZART       JOHN         BARENBOIM
+CONCERTO                                         LEOPOLD
+                                                 SIRKIN"""
+
+GOLDEN_TABLE_3 = """\
+(LEOPOLD, *, MOZART)
+FATHER-OF  PERFORMED.PC#9-WAM.COMPOSED-BY
+---------  ------------------------------"""
+
+GOLDEN_MENU = """\
+Query failed. Retrying
+
+1. Success with FRESHMAN instead of STUDENT
+2. Success with CHEAP instead of FREE
+
+You may select"""
+
+GOLDEN_MISSPELLING = """\
+Query failed. Retrying
+
+No such database entities: LUVS
+  (did you mean LOVES?)"""
+
+GOLDEN_RELATION = """\
+EMPLOYEE  WORKS-FOR DEPARTMENT  EARNS SALARY
+--------  --------------------  ------------
+JOHN      SHIPPING              $26000
+MARY      RECEIVING             $25000
+TOM       ACCOUNTING            $27000"""
+
+
+class TestNavigationGoldens:
+    def test_table_1(self):
+        db = music.load()
+        assert db.navigate("(JOHN, *, *)").render() == GOLDEN_TABLE_1
+
+    def test_table_2(self):
+        db = music.load()
+        assert db.navigate("(PC#9-WAM, *, *)").render() == GOLDEN_TABLE_2
+
+    def test_table_3(self):
+        db = music.load()
+        db.limit(2)
+        assert db.navigate("(LEOPOLD, *, MOZART)").render() \
+            == GOLDEN_TABLE_3
+
+
+class TestProbingGoldens:
+    def test_retraction_menu(self):
+        db = university.load()
+        assert db.probe(university.STUDENTS_LOVE_FREE).menu() \
+            == GOLDEN_MENU
+
+    def test_misspelling_menu(self):
+        db = university.load()
+        assert db.probe(university.MISSPELLED).menu() \
+            == GOLDEN_MISSPELLING
+
+
+class TestOperatorGoldens:
+    def test_relation_table(self):
+        db = paper.load()
+        table = db.relation("EMPLOYEE", ("WORKS-FOR", "DEPARTMENT"),
+                            ("EARNS", "SALARY"))
+        assert table.render() == GOLDEN_RELATION

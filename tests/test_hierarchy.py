@@ -1,0 +1,190 @@
+"""Tests for the generalization hierarchy (broadness, §5.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.browse.probe import GeneralizationHierarchy
+from repro.core.entities import BOTTOM, ISA, SYN, TOP
+from repro.core.facts import Fact
+from repro.core.store import FactStore
+from repro.db import Database
+
+
+def hierarchy_of(*pairs, extra_entities=()):
+    facts = [Fact(s, ISA, t) for s, t in pairs]
+    store = FactStore(facts)
+    for entity in extra_entities:
+        store.add(Fact(entity, "SELF", entity))
+    return GeneralizationHierarchy.from_store(store)
+
+
+class TestMinimalGeneralizations:
+    def test_single_parent(self):
+        h = hierarchy_of(("FRESHMAN", "STUDENT"))
+        assert h.minimal_generalizations("FRESHMAN") == {"STUDENT"}
+
+    def test_transitive_parent_not_minimal(self):
+        h = hierarchy_of(("A", "B"), ("B", "C"))
+        assert h.minimal_generalizations("A") == {"B"}
+
+    def test_transitively_closed_input_still_reduced(self):
+        """The hierarchy is built from the closure, where (A,≺,C) is
+        materialized; transitive reduction must recover the covers."""
+        h = hierarchy_of(("A", "B"), ("B", "C"), ("A", "C"))
+        assert h.minimal_generalizations("A") == {"B"}
+
+    def test_multiple_minimal_generalizations(self):
+        """§5.1: an entity may have several minimal generalizations."""
+        h = hierarchy_of(("OPERA", "MUSIC"), ("OPERA", "THEATER"))
+        assert h.minimal_generalizations("OPERA") == {"MUSIC", "THEATER"}
+
+    def test_maximal_entity_generalizes_to_top(self):
+        h = hierarchy_of(("A", "B"))
+        assert h.minimal_generalizations("B") == {TOP}
+
+    def test_isolated_known_entity_generalizes_to_top(self):
+        h = hierarchy_of(("A", "B"), extra_entities=("LONER",))
+        assert h.minimal_generalizations("LONER") == {TOP}
+
+    def test_unknown_entity_never_replaced(self):
+        h = hierarchy_of(("A", "B"))
+        assert h.minimal_generalizations("GHOST") == frozenset()
+
+    def test_top_and_bottom_terminal(self):
+        h = hierarchy_of(("A", "B"))
+        assert h.minimal_generalizations(TOP) == frozenset()
+        assert h.minimal_generalizations(BOTTOM) == frozenset()
+
+    def test_synonyms_are_skipped(self):
+        """Synonyms (mutual ≺) are interchangeable, not broader."""
+        h = hierarchy_of(("JOHN", "JOHNNY"), ("JOHNNY", "JOHN"),
+                         ("JOHN", "PERSON"))
+        assert h.minimal_generalizations("JOHN") == {"PERSON"}
+        assert h.minimal_generalizations("JOHNNY") == {"PERSON"}
+
+
+class TestMinimalSpecializations:
+    def test_single_child(self):
+        h = hierarchy_of(("FRESHMAN", "STUDENT"))
+        assert h.minimal_specializations("STUDENT") == {"FRESHMAN"}
+
+    def test_minimal_entity_specializes_to_bottom(self):
+        h = hierarchy_of(("FRESHMAN", "STUDENT"))
+        assert h.minimal_specializations("FRESHMAN") == {BOTTOM}
+
+    def test_covers_only(self):
+        h = hierarchy_of(("A", "B"), ("B", "C"))
+        assert h.minimal_specializations("C") == {"B"}
+
+    def test_unknown_entity(self):
+        h = hierarchy_of(("A", "B"))
+        assert h.minimal_specializations("GHOST") == frozenset()
+
+    def test_endpoints_terminal(self):
+        h = hierarchy_of(("A", "B"))
+        assert h.minimal_specializations(TOP) == frozenset()
+        assert h.minimal_specializations(BOTTOM) == frozenset()
+
+
+class TestGeneralizes:
+    def test_reflexive(self):
+        h = hierarchy_of(("A", "B"))
+        assert h.generalizes("A", "A")
+
+    def test_direct_and_transitive(self):
+        h = hierarchy_of(("A", "B"), ("B", "C"))
+        assert h.generalizes("B", "A")
+        assert h.generalizes("C", "A")
+        assert not h.generalizes("A", "C")
+
+    def test_top_and_bottom(self):
+        h = hierarchy_of(("A", "B"))
+        assert h.generalizes(TOP, "A")
+        assert h.generalizes("A", BOTTOM)
+
+    def test_synonyms_generalize_each_other(self):
+        h = hierarchy_of(("X", "Y"), ("Y", "X"))
+        assert h.generalizes("X", "Y")
+        assert h.generalizes("Y", "X")
+        assert not h.strictly_generalizes("X", "Y")
+
+    def test_strict_excludes_self(self):
+        h = hierarchy_of(("A", "B"))
+        assert h.strictly_generalizes("B", "A")
+        assert not h.strictly_generalizes("A", "A")
+
+    def test_unrelated(self):
+        h = hierarchy_of(("A", "B"), ("C", "D"))
+        assert not h.generalizes("B", "C")
+
+
+class TestSynonymClass:
+    def test_singleton(self):
+        h = hierarchy_of(("A", "B"))
+        assert h.synonym_class("A") == {"A"}
+
+    def test_cycle_collapses(self):
+        h = hierarchy_of(("X", "Y"), ("Y", "Z"), ("Z", "X"))
+        assert h.synonym_class("X") == {"X", "Y", "Z"}
+
+    def test_unknown(self):
+        h = hierarchy_of(("A", "B"))
+        assert h.synonym_class("GHOST") == {"GHOST"}
+
+
+class TestChainDepth:
+    def test_depths(self):
+        h = hierarchy_of(("A", "B"), ("B", "C"))
+        assert h.generalization_chain_depth("A") == 2
+        assert h.generalization_chain_depth("B") == 1
+        assert h.generalization_chain_depth("C") == 0
+
+
+class TestFromDatabase:
+    def test_database_hierarchy_uses_closure(self):
+        """Synonym facts imply mutual ≺ only in the closure; the
+        hierarchy must see them."""
+        db = Database()
+        db.add("JOHN", SYN, "JOHNNY")
+        db.add("JOHN", ISA, "PERSON")
+        h = db.hierarchy()
+        assert h.synonym_class("JOHN") == {"JOHN", "JOHNNY"}
+        assert h.minimal_generalizations("JOHNNY") == {"PERSON"}
+
+    def test_knows_covers_active_domain(self):
+        db = Database()
+        db.add("A", "R", "B")
+        h = db.hierarchy()
+        assert h.knows("A") and h.knows("R") and h.knows("B")
+        assert h.knows(TOP) and h.knows(BOTTOM)
+        assert not h.knows("GHOST")
+
+
+# ----------------------------------------------------------------------
+# Property: covers reconstruct reachability on random DAGs.
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(edges=st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)).filter(
+        lambda e: e[0] < e[1]),
+    max_size=15))
+def test_minimal_generalizations_are_minimal(edges):
+    pairs = [(f"N{a}", f"N{b}") for a, b in edges]
+    h = hierarchy_of(*pairs)
+    entities = {e for pair in pairs for e in pair}
+    for entity in entities:
+        covers = h.minimal_generalizations(entity)
+        if covers == {TOP}:
+            continue
+        for cover in covers:
+            assert h.strictly_generalizes(cover, entity)
+            # Minimality: nothing strictly between entity and cover.
+            for other in entities:
+                if other in (entity, cover):
+                    continue
+                between = (h.strictly_generalizes(other, entity)
+                           and h.strictly_generalizes(cover, other))
+                assert not between

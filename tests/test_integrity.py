@@ -1,0 +1,156 @@
+"""Integrity tests: contradictions, constraints-as-rules, auto-check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import CONTRA, GT, MEMBER
+from repro.core.errors import IntegrityError
+from repro.core.facts import Fact, Template, var
+from repro.core.store import FactStore
+from repro.db import Database
+from repro.rules.integrity import (
+    contradictory_pairs,
+    find_contradictions,
+    is_consistent,
+)
+from repro.rules.rule import Rule
+
+X = var("x")
+
+
+class TestFindContradictions:
+    def test_clean_store(self):
+        store = FactStore([Fact("A", "LIKES", "B")])
+        assert find_contradictions(store) == []
+        assert is_consistent(store)
+
+    def test_declared_contradiction(self):
+        store = FactStore([
+            Fact("LOVES", CONTRA, "HATES"),
+            Fact("JOHN", "LOVES", "MARY"),
+            Fact("JOHN", "HATES", "MARY"),
+        ])
+        violations = find_contradictions(store)
+        assert len(violations) == 1
+        assert violations[0].conflicting is not None
+
+    def test_symmetric_declaration_reports_once(self):
+        store = FactStore([
+            Fact("LOVES", CONTRA, "HATES"),
+            Fact("HATES", CONTRA, "LOVES"),
+            Fact("JOHN", "LOVES", "MARY"),
+            Fact("JOHN", "HATES", "MARY"),
+        ])
+        assert len(find_contradictions(store)) == 1
+
+    def test_no_violation_for_different_pairs(self):
+        store = FactStore([
+            Fact("LOVES", CONTRA, "HATES"),
+            Fact("JOHN", "LOVES", "MARY"),
+            Fact("JOHN", "HATES", "SUE"),
+        ])
+        assert is_consistent(store)
+
+    def test_false_math_fact(self):
+        store = FactStore([Fact("5", GT, "8")])
+        violations = find_contradictions(store)
+        assert len(violations) == 1
+        assert violations[0].conflicting is None
+
+    def test_true_math_fact_ok(self):
+        store = FactStore([Fact("8", GT, "5")])
+        assert is_consistent(store)
+
+    def test_contradictory_pairs_listed(self):
+        store = FactStore([Fact("LOVES", CONTRA, "HATES")])
+        assert set(contradictory_pairs(store)) == {("LOVES", "HATES")}
+
+
+class TestDatabaseIntegrity:
+    def test_axioms_make_math_comparators_contradictory(self):
+        db = Database()
+        db.add("JOHN", "AGE", "30")
+        db.add("30", "<", "40")   # true, fine
+        assert db.check_integrity() == []
+        db.add("40", "<", "30")   # false math fact
+        assert db.check_integrity()
+
+    def test_closure_level_contradiction_detected(self):
+        """A contradiction introduced only by inference is caught:
+        synonym substitution derives the clashing fact."""
+        db = Database()
+        db.add("LOVES", CONTRA, "HATES")
+        db.add("JOHN", "LOVES", "MARY")
+        db.add("JOHNNY", "HATES", "MARY")
+        assert db.check_integrity() == []
+        db.add("JOHN", "≈", "JOHNNY")
+        violations = db.check_integrity()
+        assert violations
+
+    def test_verify_raises(self):
+        db = Database()
+        db.add("LOVES", CONTRA, "HATES")
+        db.add("JOHN", "LOVES", "MARY")
+        db.add("JOHN", "HATES", "MARY")
+        with pytest.raises(IntegrityError):
+            db.verify()
+
+    def test_auto_check_rolls_back(self):
+        db = Database(auto_check=True)
+        db.add("LOVES", CONTRA, "HATES")
+        db.add("JOHN", "LOVES", "MARY")
+        with pytest.raises(IntegrityError):
+            db.add("JOHN", "HATES", "MARY")
+        assert Fact("JOHN", "HATES", "MARY") not in db.facts
+        assert db.check_integrity() == []
+
+    def test_constraint_rule_flags_bad_data(self):
+        """§2.5: (x, ∈, AGE) ⇒ (x, >, 0) expressed as an ordinary rule;
+        a negative age then contradicts the mathematical facts."""
+        db = Database()
+        age_positive = Rule(
+            name="age-positive",
+            body=(Template(X, MEMBER, "AGE"),),
+            head=(Template(X, GT, "0"),),
+            is_constraint=True,
+        )
+        db.include(age_positive)
+        db.add("30", MEMBER, "AGE")
+        assert db.check_integrity() == []
+        db.add("-5", MEMBER, "AGE")
+        violations = db.check_integrity()
+        assert any(v.fact == Fact("-5", GT, "0") for v in violations)
+
+    def test_manager_salary_constraint(self):
+        """The paper's §2.5 salary example, as a multi-atom rule."""
+        y, u, v = var("y"), var("u"), var("v")
+        salary_rule = Rule(
+            name="manager-earns-more",
+            body=(
+                Template(X, MEMBER, "EMPLOYEE"),
+                Template(y, MEMBER, "EMPLOYEE"),
+                Template(X, "EARNS", u),
+                Template(y, "EARNS", v),
+                Template(X, "MANAGER", y),
+            ),
+            head=(Template(u, GT, v),),
+            is_constraint=True,
+        )
+        db = Database()
+        db.include(salary_rule)
+        db.declare_class_relationship("EARNS")
+        db.declare_class_relationship("MANAGER")
+        db.add("BOSS", MEMBER, "EMPLOYEE")
+        db.add("WORKER", MEMBER, "EMPLOYEE")
+        db.add("BOSS", "EARNS", "50000")
+        db.add("WORKER", "EARNS", "30000")
+        db.add("BOSS", "MANAGER", "WORKER")
+        assert db.check_integrity() == []
+        # Now invert the salaries: the derived (30000, >, 50000) is a
+        # false mathematical fact.
+        db.remove_fact(Fact("BOSS", "EARNS", "50000"))
+        db.add("BOSS", "EARNS", "20000")
+        assert any(
+            v.fact == Fact("20000", GT, "30000")
+            for v in db.check_integrity())

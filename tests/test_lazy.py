@@ -1,0 +1,209 @@
+"""Lazy (tabled, query-driven) inference: equivalence with the
+materialized closure, goal canonicalization, and laziness itself."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import INV, ISA, MEMBER, SYN
+from repro.core.facts import Fact, Template, Variable, var
+from repro.core.store import FactStore
+from repro.db import Database
+from repro.rules.builtin import STANDARD_RULES
+from repro.rules.engine import semi_naive_closure
+from repro.rules.lazy import LazyEngine, canonical_goal
+from repro.rules.rule import RelationshipClassifier, RuleContext
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+
+def _engine(facts, rules=None):
+    store = FactStore(facts)
+    context = RuleContext(classifier=RelationshipClassifier(store))
+    return LazyEngine(store,
+                      STANDARD_RULES if rules is None else rules, context)
+
+
+def _closure(facts):
+    store = FactStore(facts)
+    context = RuleContext(classifier=RelationshipClassifier(store))
+    return semi_naive_closure(facts, STANDARD_RULES, context).store
+
+
+class TestCanonicalGoal:
+    def test_alpha_equivalence(self):
+        assert canonical_goal(Template(X, "R", Y)) == canonical_goal(
+            Template(Z, "R", X))
+
+    def test_repeated_variables_preserved(self):
+        repeated = canonical_goal(Template(X, "R", X))
+        distinct = canonical_goal(Template(X, "R", Y))
+        assert repeated != distinct
+        assert repeated.source == repeated.target
+
+    def test_ground_positions_untouched(self):
+        goal = canonical_goal(Template("JOHN", X, "FELIX"))
+        assert goal.source == "JOHN"
+        assert goal.target == "FELIX"
+
+
+class TestLazyDerivation:
+    def test_membership_inference(self):
+        engine = _engine([
+            Fact("JOHN", MEMBER, "EMPLOYEE"),
+            Fact("EMPLOYEE", "EARNS", "SALARY"),
+        ])
+        facts = set(engine.match(Template("JOHN", "EARNS", X)))
+        assert facts == {Fact("JOHN", "EARNS", "SALARY")}
+
+    def test_transitive_generalization(self):
+        chain = [Fact(f"N{i}", ISA, f"N{i+1}") for i in range(5)]
+        engine = _engine(chain)
+        facts = set(engine.match(Template("N0", ISA, X)))
+        assert Fact("N0", ISA, "N5") in facts
+
+    def test_synonym_substitution(self):
+        engine = _engine([
+            Fact("JOHN", SYN, "JOHNNY"),
+            Fact("JOHN", "EARNS", "$25000"),
+        ])
+        assert Fact("JOHNNY", "EARNS", "$25000") in engine
+
+    def test_inversion(self):
+        engine = _engine([
+            Fact(INV, INV, INV),
+            Fact("INSTRUCTOR", "TEACHES", "COURSE"),
+            Fact("TEACHES", INV, "TAUGHT-BY"),
+        ])
+        assert Fact("COURSE", "TAUGHT-BY", "INSTRUCTOR") in engine
+
+    def test_open_goal_is_full_closure(self):
+        facts = [
+            Fact("A", ISA, "B"), Fact("B", ISA, "C"),
+            Fact("I", MEMBER, "A"),
+        ]
+        engine = _engine(facts)
+        assert set(engine) == set(_closure(facts))
+
+    def test_no_rules_means_base_only(self):
+        facts = [Fact("A", ISA, "B"), Fact("B", ISA, "C")]
+        engine = _engine(facts, rules=[])
+        assert set(engine) == set(facts)
+
+    def test_facts_mentioning(self):
+        engine = _engine([
+            Fact("JOHN", MEMBER, "EMPLOYEE"),
+            Fact("EMPLOYEE", "EARNS", "SALARY"),
+        ])
+        mentioning = engine.facts_mentioning("JOHN")
+        assert Fact("JOHN", "EARNS", "SALARY") in mentioning
+
+
+class TestLaziness:
+    def test_point_query_avoids_full_derivation(self):
+        """A selective query must not derive the whole closure."""
+        facts = [Fact(f"E{i}", "LIKES", f"E{i+1}") for i in range(50)]
+        facts += [Fact(f"E{i}", MEMBER, "THING") for i in range(50)]
+        facts.append(Fact("JOHN", "LIKES", "FELIX"))
+        engine = _engine(facts)
+        list(engine.match(Template("JOHN", "LIKES", X)))
+        closure_size = len(_closure(facts))
+        derived = engine.stats.derived + engine.stats.base_matches
+        assert derived < closure_size / 2
+
+    def test_tables_are_reused(self):
+        engine = _engine([
+            Fact("JOHN", MEMBER, "EMPLOYEE"),
+            Fact("EMPLOYEE", "EARNS", "SALARY"),
+        ])
+        list(engine.match(Template("JOHN", "EARNS", X)))
+        rounds_after_first = engine.stats.rounds
+        list(engine.match(Template("JOHN", "EARNS", X)))
+        assert engine.stats.rounds == rounds_after_first
+
+    def test_nested_consumption_is_safe(self):
+        """Consuming one goal while triggering another (the evaluator's
+        join pattern) neither crashes nor loses answers."""
+        engine = _engine([
+            Fact("A", ISA, "B"), Fact("B", ISA, "C"),
+            Fact("C", "HAS", "D"), Fact("B", "HAS", "E"),
+        ])
+        pairs = set()
+        for isa_fact in engine.match(Template("A", ISA, X)):
+            for has_fact in engine.match(
+                    Template(isa_fact.target, "HAS", Y)):
+                pairs.add((isa_fact.target, has_fact.target))
+        assert ("C", "D") in pairs
+        # gen-source pushes HAS facts down to A's generalizations' ...
+        assert ("B", "E") in pairs
+
+
+class TestDatabaseLazy:
+    def test_query_lazy_equals_query(self, paper_db):
+        for text in (
+            "(JOHN, EARNS, y)",
+            "(MANAGER, WORKS-FOR, y)",
+            "(x, in, EMPLOYEE)",
+            "exists y: (z, in, EMPLOYEE) and (z, EARNS, y)"
+            " and (y, >, 26500)",
+        ):
+            assert paper_db.query_lazy(text) == paper_db.query(text), text
+
+    def test_lazy_engine_cached_and_invalidated(self, paper_db):
+        first = paper_db.lazy_engine()
+        assert paper_db.lazy_engine() is first
+        paper_db.add("NEW", "R", "B")
+        assert paper_db.lazy_engine() is not first
+
+    def test_lazy_sees_virtual_relations(self, paper_db):
+        assert paper_db.query_lazy("(y, >, 26500) and (TOM, EARNS, y)") \
+            == {("$27000",)}
+
+    def test_lazy_view_endpoint_witness(self, university_db):
+        """Retraction-style endpoint templates derive lazily too."""
+        from repro.query.parser import parse_template
+
+        matches = list(university_db.lazy_view().match(
+            parse_template("(JAKE, GRADUATE-OF, TOP)")))
+        assert matches == []  # Jake attended, never graduated
+        matches = list(university_db.lazy_view().match(
+            parse_template("(BOB, GRADUATE-OF, TOP)")))
+        assert matches  # Bob graduated from UCLA
+
+
+# ----------------------------------------------------------------------
+# Property: lazy matching agrees with the materialized closure, for
+# every goal shape, on random heaps.
+# ----------------------------------------------------------------------
+_entities = st.sampled_from(["A", "B", "C", "D"])
+_relationships = st.sampled_from(["R", "S", ISA, MEMBER, SYN])
+_heaps = st.lists(
+    st.builds(Fact, _entities, _relationships, _entities),
+    min_size=1, max_size=12)
+_shapes = st.tuples(st.booleans(), st.booleans(), st.booleans())
+_probes = st.builds(Fact, _entities, _relationships, _entities)
+
+
+def _pattern(shape, probe: Fact) -> Template:
+    names = iter((X, Y, Z))
+    return Template(*[
+        component if keep else next(names)
+        for keep, component in zip(shape, probe)
+    ])
+
+
+@settings(max_examples=50, deadline=None)
+@given(facts=_heaps, shape=_shapes, probe=_probes)
+def test_lazy_matches_materialized(facts, shape, probe):
+    pattern = _pattern(shape, probe)
+    lazy = set(_engine(facts).match(pattern))
+    materialized = set(_closure(facts).match(pattern))
+    assert lazy == materialized
+
+
+@settings(max_examples=25, deadline=None)
+@given(facts=_heaps)
+def test_lazy_full_enumeration_matches(facts):
+    assert set(_engine(facts)) == set(_closure(facts))

@@ -1,0 +1,146 @@
+"""Tests for multi-database merging and bridge suggestion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.facts import Fact
+from repro.datasets import music, paper
+from repro.db import Database
+from repro.merge import (
+    merge,
+    suggest_entity_bridges,
+    suggest_relationship_bridges,
+)
+
+
+class TestMerge:
+    def test_counts(self):
+        target = Database()
+        target.add("A", "R", "B")
+        report = merge(target, [Fact("A", "R", "B"), Fact("C", "S", "D")])
+        assert report.added == 1
+        assert report.duplicates == 1
+        assert report.clean
+
+    def test_merged_facts_queryable(self):
+        target = music.load()
+        report = merge(target, paper.facts())
+        assert report.added > 0
+        assert target.ask("(JOHN, LIKES, FELIX)")        # music
+        assert target.ask("(TOM, WORKS-FOR, ACCOUNTING)")  # paper
+
+    def test_new_contradictions_reported(self):
+        target = Database()
+        target.add("LOVES", "⊥", "HATES")
+        target.add("JOHN", "LOVES", "MARY")
+        report = merge(target, [Fact("JOHN", "HATES", "MARY")])
+        assert not report.clean
+        assert len(report.new_violations) == 1
+        assert "contradictions introduced" in report.render()
+
+    def test_preexisting_contradictions_not_blamed_on_merge(self):
+        target = Database()
+        target.add("LOVES", "⊥", "HATES")
+        target.add("JOHN", "LOVES", "MARY")
+        target.add("JOHN", "HATES", "MARY")  # already broken
+        report = merge(target, [Fact("X", "R", "Y")])
+        assert report.clean
+
+    def test_check_can_be_skipped(self):
+        target = Database()
+        report = merge(target, [Fact("A", "R", "B")], check=False)
+        assert report.added == 1
+        assert report.new_violations == ()
+
+    def test_render(self):
+        target = Database()
+        text = merge(target, [Fact("A", "R", "B")]).render()
+        assert "1 new facts" in text
+        assert "no contradictions" in text
+
+
+class TestEntityBridges:
+    def _two_vocabulary_db(self):
+        db = Database()
+        # Vocabulary 1 knows JOHN; vocabulary 2 calls him JOHNNY and
+        # repeats most of his facts.
+        for fact in [
+            ("JOHN", "LIKES", "FELIX"),
+            ("JOHN", "WORKS-FOR", "SHIPPING"),
+            ("JOHN", "PLAYS", "CHESS"),
+            ("JOHNNY", "LIKES", "FELIX"),
+            ("JOHNNY", "WORKS-FOR", "SHIPPING"),
+            ("JOHNNY", "PLAYS", "CHESS"),
+            ("MARY", "LIKES", "OPERA"),
+        ]:
+            db.add(*fact)
+        return db
+
+    def test_twin_entities_suggested_first(self):
+        db = self._two_vocabulary_db()
+        suggestions = suggest_entity_bridges(db, min_similarity=0.5)
+        assert suggestions
+        top = suggestions[0]
+        assert {top.left, top.right} == {"JOHN", "JOHNNY"}
+        assert top.similarity == 1.0
+        assert top.as_fact() in (Fact("JOHN", "≈", "JOHNNY"),
+                                 Fact("JOHNNY", "≈", "JOHN"))
+
+    def test_dissimilar_entities_not_suggested(self):
+        db = self._two_vocabulary_db()
+        pairs = {
+            frozenset((s.left, s.right))
+            for s in suggest_entity_bridges(db, min_similarity=0.5)
+        }
+        assert frozenset(("JOHN", "MARY")) not in pairs
+
+    def test_universe_restriction(self):
+        db = self._two_vocabulary_db()
+        suggestions = suggest_entity_bridges(
+            db, left_universe=["JOHN"], right_universe=["MARY"],
+            min_similarity=0.0)
+        assert all(s.left == "JOHN" and s.right == "MARY"
+                   for s in suggestions)
+
+    def test_applying_suggestion_unifies(self):
+        db = self._two_vocabulary_db()
+        suggestion = suggest_entity_bridges(db)[0]
+        db.add_fact(suggestion.as_fact())
+        # Add a fact only vocabulary 2 knows; the synonym carries it.
+        db.add("JOHNNY", "OWNS", "BICYCLE")
+        assert db.ask("(JOHN, OWNS, BICYCLE)")
+
+    def test_render(self):
+        db = self._two_vocabulary_db()
+        text = suggest_entity_bridges(db)[0].render()
+        assert "≈" in text and "similarity" in text
+
+
+class TestRelationshipBridges:
+    def test_parallel_relationships_suggested(self):
+        db = Database()
+        for employee, amount in (("A", "100"), ("B", "200"),
+                                 ("C", "300")):
+            db.add(employee, "SALARY", amount)
+            db.add(employee, "WAGE", amount)
+        db.add("D", "AGE", "44")
+        suggestions = suggest_relationship_bridges(db)
+        assert suggestions
+        assert {suggestions[0].left, suggestions[0].right} == {
+            "SALARY", "WAGE"}
+
+    def test_special_relationships_ignored(self):
+        db = Database()
+        db.add("A", "∈", "C")
+        db.add("A", "MEMBER-OF", "C")
+        suggestions = suggest_relationship_bridges(db, min_similarity=0.1)
+        names = {s.left for s in suggestions} | {
+            s.right for s in suggestions}
+        assert "∈" not in names
+
+    def test_threshold_filters(self):
+        db = Database()
+        db.add("A", "R", "B")
+        db.add("C", "S", "D")
+        assert suggest_relationship_bridges(db, min_similarity=0.5) == []

@@ -1,0 +1,161 @@
+"""Navigation tests (§4.1), including the paper's session (E1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.browse.navigation import navigate, star_template
+from repro.core.entities import MEMBER
+from repro.core.facts import Fact, Template, Variable
+from repro.datasets import music
+
+
+class TestStarTemplate:
+    def test_all_free(self):
+        t = star_template()
+        assert all(isinstance(c, Variable) for c in t)
+
+    def test_source_fixed(self):
+        t = star_template(source="JOHN")
+        assert t.source == "JOHN"
+        assert isinstance(t.relationship, Variable)
+
+    def test_distinct_star_variables(self):
+        t = star_template(source="JOHN")
+        assert t.relationship != t.target
+
+
+class TestNavigationGrouping:
+    def test_outgoing_groups_by_relationship(self, music_db):
+        result = music_db.navigate("(JOHN, *, *)")
+        assert result.grouped_by == "target"
+        assert set(result.groups["LIKES"]) == {
+            "CAT", "FELIX", "HEALTHCLIFF", "MARY", "MOZART"}
+
+    def test_membership_column_first(self, music_db):
+        result = music_db.navigate("(JOHN, *, *)")
+        assert result.relationships()[0] == MEMBER
+
+    def test_incoming_groups_sources(self, music_db):
+        result = music_db.navigate("(*, *, MOZART)")
+        assert result.grouped_by == "source"
+        assert "LEOPOLD" in result.groups["FATHER-OF"]
+
+    def test_between_lists_relationships(self, music_db):
+        result = music_db.navigate("(LEOPOLD, *, MOZART)")
+        assert result.grouped_by == "relationship"
+        assert "FATHER-OF" in result.groups
+
+    def test_relationship_fixed_pairs(self, music_db):
+        result = music_db.navigate("(*, LIKES, *)")
+        assert result.grouped_by == "pair"
+        assert ("JOHN", "FELIX") in result.groups["LIKES"]
+
+    def test_empty_result(self, music_db):
+        result = music_db.navigate("(NOBODY, *, *)")
+        assert result.is_empty()
+        assert "(no facts)" in result.render()
+
+    def test_entities_lists_candidates_for_next_step(self, music_db):
+        result = music_db.navigate("(JOHN, *, *)")
+        assert "PC#9-WAM" in result.entities()
+
+
+class TestPaperSession:
+    """E1: the paper's three tables, regenerated."""
+
+    def test_table_1_john(self, music_db):
+        result = music_db.navigate("(JOHN, *, *)")
+        groups = {rel: sorted(values)
+                  for rel, values in result.groups.items()}
+        assert groups == {
+            MEMBER: ["EMPLOYEE", "MUSIC-LOVER", "PERSON", "PET-OWNER"],
+            "LIKES": ["CAT", "FELIX", "HEALTHCLIFF", "MARY", "MOZART"],
+            "WORKS-FOR": ["DEPARTMENT", "SHIPPING"],
+            "BOSS": ["PETER"],
+            "FAVORITE-MUSIC": ["PC#2-PIT", "PC#9-WAM", "S#5-LVB"],
+        }
+
+    def test_table_1_contains_derived_entries(self, music_db):
+        """PERSON, CAT, DEPARTMENT are inferred, not stored."""
+        base = music_db.facts
+        assert Fact("JOHN", MEMBER, "PERSON") not in base
+        assert Fact("JOHN", "LIKES", "CAT") not in base
+        assert Fact("JOHN", "WORKS-FOR", "DEPARTMENT") not in base
+        result = music_db.navigate("(JOHN, *, *)")
+        assert "PERSON" in result.groups[MEMBER]
+        assert "CAT" in result.groups["LIKES"]
+        assert "DEPARTMENT" in result.groups["WORKS-FOR"]
+
+    def test_table_2_concerto(self, music_db):
+        result = music_db.navigate("(PC#9-WAM, *, *)")
+        groups = {rel: sorted(values)
+                  for rel, values in result.groups.items()}
+        assert groups == {
+            MEMBER: ["CLASSICAL-COMPOSITION", "CONCERTO"],
+            "COMPOSED-BY": ["MOZART"],
+            "PERFORMED-BY": ["BARENBOIM", "LEOPOLD", "SIRKIN"],
+            "FAVORITE-OF": ["JOHN"],
+        }
+
+    def test_table_2_favorite_of_is_inverted(self, music_db):
+        assert Fact("PC#9-WAM", "FAVORITE-OF", "JOHN") \
+            not in music_db.facts
+
+    def test_table_3_composed_association(self, music_db):
+        music_db.limit(2)
+        result = music_db.navigate("(LEOPOLD, *, MOZART)")
+        assert sorted(result.groups) == [
+            "FATHER-OF", "PERFORMED.PC#9-WAM.COMPOSED-BY"]
+
+    def test_table_3_requires_composition(self, music_db):
+        result = music_db.navigate("(LEOPOLD, *, MOZART)")
+        assert sorted(result.groups) == ["FATHER-OF"]
+
+    def test_john_to_mozart_composed_paths(self, music_db):
+        """§3.7: (JOHN, x, MARY)-style queries match composed paths."""
+        music_db.limit(2)
+        result = music_db.navigate("(JOHN, *, MOZART)")
+        assert "FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY" in result.groups
+        assert "LIKES" in result.groups
+
+
+class TestSession:
+    def test_history_and_back(self, music_db):
+        session = music_db.session()
+        first = session.visit("JOHN")
+        session.visit("PC#9-WAM")
+        assert len(session.history) == 2
+        assert session.back() is first
+        assert session.back() is None
+        assert session.current is None
+
+    def test_between(self, music_db):
+        session = music_db.session()
+        result = session.between("LEOPOLD", "MOZART")
+        assert "FATHER-OF" in result.groups
+
+    def test_incoming(self, music_db):
+        session = music_db.session()
+        result = session.incoming("FELIX")
+        assert "JOHN" in result.groups["LIKES"]
+
+    def test_query_with_template(self, music_db):
+        session = music_db.session()
+        result = session.query("(*, COMPOSED-BY, *)")
+        assert ("PC#9-WAM", "MOZART") in result.groups["COMPOSED-BY"]
+
+
+class TestRendering:
+    def test_render_has_title_and_columns(self, music_db):
+        text = music_db.navigate("(JOHN, *, *)").render()
+        lines = text.splitlines()
+        assert lines[0] == "(JOHN, *, *)"
+        assert MEMBER in lines[1]
+        assert "LIKES" in lines[1]
+        assert any("FELIX" in line for line in lines)
+
+    def test_render_named_variables_shown(self, music_db):
+        result = music_db.navigate(
+            Template("JOHN", Variable("r"), Variable("t")))
+        assert result.render().splitlines()[0] == "(JOHN, ?r, ?t)"

@@ -1,0 +1,157 @@
+"""Tests for the §6.1 operators: try, relation, define/invoke,
+include/exclude/limit as Database methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import MEMBER
+from repro.core.errors import QueryError
+from repro.core.facts import Fact
+from repro.db import Database
+from repro.datasets import paper
+from repro.operators.definitions import OperatorRegistry
+
+
+class TestTry:
+    def test_finds_entity_in_every_position(self, empty_db):
+        empty_db.add("JOHN", "LIKES", "FELIX")
+        empty_db.add("MARY", "JOHN", "X")       # relationship position
+        empty_db.add("FELIX", "OWNED-BY", "JOHN")
+        facts = empty_db.try_("JOHN")
+        assert Fact("JOHN", "LIKES", "FELIX") in facts
+        assert Fact("MARY", "JOHN", "X") in facts
+        assert Fact("FELIX", "OWNED-BY", "JOHN") in facts
+
+    def test_includes_derived_facts(self, paper_db):
+        facts = paper_db.try_("JOHN")
+        assert Fact("JOHN", "WORKS-FOR", "DEPARTMENT") in facts
+
+    def test_unknown_entity_gives_nothing(self, paper_db):
+        assert paper_db.try_("NOBODY") == []
+
+    def test_results_sorted_and_unique(self, paper_db):
+        facts = paper_db.try_("JOHN")
+        assert facts == sorted(set(facts))
+
+
+class TestRelationOperator:
+    def test_paper_table(self, paper_db):
+        """E5: the §6.1 employee table, exactly."""
+        table = paper_db.relation(
+            "EMPLOYEE", ("WORKS-FOR", "DEPARTMENT"), ("EARNS", "SALARY"))
+        rows = {row.instance: row.cells for row in table.rows}
+        assert rows == {
+            "JOHN": (("SHIPPING",), ("$26000",)),
+            "TOM": (("ACCOUNTING",), ("$27000",)),
+            "MARY": (("RECEIVING",), ("$25000",)),
+        }
+
+    def test_headers(self, paper_db):
+        table = paper_db.relation(
+            "EMPLOYEE", ("WORKS-FOR", "DEPARTMENT"), ("EARNS", "SALARY"))
+        assert table.headers() == [
+            "EMPLOYEE", "WORKS-FOR DEPARTMENT", "EARNS SALARY"]
+
+    def test_render_contains_rows(self, paper_db):
+        text = paper_db.relation(
+            "EMPLOYEE", ("WORKS-FOR", "DEPARTMENT"),
+            ("EARNS", "SALARY")).render()
+        assert "JOHN" in text and "SHIPPING" in text and "$26000" in text
+
+    def test_non_first_normal_form(self, empty_db):
+        """§6.1: cells may hold any number of entities."""
+        empty_db.add("E1", MEMBER, "EMPLOYEE")
+        empty_db.add("D1", MEMBER, "DEPARTMENT")
+        empty_db.add("D2", MEMBER, "DEPARTMENT")
+        empty_db.add("E1", "WORKS-FOR", "D1")
+        empty_db.add("E1", "WORKS-FOR", "D2")
+        table = empty_db.relation("EMPLOYEE", ("WORKS-FOR", "DEPARTMENT"))
+        assert table.rows[0].cells == (("D1", "D2"),)
+
+    def test_empty_cell_rendered_as_dash(self, empty_db):
+        empty_db.add("E1", MEMBER, "EMPLOYEE")
+        table = empty_db.relation("EMPLOYEE", ("WORKS-FOR", "DEPARTMENT"))
+        assert "-" in table.render()
+
+    def test_target_class_filters(self, paper_db):
+        """Values outside the declared target class are excluded — the
+        derived (JOHN, EARNS, SALARY) does not pollute the table."""
+        table = paper_db.relation("EMPLOYEE", ("EARNS", "SALARY"))
+        for row in table.rows:
+            assert "SALARY" not in row.cells[0]
+            assert "COMPENSATION" not in row.cells[0]
+
+
+class TestDefineInvoke:
+    def test_string_operator(self, paper_db):
+        paper_db.define("instances", "(x, in, $1)")
+        assert paper_db.invoke("instances", "EMPLOYEE") == {
+            ("JOHN",), ("TOM",), ("MARY",)}
+
+    def test_multi_argument_operator(self, paper_db):
+        paper_db.define("related", "($1, $2, x)")
+        assert paper_db.invoke("related", "JOHN", "EARNS") == {
+            ("$26000",), ("SALARY",), ("COMPENSATION",)}
+
+    def test_callable_operator(self, paper_db):
+        paper_db.define("fact-count", lambda db: len(db.facts))
+        assert paper_db.invoke("fact-count") == len(paper_db.facts)
+
+    def test_unknown_operator(self, paper_db):
+        with pytest.raises(QueryError):
+            paper_db.invoke("nope")
+
+    def test_placeholder_out_of_range(self, paper_db):
+        paper_db.define("bad", "(x, in, $2)")
+        with pytest.raises(QueryError):
+            paper_db.invoke("bad", "EMPLOYEE")
+
+    def test_arguments_are_quoted(self, paper_db):
+        """Entities with commas/quotes cannot inject syntax."""
+        paper_db.define("instances", "(x, in, $1)")
+        assert paper_db.invoke("instances", 'WEIRD, "NAME') == set()
+
+    def test_registry_names(self):
+        registry = OperatorRegistry()
+        registry.define("a", "(x, R, $1)")
+        registry.define("b", lambda db: None)
+        assert registry.names() == ["a", "b"]
+        registry.undefine("a")
+        assert "a" not in registry
+
+    def test_expand_rejects_callable(self):
+        registry = OperatorRegistry()
+        registry.define("f", lambda db: None)
+        with pytest.raises(QueryError):
+            registry.expand("f", ())
+
+
+class TestIncludeExcludeLimit:
+    def test_exclude_disables_inference(self, paper_db):
+        assert paper_db.ask("(MANAGER, WORKS-FOR, DEPARTMENT)")
+        paper_db.exclude("gen-source")
+        assert not paper_db.ask("(MANAGER, WORKS-FOR, DEPARTMENT)")
+        paper_db.include("gen-source")
+        assert paper_db.ask("(MANAGER, WORKS-FOR, DEPARTMENT)")
+
+    def test_limit_gates_composition(self, empty_db):
+        empty_db.add("TOM", "ENROLLED-IN", "CS100")
+        empty_db.add("CS100", "TAUGHT-BY", "HARRY")
+        composed = "(TOM, ENROLLED-IN.CS100.TAUGHT-BY, HARRY)"
+        assert not empty_db.ask(composed)
+        empty_db.limit(2)
+        assert empty_db.ask(composed)
+        empty_db.limit(1)
+        assert not empty_db.ask(composed)
+
+    def test_limit_validation(self, empty_db):
+        with pytest.raises(ValueError):
+            empty_db.limit(0)
+
+    def test_unlimited(self, empty_db):
+        empty_db.add("A", "R", "B")
+        empty_db.add("B", "R", "C")
+        empty_db.add("C", "R", "D")
+        empty_db.limit(None)
+        assert empty_db.ask("(A, R.B.R.C.R, D)")

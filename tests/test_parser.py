@@ -1,0 +1,166 @@
+"""Tests for the textual query syntax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import GE, ISA, LE, MEMBER, NE, SYN, TOP
+from repro.core.errors import ParseError
+from repro.core.facts import Template, Variable, var
+from repro.query.ast import And, Atom, Exists, ForAll, Or
+from repro.query.parser import parse_formula, parse_query, parse_template
+
+
+class TestTemplates:
+    def test_simple(self):
+        assert parse_template("(JOHN, LIKES, FELIX)") == Template(
+            "JOHN", "LIKES", "FELIX")
+
+    def test_whitespace_flexible(self):
+        assert parse_template("(JOHN,LIKES,FELIX)") == Template(
+            "JOHN", "LIKES", "FELIX")
+
+    def test_stars_become_fresh_variables(self):
+        parsed = parse_template("(JOHN, *, *)")
+        assert parsed.source == "JOHN"
+        assert isinstance(parsed.relationship, Variable)
+        assert isinstance(parsed.target, Variable)
+        assert parsed.relationship != parsed.target
+
+    def test_lowercase_is_variable(self):
+        parsed = parse_template("(x, LIKES, y)")
+        assert parsed.source == var("x")
+        assert parsed.target == var("y")
+
+    def test_repeated_variable_shared(self):
+        parsed = parse_template("(x, CITES, x)")
+        assert parsed.source is not None
+        assert parsed.source == parsed.target
+
+    def test_aliases(self):
+        assert parse_template("(x, in, BOOK)").relationship == MEMBER
+        assert parse_template("(x, IN, BOOK)").relationship == MEMBER
+        assert parse_template("(x, isa, PERSON)").relationship == ISA
+        assert parse_template("(x, syn, y)").relationship == SYN
+        assert parse_template("(x, !=, JOHN)").relationship == NE
+        assert parse_template("(x, <=, 5)").relationship == LE
+        assert parse_template("(x, >=, 5)").relationship == GE
+        assert parse_template("(x, TOP, y)").relationship == TOP
+
+    def test_glyphs_pass_through(self):
+        assert parse_template("(x, ∈, BOOK)").relationship == MEMBER
+        assert parse_template("(x, ≺, PERSON)").relationship == ISA
+
+    def test_quoted_entities(self):
+        parsed = parse_template('(x, EARNS, "$25,000")')
+        assert parsed.target == "$25,000"
+
+    def test_quoted_protects_keywords(self):
+        parsed = parse_template('(x, "in", BOOK)')
+        assert parsed.relationship == "in"
+
+    def test_symbols_in_entities(self):
+        assert parse_template("(PC#9-WAM, *, *)").source == "PC#9-WAM"
+        assert parse_template("(x, EARNS, $25000)").target == "$25000"
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_template("(A, B, C) extra")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ParseError):
+            parse_template("(A, B)")
+        with pytest.raises(ParseError):
+            parse_template("A, B, C")
+
+
+class TestFormulas:
+    def test_conjunction(self):
+        formula = parse_formula("(A, R, B) and (B, S, C)")
+        assert isinstance(formula, And)
+        assert len(formula.parts) == 2
+
+    def test_disjunction(self):
+        formula = parse_formula("(A, R, B) or (B, S, C)")
+        assert isinstance(formula, Or)
+
+    def test_precedence_and_binds_tighter(self):
+        formula = parse_formula("(A,R,B) and (C,S,D) or (E,T,F)")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.parts[0], And)
+
+    def test_parentheses_group(self):
+        formula = parse_formula("(A,R,B) and ((C,S,D) or (E,T,F))")
+        assert isinstance(formula, And)
+        assert isinstance(formula.parts[1], Or)
+
+    def test_exists(self):
+        formula = parse_formula("exists x: (x, R, y)")
+        assert isinstance(formula, Exists)
+        assert formula.variable == var("x")
+
+    def test_exists_scope_extends_right(self):
+        formula = parse_formula("exists x: (x, R, y) and (x, S, z)")
+        assert isinstance(formula, Exists)
+        assert isinstance(formula.body, And)
+
+    def test_forall(self):
+        formula = parse_formula("forall x: (x, R, y)")
+        assert isinstance(formula, ForAll)
+
+    def test_multi_variable_quantifier(self):
+        formula = parse_formula("exists x, y: (x, R, y)")
+        assert isinstance(formula, Exists)
+        assert isinstance(formula.body, Exists)
+
+    def test_keywords_case_insensitive(self):
+        formula = parse_formula("(A,R,B) AND (C,S,D)")
+        assert isinstance(formula, And)
+
+    def test_reserved_words_rejected_as_components(self):
+        with pytest.raises(ParseError):
+            parse_formula("(and, R, B)")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_formula("((A,R,B) and (C,S,D)")
+
+    def test_missing_colon(self):
+        with pytest.raises(ParseError):
+            parse_formula("exists x (x, R, y)")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_formula("")
+
+
+class TestQueries:
+    def test_free_variables_in_appearance_order(self):
+        query = parse_query("(y, R, x) and (x, S, z)")
+        assert query.variables == (var("y"), var("x"), var("z"))
+
+    def test_quantified_variables_not_free(self):
+        query = parse_query("exists x: (x, R, y)")
+        assert query.variables == (var("y"),)
+
+    def test_proposition_detection(self):
+        assert parse_query("(JOHN, LIKES, FELIX)").is_proposition
+        assert not parse_query("(JOHN, LIKES, y)").is_proposition
+
+    def test_star_variables_are_output_columns(self):
+        query = parse_query("(JOHN, *, *)")
+        assert len(query.variables) == 2
+
+    def test_named_before_stars(self):
+        query = parse_query("(JOHN, *, y)")
+        assert query.variables[0] == var("y")
+
+    def test_paper_self_citing_authors(self):
+        text = ("exists x: (x, in, BOOK) and (y, in, PERSON)"
+                " and (x, CITES, x) and (x, AUTHOR, y)")
+        query = parse_query(text)
+        assert query.variables == (var("y"),)
+
+    def test_round_trip_through_str(self):
+        query = parse_query("(JOHN, LIKES, y) and (y, in, CAT)")
+        assert "LIKES" in str(query)

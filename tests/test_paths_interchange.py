@@ -1,0 +1,232 @@
+"""Tests for association paths, interchange format, and diagnosis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.browse.paths import (
+    AssociationPath,
+    association_paths,
+    semantic_distance,
+)
+from repro.core.entities import ISA, MEMBER
+from repro.core.errors import StorageError
+from repro.core.facts import Fact
+from repro.datasets import music
+from repro.db import Database
+from repro.rules.provenance import ProvenanceError
+from repro.shell import BrowserShell
+from repro.storage.interchange import (
+    dumps,
+    format_fact,
+    loads,
+    parse_line,
+    read_facts,
+    write_facts,
+)
+
+
+class TestAssociationPaths:
+    def test_direct_fact_is_length_one(self, music_db):
+        paths = association_paths(music_db.view(), "LEOPOLD", "MOZART",
+                                  max_length=1)
+        assert [p.relationship() for p in paths] == ["FATHER-OF"]
+
+    def test_finds_composed_path_without_composition(self, music_db):
+        """The §4.1 composed association, discovered by search with
+        limit(1) — no composition facts materialized."""
+        assert music_db.composition_limit == 1
+        paths = association_paths(music_db.view(), "LEOPOLD", "MOZART",
+                                  max_length=2)
+        names = {p.relationship() for p in paths}
+        assert names == {"FATHER-OF", "PERFORMED.PC#9-WAM.COMPOSED-BY"}
+
+    def test_path_naming_matches_composition(self, music_db):
+        """Search paths and materialized composition agree on names."""
+        music_db.limit(2)
+        composed = {
+            f.relationship
+            for f in music_db.match("(JOHN, *, MOZART)")
+        }
+        searched = {
+            p.relationship()
+            for p in association_paths(music_db.view(), "JOHN", "MOZART",
+                                       max_length=2)
+        }
+        assert searched == composed
+
+    def test_sorted_by_semantic_distance(self, music_db):
+        paths = association_paths(music_db.view(), "LEOPOLD", "MOZART",
+                                  max_length=2)
+        assert [p.length for p in paths] == sorted(
+            p.length for p in paths)
+
+    def test_special_relationships_not_traversed(self):
+        """≺/∈ facts are not association steps — only ordinary facts
+        (stored or derived) are.  Here only ≺ facts connect A and C."""
+        db = Database()
+        db.add("A", ISA, "B")
+        db.add("B", ISA, "C")
+        assert association_paths(db.view(), "A", "C") == []
+
+    def test_derived_facts_are_steps(self):
+        """Inference shortens semantic distance: gen-source pushes
+        (B, R, C) down to A, so A reaches C in one step."""
+        db = Database()
+        db.add("A", ISA, "B")
+        db.add("B", "R", "C")
+        paths = association_paths(db.view(), "A", "C")
+        assert [p.length for p in paths] == [1]
+
+    def test_simple_paths_only(self):
+        db = Database()
+        db.add("A", "R", "B")
+        db.add("B", "R", "A")
+        db.add("B", "R", "C")
+        paths = association_paths(db.view(), "A", "C", max_length=5)
+        assert len(paths) == 1
+        assert paths[0].length == 2
+
+    def test_limit_stops_early(self, music_db):
+        paths = association_paths(music_db.view(), "JOHN", "MOZART",
+                                  max_length=2, limit=1)
+        assert len(paths) == 1
+
+    def test_entities_and_render(self, music_db):
+        path = association_paths(music_db.view(), "LEOPOLD", "MOZART",
+                                 max_length=1)[0]
+        assert path.entities() == ("LEOPOLD", "MOZART")
+        assert path.render() == "LEOPOLD --FATHER-OF--> MOZART"
+
+    def test_invalid_max_length(self, music_db):
+        with pytest.raises(ValueError):
+            association_paths(music_db.view(), "A", "B", max_length=0)
+
+    def test_semantic_distance(self, music_db):
+        view = music_db.view()
+        assert semantic_distance(view, "LEOPOLD", "MOZART") == 1
+        assert semantic_distance(view, "JOHN", "MOZART") == 1
+        assert semantic_distance(view, "JOHN", "NOBODY") is None
+
+    def test_shell_paths_command(self, music_db):
+        shell = BrowserShell(music_db)
+        output = shell.execute("paths LEOPOLD MOZART 2")
+        assert "--FATHER-OF--> MOZART" in output
+        assert "--PERFORMED--> PC#9-WAM" in output
+        assert shell.execute("paths A B zero").startswith("usage:")
+        assert shell.execute("paths NOBODY NOONE") \
+            == "(no association paths)"
+
+
+class TestInterchange:
+    def test_round_trip(self, music_db):
+        facts = list(music_db.facts)
+        assert set(loads(dumps(facts))) == set(facts)
+
+    def test_quoting(self):
+        fact = Fact('NEW YORK', 'SAYS "HI"', "back\\slash")
+        line = format_fact(fact)
+        assert parse_line(line) == fact
+
+    def test_special_glyphs_unquoted(self):
+        assert format_fact(Fact("A", "≺", "B")) == "A ≺ B"
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# heading\n\nA R B\n  # indented comment\nC S D\n"
+        assert loads(text) == [Fact("A", "R", "B"), Fact("C", "S", "D")]
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(StorageError, match="expected 3"):
+            parse_line("A R", 7)
+        with pytest.raises(StorageError):
+            parse_line("A R B C", 7)
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(StorageError, match="unterminated"):
+            parse_line('A R "oops', 1)
+
+    def test_file_round_trip(self, tmp_path, music_db):
+        path = tmp_path / "heap.facts"
+        count = write_facts(path, music_db.facts, header="music world")
+        assert count == len(music_db.facts)
+        assert set(read_facts(path)) == set(music_db.facts)
+        assert path.read_text().startswith("# music world")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_facts(tmp_path / "nope.facts")
+
+    def test_output_sorted_for_stable_diffs(self):
+        text = dumps([Fact("Z", "R", "A"), Fact("A", "R", "Z")])
+        lines = text.strip().splitlines()
+        assert lines == sorted(lines)
+
+    def test_shell_export_import(self, tmp_path, music_db):
+        shell = BrowserShell(music_db)
+        path = tmp_path / "out.facts"
+        assert shell.execute(f"export {path}").startswith("wrote")
+        fresh = BrowserShell(Database())
+        message = fresh.execute(f"import {path}")
+        assert message == f"added {len(music_db.facts) - 8} new facts" \
+            or message.startswith("added")
+        assert fresh.execute("ask (JOHN, LIKES, FELIX)") == "true"
+
+
+class TestDiagnosis:
+    def _contradictory_db(self, trace=True) -> Database:
+        db = Database(trace=trace)
+        db.add("LOVES", "⊥", "HATES")
+        db.add("JOHN", "≈", "JOHNNY")
+        db.add("JOHN", "LOVES", "MARY")
+        db.add("JOHNNY", "HATES", "MARY")
+        return db
+
+    def test_culprits_are_stored_facts(self):
+        db = self._contradictory_db()
+        diagnoses = db.diagnose()
+        assert diagnoses
+        for diagnosis in diagnoses:
+            for culprit in diagnosis.culprits:
+                assert culprit in db.facts
+
+    def test_synonym_bridge_identified(self):
+        db = self._contradictory_db()
+        culprits = set(db.diagnose()[0].culprits)
+        assert Fact("JOHN", "≈", "JOHNNY") in culprits
+
+    def test_removing_a_culprit_repairs(self):
+        db = self._contradictory_db()
+        db.remove_fact(Fact("JOHN", "≈", "JOHNNY"))
+        assert db.check_integrity() == []
+        assert db.diagnose() == []
+
+    def test_consistent_database_diagnoses_empty(self):
+        db = Database(trace=True)
+        db.add("A", "R", "B")
+        assert db.diagnose() == []
+
+    def test_requires_trace(self):
+        db = self._contradictory_db(trace=False)
+        with pytest.raises(ProvenanceError):
+            db.diagnose()
+
+    def test_render(self):
+        text = self._contradictory_db().diagnose()[0].render()
+        assert "stored facts responsible:" in text
+
+    def test_shell_diagnose(self):
+        shell = BrowserShell(self._contradictory_db())
+        output = shell.execute("diagnose")
+        assert "stored facts responsible:" in output
+
+    def test_shell_diagnose_consistent(self, music_db):
+        shell = BrowserShell(music_db)
+        assert shell.execute("diagnose").startswith("consistent")
+
+    def test_shell_diagnose_without_trace_lists_violations(self):
+        shell = BrowserShell(self._contradictory_db(trace=False))
+        output = shell.execute("diagnose")
+        assert "⊥" in output
+        assert "trace=True" in output

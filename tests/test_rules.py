@@ -1,0 +1,207 @@
+"""Unit tests for rule construction, conditions, and the classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import (
+    CLASS_RELATIONSHIP,
+    INDIVIDUAL_RELATIONSHIP,
+    ISA,
+    MEMBER,
+)
+from repro.core.errors import RuleError, UnknownRuleError
+from repro.core.facts import Fact, Template, var
+from repro.core.store import FactStore
+from repro.rules.builtin import STANDARD_RULES, STANDARD_RULES_BY_NAME
+from repro.rules.registry import RuleRegistry
+from repro.rules.rule import (
+    Distinct,
+    IndividualRelationship,
+    NotSpecial,
+    RelationshipClassifier,
+    Rule,
+    RuleContext,
+)
+
+X, Y, R = var("x"), var("y"), var("r")
+
+
+class TestRuleValidation:
+    def test_valid_rule(self):
+        rule = Rule(name="t", body=(Template(X, "R", Y),),
+                    head=(Template(Y, "R", X),))
+        assert rule.name == "t"
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(RuleError):
+            Rule(name="t", body=(), head=(Template(X, "R", X),))
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(RuleError):
+            Rule(name="t", body=(Template(X, "R", X),), head=())
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(RuleError, match="unsafe"):
+            Rule(name="t", body=(Template(X, "R", X),),
+                 head=(Template(X, "R", Y),))
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(RuleError):
+            Rule(name="", body=(Template(X, "R", X),),
+                 head=(Template(X, "R", X),))
+
+    def test_body_variables(self):
+        rule = Rule(name="t", body=(Template(X, R, Y),),
+                    head=(Template(X, R, Y),))
+        assert rule.body_variables() == frozenset({X, R, Y})
+
+    def test_rename_apart(self):
+        rule = Rule(name="t", body=(Template(X, "R", Y),),
+                    head=(Template(Y, "R", X),),
+                    conditions=(Distinct(X, Y),))
+        renamed = rule.rename_apart("_1")
+        assert renamed.body[0].source == var("x_1")
+        assert renamed.head[0].source == var("y_1")
+        assert renamed.conditions[0].left == var("x_1")
+
+    def test_str_mentions_guards(self):
+        rule = Rule(name="t", body=(Template(X, "R", Y),),
+                    head=(Template(Y, "R", X),),
+                    conditions=(Distinct(X, Y),))
+        assert "≠" in str(rule)
+
+
+class TestClassifier:
+    def _context(self, facts):
+        return RuleContext(classifier=RelationshipClassifier(FactStore(facts)))
+
+    def test_default_is_individual(self):
+        classifier = RelationshipClassifier(FactStore())
+        assert classifier.is_individual("EARNS")
+        assert not classifier.is_class("EARNS")
+
+    def test_declared_class(self):
+        store = FactStore([Fact("TOTAL-NUMBER", MEMBER, CLASS_RELATIONSHIP)])
+        classifier = RelationshipClassifier(store)
+        assert classifier.is_class("TOTAL-NUMBER")
+
+    def test_declared_individual_wins_over_class(self):
+        store = FactStore([
+            Fact("R", MEMBER, CLASS_RELATIONSHIP),
+            Fact("R", MEMBER, INDIVIDUAL_RELATIONSHIP),
+        ])
+        assert RelationshipClassifier(store).is_individual("R")
+
+    def test_member_is_class(self):
+        assert RelationshipClassifier(FactStore()).is_class(MEMBER)
+
+    def test_isa_is_individual(self):
+        assert RelationshipClassifier(FactStore()).is_individual(ISA)
+
+    def test_composed_is_class(self):
+        classifier = RelationshipClassifier(FactStore())
+        assert classifier.is_class("A.B.C")
+
+
+class TestConditions:
+    def _context(self):
+        return RuleContext(classifier=RelationshipClassifier(FactStore()))
+
+    def test_distinct(self):
+        condition = Distinct(X, Y)
+        assert condition.holds({X: "A", Y: "B"}, self._context())
+        assert not condition.holds({X: "A", Y: "A"}, self._context())
+
+    def test_distinct_with_constant(self):
+        condition = Distinct(X, "A")
+        assert not condition.holds({X: "A"}, self._context())
+        assert condition.holds({X: "B"}, self._context())
+
+    def test_distinct_variables(self):
+        assert Distinct(X, "A").variables() == frozenset({X})
+
+    def test_individual_relationship(self):
+        store = FactStore([Fact("C", MEMBER, CLASS_RELATIONSHIP)])
+        context = RuleContext(classifier=RelationshipClassifier(store))
+        condition = IndividualRelationship(R)
+        assert condition.holds({R: "EARNS"}, context)
+        assert not condition.holds({R: "C"}, context)
+
+    def test_not_special(self):
+        condition = NotSpecial(R)
+        assert condition.holds({R: "LIKES"}, self._context())
+        assert not condition.holds({R: ISA}, self._context())
+        assert not condition.holds({R: "<"}, self._context())
+
+
+class TestStandardRules:
+    def test_all_names_unique(self):
+        names = [rule.name for rule in STANDARD_RULES]
+        assert len(names) == len(set(names))
+
+    def test_lookup_by_name(self):
+        assert STANDARD_RULES_BY_NAME["gen-transitive"].name == "gen-transitive"
+
+    def test_every_rule_has_description(self):
+        for rule in STANDARD_RULES:
+            assert rule.description, rule.name
+
+    def test_every_rule_is_safe(self):
+        # Construction would have raised otherwise; assert the invariant
+        # explicitly for documentation value.
+        for rule in STANDARD_RULES:
+            body_vars = rule.body_variables()
+            for head in rule.head:
+                assert head.variable_set() <= body_vars
+
+
+class TestRegistry:
+    def test_standard_rules_enabled_by_default(self):
+        registry = RuleRegistry()
+        assert len(registry) == len(STANDARD_RULES)
+
+    def test_exclude_then_include(self):
+        registry = RuleRegistry()
+        registry.exclude("gen-transitive")
+        assert not registry.is_enabled("gen-transitive")
+        assert len(registry) == len(STANDARD_RULES) - 1
+        registry.include("gen-transitive")
+        assert registry.is_enabled("gen-transitive")
+
+    def test_iteration_yields_enabled_only(self):
+        registry = RuleRegistry()
+        registry.exclude("inversion")
+        assert "inversion" not in [rule.name for rule in registry]
+
+    def test_unknown_rule_raises(self):
+        registry = RuleRegistry()
+        with pytest.raises(UnknownRuleError):
+            registry.exclude("no-such-rule")
+
+    def test_include_registers_new_rule(self):
+        registry = RuleRegistry()
+        custom = Rule(name="custom", body=(Template(X, "R", Y),),
+                      head=(Template(Y, "R", X),))
+        registry.include(custom)
+        assert "custom" in registry
+        assert registry.is_enabled("custom")
+
+    def test_remove(self):
+        registry = RuleRegistry()
+        registry.remove("inversion")
+        assert "inversion" not in registry
+
+    def test_snapshot_restore_roundtrip(self):
+        registry = RuleRegistry()
+        registry.exclude("gen-source")
+        state = registry.snapshot_state()
+        fresh = RuleRegistry()
+        fresh.restore_state(state)
+        assert not fresh.is_enabled("gen-source")
+        assert fresh.is_enabled("gen-target")
+
+    def test_restore_ignores_unknown_names(self):
+        registry = RuleRegistry()
+        registry.restore_state({"ghost-rule": False})
+        assert "ghost-rule" not in registry

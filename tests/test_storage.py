@@ -1,0 +1,218 @@
+"""Storage substrate tests: journal, snapshot, durable sessions,
+crash-recovery behaviors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.facts import Fact
+from repro.db import Database
+from repro.storage.journal import OP_ADD, OP_REMOVE, Journal, JournalEntry
+from repro.storage.session import DurableSession, open_database
+from repro.storage.snapshot import (
+    SnapshotState,
+    read_snapshot,
+    write_snapshot,
+)
+
+
+class TestJournalEntry:
+    def test_roundtrip(self):
+        entry = JournalEntry(OP_ADD, Fact("A", "R", "B"))
+        assert JournalEntry.from_json(entry.to_json()) == entry
+
+    def test_unicode_entities(self):
+        entry = JournalEntry(OP_ADD, Fact("A", "≺", "Δ"))
+        assert JournalEntry.from_json(entry.to_json()) == entry
+
+    def test_malformed_json(self):
+        with pytest.raises(StorageError):
+            JournalEntry.from_json("{not json")
+
+    def test_unknown_op(self):
+        with pytest.raises(StorageError):
+            JournalEntry.from_json(
+                json.dumps({"op": "explode", "fact": ["A", "R", "B"]}))
+
+    def test_bad_fact_shape(self):
+        with pytest.raises(StorageError):
+            JournalEntry.from_json(
+                json.dumps({"op": "add", "fact": ["A", "R"]}))
+        with pytest.raises(StorageError):
+            JournalEntry.from_json(
+                json.dumps({"op": "add", "fact": ["A", "R", 3]}))
+
+
+class TestJournal:
+    def test_append_and_replay(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(OP_ADD, Fact("A", "R", "B"))
+        journal.append(OP_REMOVE, Fact("A", "R", "B"))
+        journal.close()
+        entries = list(journal.entries())
+        assert entries == [
+            JournalEntry(OP_ADD, Fact("A", "R", "B")),
+            JournalEntry(OP_REMOVE, Fact("A", "R", "B")),
+        ]
+        assert len(journal) == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = Journal(tmp_path / "nothing.jsonl")
+        assert list(journal.entries()) == []
+
+    def test_torn_final_line_tolerated_when_lenient(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append(OP_ADD, Fact("A", "R", "B"))
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "add", "fact": ["A"')  # torn write
+        assert len(list(journal.entries(strict=False))) == 1
+        with pytest.raises(StorageError):
+            list(journal.entries(strict=True))
+
+    def test_interior_corruption_always_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+            handle.write(
+                json.dumps({"op": "add", "fact": ["A", "R", "B"]}) + "\n")
+        journal = Journal(path)
+        with pytest.raises(StorageError):
+            list(journal.entries(strict=False))
+
+    def test_truncate(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(OP_ADD, Fact("A", "R", "B"))
+        journal.truncate()
+        assert list(journal.entries()) == []
+
+    def test_invalid_op_rejected_on_write(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        with pytest.raises(StorageError):
+            journal.append("explode", Fact("A", "R", "B"))
+
+
+class TestSnapshot:
+    def test_roundtrip(self, tmp_path):
+        state = SnapshotState(
+            facts=[Fact("A", "R", "B"), Fact("C", "≺", "D")],
+            rule_states={"gen-transitive": False},
+            composition_limit=3,
+        )
+        path = tmp_path / "snap.json"
+        write_snapshot(path, state)
+        loaded = read_snapshot(path)
+        assert set(loaded.facts) == set(state.facts)
+        assert loaded.rule_states == {"gen-transitive": False}
+        assert loaded.composition_limit == 3
+
+    def test_unlimited_composition_roundtrips(self, tmp_path):
+        state = SnapshotState(facts=[], composition_limit=None)
+        write_snapshot(tmp_path / "s.json", state)
+        assert read_snapshot(tmp_path / "s.json").composition_limit is None
+
+    def test_missing_snapshot(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_snapshot(tmp_path / "none.json")
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"version": 99, "facts": []}))
+        with pytest.raises(StorageError):
+            read_snapshot(path)
+
+    def test_malformed_fact(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"version": 1, "facts": [["A"]]}))
+        with pytest.raises(StorageError):
+            read_snapshot(path)
+
+    def test_write_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "s.json"
+        write_snapshot(path, SnapshotState(facts=[Fact("A", "R", "B")]))
+        write_snapshot(path, SnapshotState(facts=[Fact("C", "R", "D")]))
+        assert read_snapshot(path).facts == [Fact("C", "R", "D")]
+        assert not path.with_suffix(".json.tmp").exists()
+
+
+class TestDurableSession:
+    def test_open_empty_creates_database(self, tmp_path):
+        db, session = open_database(tmp_path / "d")
+        assert len(db) > 0  # axioms
+        session.close()
+
+    def test_mutations_journal_and_recover(self, tmp_path):
+        db, session = open_database(tmp_path / "d")
+        db.add("JOHN", "LIKES", "FELIX")
+        db.add("JOHN", "LIKES", "MARY")
+        db.remove_fact(Fact("JOHN", "LIKES", "MARY"))
+        session.close()
+
+        recovered, session2 = open_database(tmp_path / "d")
+        assert Fact("JOHN", "LIKES", "FELIX") in recovered.facts
+        assert Fact("JOHN", "LIKES", "MARY") not in recovered.facts
+        session2.close()
+
+    def test_checkpoint_compacts_journal(self, tmp_path):
+        db, session = open_database(tmp_path / "d")
+        db.add("A", "R", "B")
+        session.checkpoint()
+        assert len(session.journal) == 0
+        db.add("C", "R", "D")
+        session.close()
+        recovered, session2 = open_database(tmp_path / "d")
+        assert Fact("A", "R", "B") in recovered.facts
+        assert Fact("C", "R", "D") in recovered.facts
+        session2.close()
+
+    def test_rule_state_and_limit_survive_checkpoint(self, tmp_path):
+        db, session = open_database(tmp_path / "d")
+        db.exclude("gen-transitive")
+        db.limit(3)
+        session.checkpoint()
+        session.close()
+        recovered, session2 = open_database(tmp_path / "d")
+        assert not recovered.rules.is_enabled("gen-transitive")
+        assert recovered.composition_limit == 3
+        session2.close()
+
+    def test_duplicate_adds_not_journaled(self, tmp_path):
+        db, session = open_database(tmp_path / "d")
+        db.add("A", "R", "B")
+        db.add("A", "R", "B")
+        assert len(session.journal) == 1
+        session.close()
+
+    def test_detach_stops_journaling(self, tmp_path):
+        db, session = open_database(tmp_path / "d")
+        session.detach()
+        db.add("A", "R", "B")
+        assert len(session.journal) == 0
+        session.close()
+
+    def test_checkpoint_without_attach_raises(self, tmp_path):
+        session = DurableSession(tmp_path / "d")
+        with pytest.raises(RuntimeError):
+            session.checkpoint()
+
+    def test_recovered_database_queries(self, tmp_path):
+        db, session = open_database(tmp_path / "d")
+        db.add("JOHN", "∈", "EMPLOYEE")
+        db.add("EMPLOYEE", "EARNS", "SALARY")
+        session.close()
+        recovered, session2 = open_database(tmp_path / "d")
+        assert recovered.query("(JOHN, EARNS, y)") == {("SALARY",)}
+        session2.close()
+
+    def test_context_manager(self, tmp_path):
+        with DurableSession(tmp_path / "d") as session:
+            db = session.recover()
+            session.attach(db)
+            db.add("A", "R", "B")
+        recovered, session2 = open_database(tmp_path / "d")
+        assert Fact("A", "R", "B") in recovered.facts
+        session2.close()

@@ -1,0 +1,184 @@
+"""Tests for the support modules: canonical forms, rendering, the
+bench harness, and parser round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchio.harness import Measurement, Sweep, timed
+from repro.benchio.reporting import (
+    format_sweep,
+    format_table,
+    format_value,
+)
+from repro.browse.render import format_columns, render_relation_table
+from repro.core.facts import Template, Variable, var
+from repro.query.canonical import canonical_form
+from repro.query.parser import parse_template
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+
+class TestCanonicalForm:
+    def test_identical_queries_equal(self):
+        templates = (Template("A", "R", X), Template(X, "S", "B"))
+        assert canonical_form(templates, (X,)) == canonical_form(
+            templates, (X,))
+
+    def test_template_order_irrelevant(self):
+        a = (Template("A", "R", X), Template(X, "S", "B"))
+        b = (Template(X, "S", "B"), Template("A", "R", X))
+        assert canonical_form(a, (X,)) == canonical_form(b, (X,))
+
+    def test_existential_renaming_irrelevant(self):
+        a = (Template("A", "R", Y),)
+        b = (Template("A", "R", Z),)
+        assert canonical_form(a, ()) == canonical_form(b, ())
+
+    def test_free_variable_position_matters(self):
+        a = (Template(X, "R", Y),)
+        assert canonical_form(a, (X,)) != canonical_form(a, (Y,))
+
+    def test_different_entities_differ(self):
+        a = (Template("A", "R", X),)
+        b = (Template("B", "R", X),)
+        assert canonical_form(a, (X,)) != canonical_form(b, (X,))
+
+    def test_free_vs_existential_differ(self):
+        a = (Template("A", "R", X),)
+        assert canonical_form(a, (X,)) != canonical_form(a, ())
+
+    def test_hashable(self):
+        form = canonical_form((Template("A", "R", X),), (X,))
+        assert {form: 1}[form] == 1
+
+
+class TestRenderHelpers:
+    def test_format_columns_alignment(self):
+        text = format_columns("(T)", ["AAA", "B"],
+                              [["one", "two"], ["three"]])
+        lines = text.splitlines()
+        assert lines[0] == "(T)"
+        assert "AAA" in lines[1] and "B" in lines[1]
+        assert lines[2].startswith("---")
+        assert "one" in lines[3] and "three" in lines[3]
+        assert "two" in lines[4]
+
+    def test_format_columns_empty_columns(self):
+        text = format_columns("(T)", ["A"], [[]])
+        assert "A" in text
+
+    def test_relation_table_multivalue_cells(self):
+        text = render_relation_table(
+            ["K", "V"], [["row1", ("a", "b")], ["row2", ()]])
+        assert "a, b" in text
+        assert "-" in text
+
+    def test_no_trailing_whitespace(self):
+        text = format_columns("(T)", ["A", "B"], [["x"], []])
+        for line in text.splitlines():
+            assert line == line.rstrip()
+
+
+class TestBenchHarness:
+    def test_timed_returns_positive(self):
+        assert timed(lambda: sum(range(100)), repeat=2) > 0
+
+    def test_sweep_columns_union(self):
+        sweep = Sweep(name="s", parameter="n")
+        sweep.add(1, a=10)
+        sweep.add(2, b=20)
+        assert sweep.columns() == ["n", "a", "b"]
+
+    def test_sweep_series(self):
+        sweep = Sweep(name="s", parameter="n")
+        sweep.add(1, a=10)
+        sweep.add(2, a=30)
+        assert sweep.series("a") == [(1, 10), (2, 30)]
+
+    def test_measurement_dataclass(self):
+        m = Measurement(label="x", seconds=1.5)
+        assert m.metrics == {}
+
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(0.25) == "0.25"
+        assert format_value(1.0000001) == "1"
+        assert format_value(0.0000004) == "4.00e-07"
+        assert format_value(0.0) == "0"
+        assert format_value("text") == "text"
+
+    def test_format_table(self):
+        text = format_table(["a", "bee"], [[1, 2.5], [300, "x"]])
+        lines = text.splitlines()
+        assert "bee" in lines[0]
+        assert lines[1].startswith("-")
+        assert "2.5" in lines[2]
+        assert "300" in lines[3]
+
+    def test_format_sweep_title(self):
+        sweep = Sweep(name="named", parameter="n")
+        sweep.add(1, a=2)
+        assert format_sweep(sweep).startswith("== named ==")
+        assert format_sweep(sweep, "other").startswith("== other ==")
+
+
+# ----------------------------------------------------------------------
+# Parser round-trips on random templates.
+# ----------------------------------------------------------------------
+_entity_names = st.sampled_from(
+    ["JOHN", "PC#9-WAM", "$25000", "NEW-YORK", "B1"])
+_variable_names = st.sampled_from(["x", "y", "zeta"])
+
+
+@st.composite
+def _template_texts(draw):
+    components = []
+    expected = []
+    for _ in range(3):
+        kind = draw(st.sampled_from(["entity", "variable", "star"]))
+        if kind == "entity":
+            name = draw(_entity_names)
+            components.append(name)
+            expected.append(name)
+        elif kind == "variable":
+            name = draw(_variable_names)
+            components.append(name)
+            expected.append(Variable(name))
+        else:
+            components.append("*")
+            expected.append(None)  # fresh variable, name unknown
+    return "(" + ", ".join(components) + ")", expected
+
+
+@settings(max_examples=80)
+@given(case=_template_texts())
+def test_template_parse_round_trip(case):
+    text, expected = case
+    parsed = parse_template(text)
+    for component, want in zip(parsed, expected):
+        if want is None:
+            assert isinstance(component, Variable)
+            assert component.name.startswith("_star")
+        else:
+            assert component == want
+
+
+@settings(max_examples=60)
+@given(case=_template_texts())
+def test_template_reparse_of_repr(case):
+    """repr() of a parsed template (with stars renamed) re-parses to an
+    equivalent template."""
+    text, _ = case
+    parsed = parse_template(text)
+    # repr writes variables as ?name; star variables are ?_starN, whose
+    # bare name would not lex as a variable — give them a valid one.
+    rendered = repr(parsed).replace("?_star", "vstar").replace("?", "")
+    reparsed = parse_template(rendered)
+    for a, b in zip(parsed, reparsed):
+        if isinstance(a, Variable):
+            assert isinstance(b, Variable)
+        else:
+            assert a == b

@@ -1,0 +1,104 @@
+"""Tests for the named-view catalog (§6.1 structured views)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.db import Database
+from repro.datasets import paper
+
+
+@pytest.fixture
+def db():
+    return paper.load()
+
+
+class TestDefinition:
+    def test_define_and_list(self, db):
+        db.views.define_query("staff", "(x, in, EMPLOYEE)")
+        db.views.define_function("salaries", "EARNS")
+        assert db.views.names() == ["salaries", "staff"]
+        assert "staff" in db.views
+
+    def test_duplicate_rejected(self, db):
+        db.views.define_query("v", "(x, in, EMPLOYEE)")
+        with pytest.raises(QueryError, match="already defined"):
+            db.views.define_function("v", "EARNS")
+
+    def test_undefine(self, db):
+        db.views.define_query("v", "(x, in, EMPLOYEE)")
+        db.views.undefine("v")
+        assert "v" not in db.views
+        with pytest.raises(QueryError):
+            db.views.undefine("v")
+
+    def test_query_views_validated_eagerly(self, db):
+        with pytest.raises(Exception):
+            db.views.define_query("bad", "(x, y")
+        assert "bad" not in db.views
+
+    def test_unknown_view(self, db):
+        with pytest.raises(QueryError, match="no view named"):
+            db.views.materialize("ghost")
+
+    def test_describe(self, db):
+        db.views.define_relation("emp", "EMPLOYEE",
+                                 ("EARNS", "SALARY"))
+        assert db.views.definition("emp").describe() \
+            == "relation(EMPLOYEE, EARNS SALARY)"
+
+
+class TestMaterialization:
+    def test_query_view(self, db):
+        db.views.define_query("staff", "(x, in, EMPLOYEE)")
+        assert db.views.materialize("staff") == {
+            ("JOHN",), ("TOM",), ("MARY",)}
+
+    def test_relation_view(self, db):
+        db.views.define_relation("payroll", "EMPLOYEE",
+                                 ("EARNS", "SALARY"))
+        table = db.views.materialize("payroll")
+        assert {row.instance for row in table.rows} == {
+            "JOHN", "TOM", "MARY"}
+
+    def test_function_view(self, db):
+        db.views.define_function("salaries", "EARNS")
+        assert "$27000" in db.views.materialize("salaries")("TOM")
+
+    def test_views_track_updates(self, db):
+        """A view is a definition, not a snapshot: new facts appear on
+        the next materialization."""
+        db.views.define_query("staff", "(x, in, EMPLOYEE)")
+        before = db.views.materialize("staff")
+        db.add("SUE", "∈", "EMPLOYEE")
+        after = db.views.materialize("staff")
+        assert after == before | {("SUE",)}
+
+
+class TestRendering:
+    def test_render_relation(self, db):
+        db.views.define_relation("payroll", "EMPLOYEE",
+                                 ("EARNS", "SALARY"))
+        text = db.views.render("payroll")
+        assert "JOHN" in text and "$26000" in text
+
+    def test_render_function(self, db):
+        db.views.define_function("salaries", "EARNS")
+        text = db.views.render("salaries")
+        assert text.startswith("EARNS:")
+        assert "TOM ->" in text
+
+    def test_render_query_rows(self, db):
+        db.views.define_query("pay", "(x, EARNS, y) and (y, >, 0)")
+        text = db.views.render("pay")
+        assert "JOHN, $26000" in text
+
+    def test_render_empty_query(self, db):
+        db.views.define_query("none", "(x, FLIES-TO, y)")
+        assert db.views.render("none") == "(empty)"
+
+    def test_render_catalog(self, db):
+        assert db.views.render_catalog() == "(no views defined)"
+        db.views.define_function("salaries", "EARNS")
+        assert "salaries: function(EARNS)" in db.views.render_catalog()
