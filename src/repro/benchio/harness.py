@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 @dataclass
 class Measurement:
-    """One timed run."""
+    """One timed run, optionally with obs counters beside the seconds."""
 
     label: str
     seconds: float
@@ -31,6 +31,37 @@ def timed(function: Callable[[], object], repeat: int = 3) -> float:
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
     return best
+
+
+def measure(label: str, function: Callable[[], object], repeat: int = 3,
+            observe: bool = True,
+            counter_prefixes: Optional[Sequence[str]] = None) -> Measurement:
+    """Time a function *and* explain it: best-of-``repeat`` untraced
+    wall clock plus obs counters from one extra traced run.
+
+    The timing runs are never traced, so the seconds are comparable to
+    plain :func:`timed`; the counters (rule firings, facts scanned,
+    index lookups, …) come from a separate observed run and land in
+    ``Measurement.metrics``, making a benchmark trajectory explain *why*
+    a number moved, not just that it did.  ``counter_prefixes`` filters
+    the attached counters (default: all of them).
+    """
+    seconds = timed(function, repeat=repeat)
+    metrics: Dict[str, object] = {}
+    if observe:
+        from ..obs import Tracer, use_tracer
+
+        with use_tracer(Tracer()) as tracer:
+            function()
+        for name, value in sorted(tracer.counters.items()):
+            if counter_prefixes is None or any(
+                    name.startswith(prefix) for prefix in counter_prefixes):
+                metrics[name] = value
+        for name, value in sorted(tracer.gauges.items()):
+            if counter_prefixes is None or any(
+                    name.startswith(prefix) for prefix in counter_prefixes):
+                metrics[name] = value
+    return Measurement(label=label, seconds=seconds, metrics=metrics)
 
 
 @dataclass

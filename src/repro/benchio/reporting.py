@@ -12,12 +12,20 @@ from .harness import Sweep
 
 
 def format_value(value: object) -> str:
+    """Render one cell: floats compactly, everything else via ``str``.
+
+    Floats use fixed-point with up to four decimals; scientific
+    notation only when fixed-point would collapse the value to zero
+    (so ``0.0009999`` renders ``0.001`` like its neighbors, not
+    ``1.00e-03``).  Negative values mirror positive ones exactly.
+    """
     if isinstance(value, float):
         if value == 0:
             return "0"
-        if abs(value) < 0.001:
+        text = f"{value:.4f}".rstrip("0").rstrip(".")
+        if text.lstrip("-") == "0":
             return f"{value:.2e}"
-        return f"{value:.4f}".rstrip("0").rstrip(".")
+        return text
     return str(value)
 
 

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.entities import MEMBER
 from ..core.facts import Fact, Template, Variable
+from ..obs import tracer as _obs
 from ..virtual.computed import FactView
 from ..query.parser import parse_template
 
@@ -91,7 +92,15 @@ def navigate(view: FactView,
     """
     if isinstance(pattern, str):
         pattern = parse_template(pattern)
-    facts = sorted(set(view.match(pattern)))
+    observing = _obs.ENABLED
+    navigate_span = (_obs.TRACER.span("browse.navigate",
+                                      pattern=str(pattern))
+                     if observing else _obs.NULL_SPAN)
+    with navigate_span as span:
+        if observing:
+            _obs.TRACER.count("browse.navigations")
+        facts = sorted(set(view.match(pattern)))
+        span.set(facts=len(facts))
 
     source_free = isinstance(pattern.source, Variable)
     relationship_free = isinstance(pattern.relationship, Variable)

@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 from ..core.entities import BOTTOM, TOP
 from ..core.errors import QueryError
 from ..core.facts import Template, Variable
+from ..obs import tracer as _obs
 from ..query.ast import And, Atom, Exists, Formula, Query, exists
 from ..query.canonical import canonical_form
 from ..query.evaluate import Evaluator
@@ -304,6 +305,28 @@ def probe(evaluator: Evaluator, query: Union[Query, str, ConjunctiveQuery],
     if not isinstance(query, ConjunctiveQuery):
         query = ConjunctiveQuery.from_query(query)
 
+    observing = _obs.ENABLED
+    probe_span = (_obs.TRACER.span("browse.probe", query=str(query))
+                  if observing else _obs.NULL_SPAN)
+    with probe_span as span:
+        if observing:
+            _obs.TRACER.count("browse.probes")
+        result = _probe_inner(evaluator, query, hierarchy, max_waves)
+        span.set(succeeded=result.succeeded, waves=len(result.waves))
+        if observing and result.waves:
+            _obs.TRACER.count("browse.probe.waves", len(result.waves))
+            _obs.TRACER.count(
+                "browse.probe.retractions",
+                sum(len(wave.attempted) for wave in result.waves))
+            _obs.TRACER.count(
+                "browse.probe.successes",
+                sum(len(wave.successes) for wave in result.waves))
+    return result
+
+
+def _probe_inner(evaluator: Evaluator, query: ConjunctiveQuery,
+                 hierarchy: GeneralizationHierarchy,
+                 max_waves: int) -> ProbeResult:
     value = evaluator.evaluate(query.to_query())
     if value:
         return ProbeResult(original=query, succeeded=True, value=value)

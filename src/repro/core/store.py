@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
+from ..obs import tracer as _obs
 from .facts import Binding, Fact, Template, Variable
 
 
@@ -59,6 +60,8 @@ class FactStore:
         """Insert a fact.  Returns True if it was not already present."""
         if fact in self._facts:
             return False
+        if _obs.ENABLED:
+            _obs.TRACER.count("store.adds")
         self._facts.add(fact)
         s, r, t = fact
         self._by_s[s].add(fact)
@@ -80,6 +83,8 @@ class FactStore:
         """Remove a fact if present.  Returns True if it was present."""
         if fact not in self._facts:
             return False
+        if _obs.ENABLED:
+            _obs.TRACER.count("store.removes")
         self._facts.remove(fact)
         s, r, t = fact
         self._by_s[s].discard(fact)
@@ -149,6 +154,9 @@ class FactStore:
              if isinstance(pattern.relationship, str) else None)
         t = pattern.target if isinstance(pattern.target, str) else None
 
+        if _obs.ENABLED:
+            _obs.TRACER.count("store.lookups")
+
         if s is not None and r is not None and t is not None:
             f = Fact(s, r, t)
             return (f,) if f in self._facts else ()
@@ -190,10 +198,37 @@ class FactStore:
         """All extended bindings under which ``pattern`` matches."""
         base = binding or {}
         substituted = pattern.substitute(base) if base else pattern
+        if _obs.ENABLED:
+            yield from self._solutions_traced(substituted, base)
+            return
         for candidate in self._candidates(substituted):
             extended = substituted.match(candidate, base)
             if extended is not None:
                 yield extended
+
+    def _solutions_traced(self, substituted: Template,
+                          base: Binding) -> Iterator[Binding]:
+        """:meth:`solutions` with per-pattern-shape call/hit counters.
+
+        Shapes key on which positions are ground (``"sr"``, ``"t"``,
+        ``"open"``, …) so the counters reveal which indexes carry the
+        workload without exploding in cardinality.
+        """
+        shape = _obs.pattern_shape(substituted)
+        tracer = _obs.TRACER
+        tracer.count(f"store.solutions.calls.{shape}")
+        hits = 0
+        try:
+            for candidate in self._candidates(substituted):
+                extended = substituted.match(candidate, base)
+                if extended is not None:
+                    hits += 1
+                    yield extended
+        finally:
+            # Counted in a finally so early-terminated scans (any(),
+            # first-match) still report the hits they produced.
+            if hits:
+                tracer.count(f"store.solutions.hits.{shape}", hits)
 
     def count_estimate(self, pattern: Template,
                        binding: Optional[Binding] = None) -> int:

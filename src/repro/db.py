@@ -88,6 +88,7 @@ class Database:
                  engine: str = "semi-naive",
                  incremental: bool = True,
                  trace: bool = False,
+                 observe: bool = False,
                  virtual: Optional[VirtualRegistry] = None):
         """
         Args:
@@ -104,6 +105,11 @@ class Database:
             trace: record derivation provenance so :meth:`why` can
                 show why any closure fact holds (small time/memory
                 overhead on closure computation).
+            observe: turn on process-wide obs tracing
+                (:func:`repro.obs.enable_tracing`) so spans and
+                counters are collected for every operation; equivalent
+                to the shell's ``trace on``.  Distinct from ``trace``,
+                which records *provenance*, not execution behavior.
             virtual: override the virtual-relation registry (tests).
         """
         if engine not in ("semi-naive", "naive"):
@@ -130,6 +136,9 @@ class Database:
         self._view: Optional[FactView] = None
         self._hierarchy: Optional[GeneralizationHierarchy] = None
         self._on_mutation = None  # set by storage.DurableSession.attach
+        if observe:
+            from .obs import enable_tracing
+            enable_tracing()
         if with_axioms:
             self._base.add_all(AXIOM_FACTS)
         for initial in facts:
@@ -345,6 +354,7 @@ class Database:
                     derived_count=standard.derived_count + added,
                     iterations=standard.iterations,
                     rule_firings=dict(standard.rule_firings),
+                    rule_times=dict(standard.rule_times),
                     provenance=provenance,
                 )
         return self._full_result
@@ -505,6 +515,13 @@ class Database:
         from .query.explain import explain as explain_query
         return explain_query(self.view(), query)
 
+    def explain_analyze(self, query: Union[str, Query]):
+        """Run a query under a scoped tracer and report the plan next
+        to what actually executed: per-conjunct estimated cost vs rows
+        produced, wall/CPU time, and evaluator counters."""
+        from .query.explain import explain_analyze as analyze_query
+        return analyze_query(self.view(), query)
+
     def define(self, name: str, definition) -> None:
         """Define a new retrieval operator (§6)."""
         self.operators.define(name, definition)
@@ -515,7 +532,13 @@ class Database:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Size/derivation statistics (used by benches and examples)."""
+        """Size/derivation statistics (used by benches and examples).
+
+        ``rule_firings`` totals come from the last closure computation
+        (incremental extensions accumulate into them); ``rule_times``
+        is non-empty only when obs tracing was enabled during the
+        computation.
+        """
         closure = self.closure()
         return {
             "base_facts": len(self._base),
@@ -526,6 +549,8 @@ class Database:
             "enabled_rules": self.rules.enabled_names(),
             "composition_limit": self._composition_limit,
             "iterations": closure.iterations,
+            "rule_firings": dict(closure.rule_firings),
+            "rule_times": dict(closure.rule_times),
         }
 
     def __repr__(self) -> str:

@@ -1,0 +1,49 @@
+"""Observability: tracing spans, counters, gauges, and exporters.
+
+This package answers "where did the time go?" for every layer of the
+system — the fact store, the closure engine, the query evaluator, and
+the browsers all report into one process-local tracer when tracing is
+enabled, and pay a single attribute lookup per site when it is not.
+
+Typical use::
+
+    from repro import obs
+
+    tracer = obs.enable_tracing()
+    db.query("(x, EARNS, y)")
+    print(obs.summary(tracer))
+    obs.disable_tracing()
+
+or, scoped to one operation::
+
+    with obs.use_tracer(obs.Tracer()) as tracer:
+        db.closure()
+    print(tracer.counters["engine.rounds"])
+
+Note this is distinct from ``Database(trace=True)``, which records
+*derivation provenance* (why a fact holds); obs tracing records
+*execution behavior* (what ran, how often, how long).
+"""
+
+from .export import read_jsonl, summary, to_events, write_jsonl
+from .tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    ConjunctStats,
+    NullTracer,
+    Span,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    pattern_shape,
+    tracing_enabled,
+    use_tracer,
+)
+
+__all__ = [
+    "ConjunctStats", "NULL_SPAN", "NULL_TRACER", "NullTracer", "Span",
+    "Tracer", "active_tracer", "disable_tracing", "enable_tracing",
+    "pattern_shape", "tracing_enabled", "use_tracer",
+    "read_jsonl", "summary", "to_events", "write_jsonl",
+]

@@ -1,0 +1,126 @@
+"""Exporters for collected trace data.
+
+Two formats:
+
+* **JSON lines** — one event per line (spans preorder with parent
+  references, then counters, gauges, and conjunct records), suitable
+  for offline analysis or attaching to a benchmark artifact;
+* **text summary** — a fixed-width report reusing
+  :func:`repro.benchio.reporting.format_table`, what the shell's
+  ``profile`` command prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+from ..benchio.reporting import format_table
+from .tracer import Span, Tracer
+
+
+def to_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Flatten a tracer into a list of event dicts.
+
+    Spans are numbered preorder; each carries the id of its parent so
+    the tree is reconstructible.  Attribute values are kept as-is (they
+    must be JSON-serializable to survive :func:`write_jsonl`).
+    """
+    events: List[Dict[str, Any]] = []
+    ids: Dict[int, int] = {}
+    next_id = 0
+    for root in tracer.roots:
+        for span in root.walk():
+            ids[id(span)] = next_id
+            events.append({
+                "type": "span",
+                "id": next_id,
+                "parent": (ids[id(span.parent)]
+                           if span.parent is not None else None),
+                "name": span.name,
+                "wall": span.wall,
+                "cpu": span.cpu,
+                "attributes": dict(span.attributes),
+            })
+            next_id += 1
+    for name in sorted(tracer.counters):
+        events.append({"type": "counter", "name": name,
+                       "value": tracer.counters[name]})
+    for name in sorted(tracer.gauges):
+        events.append({"type": "gauge", "name": name,
+                       "value": tracer.gauges[name]})
+    for key in sorted(tracer.conjuncts):
+        stats = tracer.conjuncts[key]
+        events.append({"type": "conjunct", "key": key,
+                       "evals": stats.evals, "rows": stats.rows,
+                       "estimate_total": stats.estimate_total})
+    return events
+
+
+def write_jsonl(tracer: Tracer, destination: Union[str, Any]) -> int:
+    """Write the tracer's events as JSON lines; returns the event count.
+
+    ``destination`` is a path or an open text file.
+    """
+    events = to_events(tracer)
+    if hasattr(destination, "write"):
+        for event in events:
+            destination.write(json.dumps(event, ensure_ascii=False) + "\n")
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event, ensure_ascii=False) + "\n")
+    return len(events)
+
+
+def read_jsonl(source: Union[str, Any]) -> List[Dict[str, Any]]:
+    """Read back a JSON-lines event log written by :func:`write_jsonl`."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def _aggregate_spans(tracer: Tracer) -> List[List[object]]:
+    """Rows (name, count, total wall s, total cpu s) aggregated by
+    span name, sorted by total wall time descending."""
+    totals: Dict[str, List[float]] = {}
+    for root in tracer.roots:
+        for span in root.walk():
+            entry = totals.setdefault(span.name, [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += span.wall
+            entry[2] += span.cpu
+    rows = [[name, int(entry[0]), entry[1], entry[2]]
+            for name, entry in totals.items()]
+    rows.sort(key=lambda row: row[2], reverse=True)
+    return rows
+
+
+def summary(tracer: Tracer, title: str = "trace summary") -> str:
+    """A fixed-width text report of everything the tracer collected."""
+    sections: List[str] = [f"== {title} =="]
+    span_rows = _aggregate_spans(tracer)
+    if span_rows:
+        sections.append(format_table(
+            ["span", "count", "wall_s", "cpu_s"], span_rows))
+    if tracer.counters:
+        counter_rows = [[name, tracer.counters[name]]
+                        for name in sorted(tracer.counters)]
+        sections.append(format_table(["counter", "value"], counter_rows))
+    if tracer.gauges:
+        gauge_rows = [[name, tracer.gauges[name]]
+                      for name in sorted(tracer.gauges)]
+        sections.append(format_table(["gauge", "value"], gauge_rows))
+    if tracer.conjuncts:
+        conjunct_rows = [
+            [key, stats.evals, stats.estimate_mean, stats.rows]
+            for key, stats in sorted(tracer.conjuncts.items())
+        ]
+        sections.append(format_table(
+            ["conjunct", "evals", "est_mean", "rows"], conjunct_rows))
+    if len(sections) == 1:
+        sections.append("(nothing collected)")
+    return "\n\n".join(sections)

@@ -1,0 +1,312 @@
+"""Process-local tracing: nested spans, counters, and gauges.
+
+The instrumentation substrate for the whole system.  A single
+module-level tracer is shared by every layer (store, closure engine,
+query evaluator, browsers); hot paths guard each instrumentation site
+with one module-attribute lookup::
+
+    from ..obs import tracer as _obs
+    ...
+    if _obs.ENABLED:
+        _obs.TRACER.count("store.adds")
+
+so that with tracing off (the default) the cost per site is a single
+attribute load and a falsy branch — no method call, no allocation.
+
+Three kinds of signal are collected:
+
+* **spans** — named, nested wall/CPU timings with free-form attributes
+  (``closure.semi_naive`` > ``closure.round`` > …);
+* **counters** — monotone event counts (``store.adds``,
+  ``browse.probe.retractions``);
+* **gauges** — last-value observations (``engine.closure_seconds``).
+
+plus one domain-specific aggregate, **conjunct records**: per-conjunct
+(estimated cost, actual rows produced) pairs from the query evaluator,
+the raw material of ``EXPLAIN ANALYZE``.
+
+The tracer is *process-local* and not thread-safe by design: the paper's
+browser is a single interactive loop, and keeping the enabled path
+lock-free is what makes the disabled path free.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Fast-path flag.  Instrumented call sites test this and nothing else.
+ENABLED = False
+
+
+@dataclass
+class Span:
+    """One timed region: name, wall/CPU duration, attributes, children."""
+
+    name: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    parent: Optional["Span"] = None
+    children: List["Span"] = field(default_factory=list)
+    wall: float = 0.0
+    cpu: float = 0.0
+    finished: bool = False
+
+    def set(self, **attributes: Any) -> None:
+        """Attach (or overwrite) attributes on the span."""
+        self.attributes.update(attributes)
+
+    @property
+    def depth(self) -> int:
+        depth, span = 0, self
+        while span.parent is not None:
+            depth, span = depth + 1, span.parent
+        return depth
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        state = f"{self.wall:.6f}s" if self.finished else "open"
+        return f"Span({self.name!r}, {state}, {len(self.children)} children)"
+
+
+@dataclass
+class ConjunctStats:
+    """Aggregated plan-vs-actual numbers for one conjunct.
+
+    ``evals`` counts how many times the evaluator selected the conjunct
+    (once per enclosing binding under dynamic re-planning); ``rows`` the
+    total bindings it produced; ``estimate_total`` the sum of the
+    planner's :func:`~repro.query.planner.estimate_cost` at each
+    selection, so ``estimate_mean`` is directly comparable to
+    ``rows / evals``.
+    """
+
+    evals: int = 0
+    rows: int = 0
+    estimate_total: float = 0.0
+
+    @property
+    def estimate_mean(self) -> float:
+        return self.estimate_total / self.evals if self.evals else 0.0
+
+    @property
+    def rows_mean(self) -> float:
+        return self.rows / self.evals if self.evals else 0.0
+
+
+class Tracer:
+    """Collects spans, counters, gauges, and conjunct records."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.roots: List[Span] = []
+        self.conjuncts: Dict[str, ConjunctStats] = {}
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """A timed region.  Nested spans attach to the innermost open
+        span; the yielded :class:`Span` accepts extra attributes via
+        :meth:`Span.set`."""
+        span = Span(name=name, attributes=dict(attributes),
+                    parent=self._stack[-1] if self._stack else None)
+        if span.parent is not None:
+            span.parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        start_wall = time.perf_counter()
+        start_cpu = time.process_time()
+        try:
+            yield span
+        finally:
+            span.wall = time.perf_counter() - start_wall
+            span.cpu = time.process_time() - start_cpu
+            span.finished = True
+            self._stack.pop()
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """All recorded spans (preorder), optionally filtered by name."""
+        found: List[Span] = []
+        for root in self.roots:
+            for span in root.walk():
+                if name is None or span.name == name:
+                    found.append(span)
+        return found
+
+    # ------------------------------------------------------------------
+    # Counters / gauges / conjunct records
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a monotone counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a last-value observation."""
+        self.gauges[name] = value
+
+    def record_conjunct(self, key: str, estimate: float, rows: int) -> None:
+        """Aggregate one conjunct evaluation (planner estimate at
+        selection time vs actual rows produced)."""
+        stats = self.conjuncts.get(key)
+        if stats is None:
+            stats = self.conjuncts[key] = ConjunctStats()
+        stats.evals += 1
+        stats.rows += rows
+        stats.estimate_total += estimate
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop everything collected so far.  Open spans (if any) stay
+        on the stack so an in-flight ``with tracer.span(...)`` still
+        closes cleanly, but they are detached from the record."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.roots.clear()
+        self.conjuncts.clear()
+        for span in self._stack:
+            span.children = []
+            span.parent = None
+
+    def __repr__(self) -> str:
+        return (f"Tracer({len(self.roots)} root spans,"
+                f" {len(self.counters)} counters)")
+
+
+class _NullSpan:
+    """The do-nothing span: context manager and attribute sink."""
+
+    __slots__ = ()
+    name = ""
+    wall = 0.0
+    cpu = 0.0
+    finished = False
+    attributes: Dict[str, Any] = {}
+    children: List["Span"] = []
+    parent = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> None:
+        pass
+
+    def walk(self):
+        return iter(())
+
+
+#: The shared no-op span; ``TRACER.span(...)`` returns it when tracing
+#: is off, so code holding a span reference never needs a None check.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op, every read is
+    empty.  A single module-level instance (:data:`NULL_TRACER`) backs
+    :data:`TRACER` whenever tracing is off."""
+
+    enabled = False
+
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    roots: List[Span] = []
+    conjuncts: Dict[str, ConjunctStats] = {}
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        return []
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def record_conjunct(self, key: str, estimate: float, rows: int) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()
+
+#: The active tracer.  :data:`NULL_TRACER` until :func:`enable_tracing`.
+TRACER = NULL_TRACER
+
+
+def enable_tracing(fresh: bool = False) -> Tracer:
+    """Turn tracing on, installing (and returning) the process tracer.
+
+    Re-enabling keeps previously collected data unless ``fresh`` is
+    true.  Idempotent.
+    """
+    global TRACER, ENABLED
+    if fresh or not isinstance(TRACER, Tracer):
+        TRACER = Tracer()
+    ENABLED = True
+    return TRACER
+
+
+def disable_tracing() -> None:
+    """Turn tracing off.  Collected data stays readable on
+    :func:`active_tracer` until the next ``enable_tracing(fresh=True)``."""
+    global ENABLED
+    ENABLED = False
+
+
+def tracing_enabled() -> bool:
+    return ENABLED
+
+
+def active_tracer():
+    """The tracer that collected the most recent data (may be the
+    null tracer if tracing was never enabled)."""
+    return TRACER
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Temporarily install ``tracer`` as the active tracer (enabled),
+    restoring the previous tracer and enablement state on exit.  This is
+    how ``explain_analyze``, the shell's ``profile`` command, and the
+    benchmark harness observe one operation without perturbing global
+    state."""
+    global TRACER, ENABLED
+    saved_tracer, saved_enabled = TRACER, ENABLED
+    TRACER, ENABLED = tracer, True
+    try:
+        yield tracer
+    finally:
+        TRACER, ENABLED = saved_tracer, saved_enabled
+
+
+def pattern_shape(pattern) -> str:
+    """The bound-position signature of a template: which of source /
+    relationship / target are ground (``"sr"``, ``"t"``, …; ``"open"``
+    for the fully free template).  Used to key per-pattern counters so
+    index-usage profiles stay low-cardinality."""
+    shape = "".join(
+        letter for letter, component in zip("srt", pattern)
+        if isinstance(component, str))
+    return shape or "open"

@@ -17,9 +17,10 @@ from typing import FrozenSet, Iterator, Optional, Set, Tuple
 
 from ..core.errors import QueryError
 from ..core.facts import Binding, Variable
+from ..obs import tracer as _obs
 from ..virtual.computed import FactView
 from .ast import And, Atom, Exists, ForAll, Formula, Or, Query
-from .planner import next_conjunct
+from .planner import choose_conjunct
 
 
 class Evaluator:
@@ -38,9 +39,14 @@ class Evaluator:
         is true and ``set()`` otherwise; use :meth:`ask` for a bool.
         """
         check_safety(query.formula)
-        results: Set[Tuple[str, ...]] = set()
-        for binding in self.solutions(query.formula, {}):
-            results.add(tuple(binding[v] for v in query.variables))
+        evaluate_span = (_obs.TRACER.span("query.evaluate",
+                                          query=str(query))
+                         if _obs.ENABLED else _obs.NULL_SPAN)
+        with evaluate_span as span:
+            results: Set[Tuple[str, ...]] = set()
+            for binding in self.solutions(query.formula, {}):
+                results.add(tuple(binding[v] for v in query.variables))
+            span.set(rows=len(results))
         return results
 
     def ask(self, query: Query) -> bool:
@@ -91,11 +97,27 @@ class Evaluator:
             yield binding
             return
         bound = set(binding)
-        index = next_conjunct(parts, bound, self.view)
+        index, cost = choose_conjunct(parts, bound, self.view)
         first = parts[index]
         rest = parts[:index] + parts[index + 1:]
+        if _obs.ENABLED:
+            yield from self._solve_and_traced(first, rest, binding, cost)
+            return
         for extended in self.solutions(first, binding):
             yield from self._solve_and(rest, extended)
+
+    def _solve_and_traced(self, first, rest, binding: Binding,
+                          cost: float) -> Iterator[Binding]:
+        """One conjunct step with plan-vs-actual recording: the
+        planner's estimate at selection time next to the rows the
+        conjunct actually produced under this binding."""
+        rows = 0
+        try:
+            for extended in self.solutions(first, binding):
+                rows += 1
+                yield from self._solve_and(rest, extended)
+        finally:
+            _obs.TRACER.record_conjunct(str(first), cost, rows)
 
     def _solve_or(self, formula: Or, binding: Binding) -> Iterator[Binding]:
         # Solutions from different disjuncts may repeat; deduplicate on
@@ -122,6 +144,8 @@ class Evaluator:
 
     def _solve_exists(self, formula: Exists,
                       binding: Binding) -> Iterator[Binding]:
+        if _obs.ENABLED:
+            _obs.TRACER.count("query.exists.evals")
         variable = formula.variable
         inner = dict(binding)
         inner.pop(variable, None)  # an outer binding of x is shadowed
@@ -155,6 +179,13 @@ class Evaluator:
                 " generating template for them (range restriction)")
         variable = formula.variable
         domain = self.view.entities()
+        if _obs.ENABLED:
+            # The ∀ filter scans the whole active domain per candidate
+            # binding; the counter totals entities scanned, the gauge
+            # keeps the domain size itself.
+            _obs.TRACER.count("query.forall.evals")
+            _obs.TRACER.count("query.forall.domain_scanned", len(domain))
+            _obs.TRACER.gauge("query.forall.domain_size", len(domain))
         for entity in domain:
             candidate = dict(binding)
             candidate[variable] = entity

@@ -6,17 +6,23 @@ renders — is the greedy static order from the initial state, each
 part's estimated cost, and the safety classification of the query's
 variables.  Useful for understanding why a probe is slow and for
 testing the planner.
+
+:func:`explain_analyze` goes one step further: it *runs* the query
+under a scoped tracer and renders the plan and the actual execution
+side by side — per-conjunct estimated cost against rows actually
+produced, plus wall/CPU time and the evaluator's counters.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Set, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
 
 from ..core.facts import Variable
+from ..obs.tracer import ConjunctStats, Tracer, use_tracer
 from ..virtual.computed import FactView
 from .ast import And, Atom, Exists, ForAll, Formula, Or, Query
-from .evaluate import check_safety, limited_variables
+from .evaluate import Evaluator, check_safety, limited_variables
 from .parser import parse_query
 from .planner import estimate_cost, order_conjuncts
 
@@ -84,3 +90,113 @@ def explain(view: FactView, query: Union[str, Query]) -> Explanation:
             bound |= part.free_variables()
     return Explanation(query=query, steps=steps, safe=safe,
                        safety_error=error)
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN ANALYZE
+# ----------------------------------------------------------------------
+@dataclass
+class AnalyzedStep:
+    """One conjunct with the planner's estimate beside what actually
+    happened when the query ran."""
+
+    order: int
+    formula: str
+    estimated_cost: float
+    evals: int
+    actual_rows: int
+
+
+@dataclass
+class AnalyzedExplanation:
+    """Plan vs actual for one executed query."""
+
+    explanation: Explanation
+    value: Set[tuple] = field(default_factory=set)
+    executed: bool = False
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    steps: List[AnalyzedStep] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> int:
+        return len(self.value)
+
+    def render(self) -> str:
+        from ..benchio.reporting import format_table
+
+        lines = [self.explanation.render()]
+        if not self.executed:
+            lines.append("not executed (query is unsafe)")
+            return "\n".join(lines)
+        lines.append("")
+        lines.append("plan vs actual:")
+        if self.steps:
+            rows = [[step.order, step.formula,
+                     round(step.estimated_cost, 1), step.actual_rows,
+                     step.evals]
+                    for step in self.steps]
+            table = format_table(
+                ["#", "conjunct", "est cost", "actual rows", "evals"],
+                rows)
+            lines.extend("  " + line for line in table.splitlines())
+        else:
+            lines.append("  (single template; no conjunct breakdown)")
+        lines.append(f"result rows: {self.rows}")
+        lines.append(f"wall: {self.wall_seconds * 1000:.3f} ms"
+                     f"   cpu: {self.cpu_seconds * 1000:.3f} ms")
+        if self.counters:
+            interesting = {
+                name: value for name, value in sorted(self.counters.items())
+                if not name.startswith("store.solutions.calls.")
+            }
+            lines.append("counters: " + ", ".join(
+                f"{name}={value}" for name, value in interesting.items()))
+        return "\n".join(lines)
+
+
+def explain_analyze(view: FactView,
+                    query: Union[str, Query]) -> AnalyzedExplanation:
+    """Run ``query`` under a scoped tracer and report plan vs actual.
+
+    The static plan (greedy initial conjunct order with estimated
+    costs) is computed first, then the query executes for real — same
+    evaluator, same view — inside a private tracer, and the per-conjunct
+    actual row counts are joined back onto the plan steps.  Unsafe
+    queries are explained but not executed.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    plan = explain(view, query)
+    analyzed = AnalyzedExplanation(explanation=plan)
+    if not plan.safe:
+        return analyzed
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span("explain_analyze", query=str(query)) as root:
+            analyzed.value = Evaluator(view).evaluate(query)
+    analyzed.executed = True
+    analyzed.wall_seconds = root.wall
+    analyzed.cpu_seconds = root.cpu
+    analyzed.counters = dict(tracer.counters)
+
+    recorded = dict(tracer.conjuncts)
+    for step in plan.steps:
+        key = str(step.formula)
+        stats: Optional[ConjunctStats] = recorded.pop(key, None)
+        analyzed.steps.append(AnalyzedStep(
+            order=step.order, formula=key,
+            estimated_cost=step.estimated_cost,
+            evals=stats.evals if stats else 0,
+            actual_rows=stats.rows if stats else 0))
+    # Conjuncts evaluated inside quantified sub-formulas do not appear
+    # in the static plan; list them after the planned steps so nothing
+    # the evaluator did is hidden.
+    for key, stats in sorted(recorded.items()):
+        analyzed.steps.append(AnalyzedStep(
+            order=len(analyzed.steps) + 1, formula=key,
+            estimated_cost=stats.estimate_mean,
+            evals=stats.evals, actual_rows=stats.rows))
+    return analyzed

@@ -13,7 +13,7 @@ well-behaved.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
+from typing import List, Sequence, Set, Tuple
 
 from ..core.facts import Binding, Variable
 from ..virtual.computed import FactView
@@ -56,9 +56,13 @@ def estimate_cost(part: Formula, bound: Set[Variable],
     return OPAQUE_COST
 
 
-def next_conjunct(parts: Sequence[Formula], bound: Set[Variable],
-                  view: FactView) -> int:
-    """Index of the cheapest remaining conjunct to evaluate next."""
+def choose_conjunct(parts: Sequence[Formula], bound: Set[Variable],
+                    view: FactView) -> Tuple[int, float]:
+    """The cheapest remaining conjunct: ``(index, estimated cost)``.
+
+    The cost is returned alongside the index so the instrumented
+    evaluator can record plan-vs-actual without re-estimating.
+    """
     best_index = 0
     best_cost = float("inf")
     for index, part in enumerate(parts):
@@ -68,7 +72,13 @@ def next_conjunct(parts: Sequence[Formula], bound: Set[Variable],
         if cost < best_cost:
             best_cost = cost
             best_index = index
-    return best_index
+    return best_index, best_cost
+
+
+def next_conjunct(parts: Sequence[Formula], bound: Set[Variable],
+                  view: FactView) -> int:
+    """Index of the cheapest remaining conjunct to evaluate next."""
+    return choose_conjunct(parts, bound, view)[0]
 
 
 def order_conjuncts(parts: Sequence[Formula], bound: Set[Variable],

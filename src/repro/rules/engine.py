@@ -19,12 +19,19 @@ evaluation statistics.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.facts import Binding, Fact, Template, Variable
 from ..core.store import FactStore
+from ..obs import tracer as _obs
 from .rule import Condition, Rule, RuleContext
+
+#: Reserved :attr:`ClosureResult.rule_times` key for the round-end
+#: store-update ("apply") phase — time spent inserting fresh facts,
+#: attributable to no single rule.
+APPLY = "(apply)"
 
 
 @dataclass(frozen=True)
@@ -46,6 +53,13 @@ class ClosureResult:
     derived_count: int
     iterations: int
     rule_firings: Dict[str, int] = field(default_factory=dict)
+    #: rule name -> cumulative seconds spent joining that rule's body
+    #: (populated only while obs tracing is enabled; see
+    #: :mod:`repro.obs`).  The reserved ``"(apply)"`` entry holds the
+    #: round-end store-update time, so the entries together partition
+    #: the fixpoint loop's total time (the ``engine.closure_seconds``
+    #: gauge).
+    rule_times: Dict[str, float] = field(default_factory=dict)
     #: fact -> the first justification found (present when the engine
     #: ran with ``trace=True``).
     provenance: Optional[Dict[Fact, Justification]] = None
@@ -104,34 +118,63 @@ def naive_closure(base: Iterable[Fact], rules: Sequence[Rule],
                   max_iterations: Optional[int] = None,
                   trace: bool = False) -> ClosureResult:
     """Fixpoint by full re-evaluation each round (baseline engine)."""
-    store = FactStore(base)
-    base_count = len(store)
-    firings: Dict[str, int] = {rule.name: 0 for rule in rules}
-    provenance: Optional[Dict[Fact, Justification]] = {} if trace else None
-    iterations = 0
-    changed = True
-    while changed:
-        if max_iterations is not None and iterations >= max_iterations:
-            break
-        changed = False
-        iterations += 1
-        fresh: List[Fact] = []
-        for rule in rules:
-            sources = [store] * len(rule.body)
-            for fact, binding in _fire(rule, sources, context):
-                if fact not in store:
-                    fresh.append(fact)
-                    firings[rule.name] += 1
-                    if provenance is not None and fact not in provenance:
-                        provenance[fact] = Justification(
-                            rule.name, _premises(rule, binding))
-        for fact in fresh:
-            if store.add(fact):
-                changed = True
-    return ClosureResult(store=store, base_count=base_count,
-                         derived_count=len(store) - base_count,
-                         iterations=iterations, rule_firings=firings,
-                         provenance=provenance)
+    observing = _obs.ENABLED
+    closure_span = (_obs.TRACER.span("closure.naive", rules=len(rules))
+                    if observing else _obs.NULL_SPAN)
+    with closure_span as span:
+        store = FactStore(base)
+        base_count = len(store)
+        firings: Dict[str, int] = {rule.name: 0 for rule in rules}
+        rule_times: Dict[str, float] = {}
+        provenance: Optional[Dict[Fact, Justification]] = {} if trace else None
+        iterations = 0
+        changed = True
+        loop_started = time.perf_counter()
+        while changed:
+            if max_iterations is not None and iterations >= max_iterations:
+                break
+            changed = False
+            iterations += 1
+            round_span = (_obs.TRACER.span("closure.round",
+                                           engine="naive", round=iterations)
+                          if observing else _obs.NULL_SPAN)
+            with round_span as rspan:
+                fresh: List[Fact] = []
+                for rule in rules:
+                    sources = [store] * len(rule.body)
+                    if observing:
+                        rule_started = time.perf_counter()
+                    for fact, binding in _fire(rule, sources, context):
+                        if fact not in store:
+                            fresh.append(fact)
+                            firings[rule.name] += 1
+                            if provenance is not None \
+                                    and fact not in provenance:
+                                provenance[fact] = Justification(
+                                    rule.name, _premises(rule, binding))
+                    if observing:
+                        rule_times[rule.name] = (
+                            rule_times.get(rule.name, 0.0)
+                            + time.perf_counter() - rule_started)
+                if observing:
+                    apply_started = time.perf_counter()
+                for fact in fresh:
+                    if store.add(fact):
+                        changed = True
+                if observing:
+                    rule_times[APPLY] = (rule_times.get(APPLY, 0.0)
+                                         + time.perf_counter() - apply_started)
+                rspan.set(fresh=len(fresh))
+        if observing:
+            _obs.TRACER.count("engine.rounds", iterations)
+            _obs.TRACER.gauge("engine.closure_seconds",
+                              time.perf_counter() - loop_started)
+            span.set(iterations=iterations,
+                     derived=len(store) - base_count)
+        return ClosureResult(store=store, base_count=base_count,
+                             derived_count=len(store) - base_count,
+                             iterations=iterations, rule_firings=firings,
+                             rule_times=rule_times, provenance=provenance)
 
 
 def semi_naive_closure(base: Iterable[Fact], rules: Sequence[Rule],
@@ -147,17 +190,28 @@ def semi_naive_closure(base: Iterable[Fact], rules: Sequence[Rule],
     found exactly through its new atom(s); derivations involving only
     old facts were found in earlier rounds.
     """
-    store = FactStore(base)
-    base_count = len(store)
-    firings: Dict[str, int] = {rule.name: 0 for rule in rules}
-    provenance: Optional[Dict[Fact, Justification]] = {} if trace else None
-    iterations = _semi_naive_rounds(store, FactStore(store), rules,
-                                    context, firings, max_iterations,
-                                    provenance)
-    return ClosureResult(store=store, base_count=base_count,
-                         derived_count=len(store) - base_count,
-                         iterations=iterations, rule_firings=firings,
-                         provenance=provenance)
+    observing = _obs.ENABLED
+    closure_span = (_obs.TRACER.span("closure.semi_naive", rules=len(rules))
+                    if observing else _obs.NULL_SPAN)
+    with closure_span as span:
+        store = FactStore(base)
+        base_count = len(store)
+        firings: Dict[str, int] = {rule.name: 0 for rule in rules}
+        rule_times: Dict[str, float] = {}
+        provenance: Optional[Dict[Fact, Justification]] = {} if trace else None
+        loop_started = time.perf_counter()
+        iterations = _semi_naive_rounds(store, FactStore(store), rules,
+                                        context, firings, max_iterations,
+                                        provenance, rule_times)
+        if observing:
+            _obs.TRACER.gauge("engine.closure_seconds",
+                              time.perf_counter() - loop_started)
+            span.set(iterations=iterations,
+                     derived=len(store) - base_count)
+        return ClosureResult(store=store, base_count=base_count,
+                             derived_count=len(store) - base_count,
+                             iterations=iterations, rule_firings=firings,
+                             rule_times=rule_times, provenance=provenance)
 
 
 def _pivoted_rules(rules: Sequence[Rule]) -> List[Tuple[Rule, Rule]]:
@@ -183,36 +237,61 @@ def _semi_naive_rounds(store: FactStore, delta: FactStore,
                        firings: Dict[str, int],
                        max_iterations: Optional[int] = None,
                        provenance: Optional[Dict[Fact, Justification]]
+                       = None,
+                       rule_times: Optional[Dict[str, float]]
                        = None) -> int:
     """Run delta rounds until quiescence, mutating ``store`` in place.
 
     ``delta`` holds the facts not yet joined against the rest of the
     store (they must already be *in* the store).  Returns the number of
-    rounds executed.
+    rounds executed.  With obs tracing enabled, cumulative per-rule join
+    seconds accumulate into ``rule_times`` and each round emits a
+    ``closure.round`` span carrying its delta-in/fresh-out sizes.
     """
     pivoted = _pivoted_rules(rules)
     iterations = 0
+    observing = _obs.ENABLED and rule_times is not None
     while delta:
         if max_iterations is not None and iterations >= max_iterations:
             break
         iterations += 1
-        fresh: Set[Fact] = set()
-        for rule, reordered in pivoted:
-            arity = len(reordered.body)
-            sources: List[FactStore] = [delta] + [store] * (arity - 1)
-            for fact, binding in _fire(reordered, sources, context):
-                if fact not in store and fact not in fresh:
-                    fresh.add(fact)
-                    firings[rule.name] += 1
-                    if provenance is not None and fact not in provenance:
-                        # Premises in the original body order, not the
-                        # pivot order.
-                        provenance[fact] = Justification(
-                            rule.name, _premises(rule, binding))
-        delta = FactStore()
-        for fact in fresh:
-            if store.add(fact):
-                delta.add(fact)
+        round_span = (_obs.TRACER.span("closure.round",
+                                       engine="semi-naive",
+                                       round=iterations,
+                                       delta_in=len(delta))
+                      if observing else _obs.NULL_SPAN)
+        with round_span as rspan:
+            fresh: Set[Fact] = set()
+            for rule, reordered in pivoted:
+                arity = len(reordered.body)
+                sources: List[FactStore] = [delta] + [store] * (arity - 1)
+                if observing:
+                    rule_started = time.perf_counter()
+                for fact, binding in _fire(reordered, sources, context):
+                    if fact not in store and fact not in fresh:
+                        fresh.add(fact)
+                        firings[rule.name] += 1
+                        if provenance is not None and fact not in provenance:
+                            # Premises in the original body order, not the
+                            # pivot order.
+                            provenance[fact] = Justification(
+                                rule.name, _premises(rule, binding))
+                if observing:
+                    rule_times[rule.name] = (
+                        rule_times.get(rule.name, 0.0)
+                        + time.perf_counter() - rule_started)
+            if observing:
+                apply_started = time.perf_counter()
+            delta = FactStore()
+            for fact in fresh:
+                if store.add(fact):
+                    delta.add(fact)
+            if observing:
+                rule_times[APPLY] = (rule_times.get(APPLY, 0.0)
+                                     + time.perf_counter() - apply_started)
+            rspan.set(fresh_out=len(delta))
+    if observing:
+        _obs.TRACER.count("engine.rounds", iterations)
     return iterations
 
 
@@ -236,8 +315,13 @@ def extend_closure(result: ClosureResult, new_facts: Iterable[Fact],
             delta.add(fact)
     result.base_count += len(delta)
     if delta:
-        result.iterations += _semi_naive_rounds(
-            result.store, delta, rules, context, result.rule_firings,
-            provenance=result.provenance)
+        extend_span = (_obs.TRACER.span("closure.extend",
+                                        new_facts=len(delta))
+                       if _obs.ENABLED else _obs.NULL_SPAN)
+        with extend_span:
+            result.iterations += _semi_naive_rounds(
+                result.store, delta, rules, context, result.rule_firings,
+                provenance=result.provenance,
+                rule_times=result.rule_times)
         result.derived_count = len(result.store) - result.base_count
     return result

@@ -22,6 +22,7 @@ Commands::
     query FORMULA             evaluate a standard query (§2.7)
     ask FORMULA               truth value of a proposition
     explain FORMULA           show the evaluation plan and safety
+    explain analyze FORMULA   run it and show plan vs actual rows/time
     why S R T                 derivation tree of a closure fact
                               (needs a trace-enabled database)
     probe QUERY               evaluate with automatic retraction (§5.2)
@@ -38,7 +39,9 @@ Commands::
     diagnose                  trace contradictions to stored facts
     export FILE               write the stored facts as text
     import FILE               add facts from a text file
-    stats                     database statistics
+    stats                     database statistics (+ live trace counters)
+    trace on|off              toggle obs tracing (spans and counters)
+    profile COMMAND           run any command, print its trace summary
     help                      this text
     quit                      leave
 """
@@ -92,6 +95,7 @@ class BrowserShell:
             "export": self._export,
             "import": self._import,
             "stats": self._stats,
+            "trace": self._trace,
             "help": self._help,
             "quit": self._quit,
             "exit": self._quit,
@@ -106,6 +110,11 @@ class BrowserShell:
         try:
             if line.startswith("("):
                 return self._navigate(line)
+            first, _, rest = line.partition(" ")
+            if first.lower() == "profile":
+                # The profiled command keeps its raw text (templates
+                # contain commas and parentheses shlex would mangle).
+                return self._profile(rest.strip())
             try:
                 words = shlex.split(line)
             except ValueError as error:
@@ -201,6 +210,11 @@ class BrowserShell:
         return "true" if self.db.ask(text) else "false"
 
     def _explain(self, arguments: List[str]) -> str:
+        if arguments and arguments[0].lower() == "analyze":
+            text = " ".join(arguments[1:])
+            if not text:
+                return "usage: explain analyze FORMULA"
+            return self.db.explain_analyze(text).render()
         text = " ".join(arguments)
         if not text:
             return "usage: explain FORMULA"
@@ -353,10 +367,59 @@ class BrowserShell:
         return f"added {added} new facts"
 
     def _stats(self, arguments: List[str]) -> str:
+        from .obs import active_tracer, tracing_enabled
+
         stats = self.db.stats()
-        return "\n".join(
-            f"  {key}: {value}" for key, value in stats.items()
-            if key != "enabled_rules")
+        hidden = ("enabled_rules", "rule_firings", "rule_times")
+        lines = [f"  {key}: {value}" for key, value in stats.items()
+                 if key not in hidden]
+        firings = stats.get("rule_firings") or {}
+        if any(firings.values()):
+            lines.append("  rule_firings:")
+            lines.extend(f"    {name}: {count}"
+                         for name, count in sorted(firings.items())
+                         if count)
+        times = stats.get("rule_times") or {}
+        if times:
+            lines.append("  rule_times:")
+            lines.extend(f"    {name}: {seconds * 1000:.3f} ms"
+                         for name, seconds in sorted(times.items()))
+        counters = active_tracer().counters
+        if counters:
+            state = "live" if tracing_enabled() else "frozen"
+            lines.append(f"  trace counters ({state}):")
+            lines.extend(f"    {name}: {value}"
+                         for name, value in sorted(counters.items()))
+        return "\n".join(lines)
+
+    def _trace(self, arguments: List[str]) -> str:
+        from .obs import (active_tracer, disable_tracing, enable_tracing,
+                          tracing_enabled)
+
+        if not arguments:
+            state = "on" if tracing_enabled() else "off"
+            return f"tracing is {state}"
+        word = arguments[0].lower()
+        if word == "on":
+            enable_tracing()
+            return "tracing on — counters appear in 'stats'"
+        if word == "off":
+            disable_tracing()
+            tracer = active_tracer()
+            collected = len(tracer.counters) + len(tracer.roots)
+            return (f"tracing off ({collected} counters/spans collected;"
+                    " still visible in 'stats' until re-enabled)")
+        return "usage: trace [on|off]"
+
+    def _profile(self, command: str) -> str:
+        from .obs import Tracer, summary, use_tracer
+
+        if not command:
+            return "usage: profile COMMAND [ARGS...]"
+        with use_tracer(Tracer()) as tracer:
+            output = self.execute(command)
+        report = summary(tracer, title=f"profile: {command}")
+        return f"{output}\n\n{report}" if output else report
 
     def _help(self, arguments: List[str]) -> str:
         return __doc__.split("Commands::", 1)[1].strip("\n")

@@ -1,0 +1,436 @@
+"""The observability layer: spans, counters, exporters, EXPLAIN ANALYZE.
+
+Covers the tracer substrate itself (nesting, timing monotonicity,
+reset, the disabled no-op path), the per-layer instrumentation
+(store, closure engine, evaluator, browsers), the exporters
+(JSON-lines round-trip, text summary), and the plan-vs-actual
+rendering of ``explain_analyze``.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+import pytest
+
+from repro.core.facts import Fact
+from repro.core.store import FactStore
+from repro.datasets import paper, university
+from repro.datasets.synthetic import hierarchy_facts, membership_facts
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    pattern_shape,
+    read_jsonl,
+    summary,
+    to_events,
+    tracing_enabled,
+    use_tracer,
+    write_jsonl,
+)
+from repro.obs import tracer as tracer_module
+from repro.query.parser import parse_template
+from repro.rules.builtin import STANDARD_RULES
+from repro.rules.engine import APPLY, semi_naive_closure
+from repro.rules.rule import RelationshipClassifier, RuleContext
+
+
+@pytest.fixture(autouse=True)
+def _pristine_global_tracer():
+    """Every test starts and ends with tracing off and no global
+    tracer installed, whatever it did in between."""
+    saved = (tracer_module.TRACER, tracer_module.ENABLED)
+    tracer_module.TRACER, tracer_module.ENABLED = NULL_TRACER, False
+    yield
+    tracer_module.TRACER, tracer_module.ENABLED = saved
+
+
+def _context(facts):
+    return RuleContext(classifier=RelationshipClassifier(FactStore(facts)))
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_nesting_and_preorder_walk(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert tracer.roots == [outer]
+        assert middle.parent is outer
+        assert inner.parent is middle
+        assert sibling.parent is outer
+        assert outer.children == [middle, sibling]
+        assert [s.name for s in outer.walk()] == [
+            "outer", "middle", "inner", "sibling"]
+        assert (outer.depth, middle.depth, inner.depth) == (0, 1, 2)
+        assert outer.attributes == {"kind": "test"}
+
+    def test_timing_monotonicity(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                time.sleep(0.005)
+        assert child.finished and parent.finished
+        assert child.wall > 0
+        # A child's wall time can never exceed its parent's.
+        assert parent.wall >= child.wall
+        assert parent.cpu >= 0 and child.cpu >= 0
+
+    def test_set_attaches_attributes(self):
+        tracer = Tracer()
+        with tracer.span("s", a=1) as span:
+            span.set(b=2)
+            span.set(a=3)
+        assert span.attributes == {"a": 3, "b": 2}
+
+    def test_spans_filter_by_name(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("b"):
+            pass
+        assert len(tracer.spans()) == 3
+        assert len(tracer.spans("b")) == 2
+        assert tracer.spans("missing") == []
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing") as span:
+                raise ValueError("boom")
+        assert span.finished
+        assert tracer._stack == []
+
+
+# ----------------------------------------------------------------------
+# Counters, gauges, reset
+# ----------------------------------------------------------------------
+class TestCountersAndReset:
+    def test_count_and_gauge(self):
+        tracer = Tracer()
+        tracer.count("hits")
+        tracer.count("hits", 4)
+        tracer.gauge("temp", 1.5)
+        tracer.gauge("temp", 2.5)
+        assert tracer.counters == {"hits": 5}
+        assert tracer.gauges == {"temp": 2.5}
+
+    def test_record_conjunct_aggregates(self):
+        tracer = Tracer()
+        tracer.record_conjunct("(?x, R, ?y)", 4.0, 3)
+        tracer.record_conjunct("(?x, R, ?y)", 2.0, 1)
+        stats = tracer.conjuncts["(?x, R, ?y)"]
+        assert (stats.evals, stats.rows) == (2, 4)
+        assert stats.estimate_mean == 3.0
+        assert stats.rows_mean == 2.0
+
+    def test_reset_drops_everything(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.count("c")
+            tracer.gauge("g", 1.0)
+            tracer.record_conjunct("k", 1.0, 1)
+        tracer.reset()
+        assert tracer.counters == {}
+        assert tracer.gauges == {}
+        assert tracer.roots == []
+        assert tracer.conjuncts == {}
+        # Counters restart from zero after a reset.
+        tracer.count("c")
+        assert tracer.counters == {"c": 1}
+
+    def test_reset_keeps_open_spans_closable(self):
+        tracer = Tracer()
+        with tracer.span("open"):
+            tracer.reset()  # must not break the in-flight span
+        assert tracer.roots == []
+
+
+# ----------------------------------------------------------------------
+# The disabled path
+# ----------------------------------------------------------------------
+class TestDisabledPath:
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.count("x")
+        NULL_TRACER.gauge("y", 1.0)
+        NULL_TRACER.record_conjunct("k", 1.0, 2)
+        assert NULL_TRACER.counters == {}
+        assert NULL_TRACER.gauges == {}
+        assert NULL_TRACER.spans() == []
+
+    def test_null_span_identity(self):
+        # Every span request yields the same no-op object, so the
+        # disabled path allocates nothing.
+        cm = NULL_TRACER.span("anything", a=1)
+        assert cm is NULL_SPAN
+        with cm as span:
+            span.set(ignored=True)
+        assert span is NULL_SPAN
+        assert span.attributes == {}
+
+    def test_enable_disable_cycle(self):
+        assert not tracing_enabled()
+        tracer = enable_tracing()
+        assert tracing_enabled()
+        assert isinstance(tracer, Tracer)
+        tracer.count("kept")
+        disable_tracing()
+        assert not tracing_enabled()
+        # Data stays readable after disabling …
+        assert active_tracer().counters == {"kept": 1}
+        # … and survives a plain re-enable, but not a fresh one.
+        assert enable_tracing() is tracer
+        assert enable_tracing(fresh=True) is not tracer
+
+    def test_use_tracer_restores_state(self):
+        scoped = Tracer()
+        with use_tracer(scoped) as tracer:
+            assert tracer is scoped
+            assert tracing_enabled()
+            assert active_tracer() is scoped
+        assert not tracing_enabled()
+        assert active_tracer() is NULL_TRACER
+
+    def test_disabled_tracing_collects_nothing(self):
+        db = paper.load()
+        db.query("(x, EARNS, y)")
+        assert active_tracer() is NULL_TRACER
+        assert active_tracer().counters == {}
+
+
+# ----------------------------------------------------------------------
+# pattern_shape
+# ----------------------------------------------------------------------
+def test_pattern_shape():
+    assert pattern_shape(parse_template("(JOHN, EARNS, y)")) == "sr"
+    assert pattern_shape(parse_template("(x, y, z)")) == "open"
+    assert pattern_shape(parse_template("(JOHN, EARNS, SALARY)")) == "srt"
+    assert pattern_shape(parse_template("(x, EARNS, y)")) == "r"
+
+
+# ----------------------------------------------------------------------
+# Layer instrumentation
+# ----------------------------------------------------------------------
+class TestStoreInstrumentation:
+    def test_add_remove_lookup_counters(self):
+        with use_tracer(Tracer()) as tracer:
+            store = FactStore()
+            store.add(Fact("A", "R", "B"))
+            store.add(Fact("A", "R", "B"))  # duplicate: not counted
+            store.add(Fact("A", "R", "C"))
+            store.discard(Fact("A", "R", "C"))
+            list(store.match(parse_template("(A, R, x)")))
+        assert tracer.counters["store.adds"] == 2
+        assert tracer.counters["store.removes"] == 1
+        assert tracer.counters["store.lookups"] >= 1
+
+    def test_solutions_hits_keyed_by_shape(self):
+        with use_tracer(Tracer()) as tracer:
+            store = FactStore([Fact("A", "R", "B"), Fact("A", "R", "C")])
+            found = list(store.solutions(parse_template("(A, R, x)"), {}))
+        assert len(found) == 2
+        assert tracer.counters["store.solutions.calls.sr"] == 1
+        assert tracer.counters["store.solutions.hits.sr"] == 2
+
+
+class TestEngineInstrumentation:
+    def _workload(self):
+        tree, leaves = hierarchy_facts(3, 2)
+        facts = list(tree) + membership_facts(leaves, 2)
+        facts.append(Fact("C0", "HAS-POLICY", "GENERAL-POLICY"))
+        return facts
+
+    def test_round_spans_and_counters(self):
+        facts = self._workload()
+        with use_tracer(Tracer()) as tracer:
+            result = semi_naive_closure(facts, STANDARD_RULES,
+                                        _context(facts))
+        closure_spans = tracer.spans("closure.semi_naive")
+        assert len(closure_spans) == 1
+        assert closure_spans[0].attributes["derived"] == \
+            result.derived_count
+        rounds = tracer.spans("closure.round")
+        assert len(rounds) == result.iterations
+        assert tracer.counters["engine.rounds"] == result.iterations
+        # Each round records its delta sizes.
+        for span in rounds:
+            assert "delta_in" in span.attributes
+            assert "fresh_out" in span.attributes
+
+    def test_rule_times_sum_to_closure_time(self):
+        """The acceptance bound: per-rule cumulative seconds (plus the
+        reserved apply entry) partition the fixpoint loop's total time
+        to within ±5%."""
+        import random
+
+        tree, leaves = hierarchy_facts(4, 2)
+        facts = list(tree) + membership_facts(leaves, 2)
+        rng = random.Random(0)
+        entities = [f"C{i}" for i in range(31)]
+        for index in range(20):
+            facts.append(Fact(rng.choice(entities), f"R{index % 8}",
+                              rng.choice(entities)))
+        context = _context(facts)
+        semi_naive_closure(facts, STANDARD_RULES, context)  # warm caches
+        with use_tracer(Tracer()) as tracer:
+            result = semi_naive_closure(facts, STANDARD_RULES, context)
+        total = tracer.gauges["engine.closure_seconds"]
+        accounted = sum(result.rule_times.values())
+        assert APPLY in result.rule_times
+        assert total > 0
+        assert abs(1.0 - accounted / total) <= 0.05
+
+    def test_rule_times_empty_without_tracing(self):
+        facts = self._workload()
+        result = semi_naive_closure(facts, STANDARD_RULES, _context(facts))
+        assert result.rule_times == {}
+
+
+class TestQueryInstrumentation:
+    def test_conjunct_records_match_execution(self):
+        db = paper.load()
+        db.closure()  # materialize outside the traced region
+        with use_tracer(Tracer()) as tracer:
+            value = db.query("(x, ∈, EMPLOYEE) and (x, EARNS, y)")
+        stats = tracer.conjuncts["(?x, ∈, EMPLOYEE)"]
+        assert stats.evals == 1
+        assert stats.rows == 3  # JOHN, TOM, MARY
+        earns = tracer.conjuncts["(?x, EARNS, ?y)"]
+        assert earns.evals == 3  # once per bound x
+        assert earns.rows == len(value)
+        spans = tracer.spans("query.evaluate")
+        assert len(spans) == 1
+        assert spans[0].attributes["rows"] == len(value)
+
+    def test_forall_domain_gauge(self):
+        db = university.load()
+        db.closure()
+        with use_tracer(Tracer()) as tracer:
+            db.query("(z, ∈, QUARTERBACK) and forall y: (z, ATTENDED, y)")
+        # Evaluated once per quarterback binding (JAKE, BOB).
+        assert tracer.counters["query.forall.evals"] == 2
+        assert tracer.gauges["query.forall.domain_size"] >= 2
+
+
+class TestBrowseInstrumentation:
+    def test_navigation_span_and_counter(self):
+        db = paper.load()
+        db.closure()
+        with use_tracer(Tracer()) as tracer:
+            result = db.navigate("(JOHN, *, *)")
+        assert tracer.counters["browse.navigations"] == 1
+        span = tracer.spans("browse.navigate")[0]
+        assert span.attributes["facts"] == len(result.facts)
+
+    def test_probe_counters(self):
+        db = university.load()
+        with use_tracer(Tracer()) as tracer:
+            result = db.probe(university.STUDENTS_LOVE_FREE)
+        assert tracer.counters["browse.probes"] == 1
+        assert tracer.counters["browse.probe.waves"] == len(result.waves)
+        attempted = sum(len(wave.attempted) for wave in result.waves)
+        assert tracer.counters["browse.probe.retractions"] == attempted
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+class TestExport:
+    def _collected(self):
+        tracer = Tracer()
+        with tracer.span("outer", label="x"):
+            with tracer.span("inner"):
+                pass
+        tracer.count("events", 3)
+        tracer.gauge("level", 0.5)
+        tracer.record_conjunct("(?x, R, ?y)", 2.0, 4)
+        return tracer
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = self._collected()
+        path = tmp_path / "trace.jsonl"
+        written = write_jsonl(tracer, str(path))
+        events = read_jsonl(str(path))
+        assert len(events) == written
+        assert events == to_events(tracer)
+        # The span tree is reconstructible from the parent references.
+        spans = [e for e in events if e["type"] == "span"]
+        assert spans[0]["parent"] is None
+        assert spans[1]["parent"] == spans[0]["id"]
+        assert [e["type"] for e in events] == [
+            "span", "span", "counter", "gauge", "conjunct"]
+
+    def test_jsonl_file_handle(self):
+        tracer = self._collected()
+        buffer = io.StringIO()
+        write_jsonl(tracer, buffer)
+        events = read_jsonl(io.StringIO(buffer.getvalue()))
+        assert events == to_events(tracer)
+
+    def test_summary_sections(self):
+        text = summary(self._collected(), title="test run")
+        assert "== test run ==" in text
+        assert "outer" in text and "inner" in text
+        assert "events" in text
+        assert "level" in text
+        assert "(?x, R, ?y)" in text
+
+    def test_summary_empty(self):
+        assert "(nothing collected)" in summary(Tracer())
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN ANALYZE
+# ----------------------------------------------------------------------
+class TestExplainAnalyze:
+    def test_golden_rendering_on_paper_query(self):
+        db = paper.load()
+        analyzed = db.explain_analyze("(x, ∈, EMPLOYEE) and (x, EARNS, y)")
+        text = analyzed.render()
+        lines = [line.rstrip() for line in text.splitlines()]
+        # Everything except the (non-deterministic) timing line is
+        # golden.
+        assert lines[0] == "query: Q(x, y) = ((?x, ∈, EMPLOYEE) ∧" \
+            " (?x, EARNS, ?y))"
+        assert lines[1] == "safety: ok"
+        assert lines[2] == "initial conjunct order:"
+        assert lines[3] == "  1. (?x, ∈, EMPLOYEE)   [est 3.1; bound: -]"
+        assert lines[4] == "  2. (?x, EARNS, ?y)   [est 1.4; bound: x]"
+        assert lines[6] == "plan vs actual:"
+        assert lines[7] == \
+            "  #  conjunct           est cost  actual rows  evals"
+        assert lines[9] == "  1  (?x, ∈, EMPLOYEE)  3.1       3            1"
+        assert lines[10] == "  2  (?x, EARNS, ?y)    1.4       9            3"
+        assert lines[11] == "result rows: 9"
+        assert lines[12].startswith("wall: ")
+        assert analyzed.rows == 9
+        assert analyzed.value == db.query("(x, ∈, EMPLOYEE) and (x, EARNS, y)")
+
+    def test_unsafe_query_not_executed(self):
+        from repro.core.facts import var
+        from repro.query.ast import Or, Query, atom
+
+        x, y = var("x"), var("y")
+        unsafe = Query.of(Or((atom(x, "R", y), atom(x, "R", "B"))), (x, y))
+        db = paper.load()
+        analyzed = db.explain_analyze(unsafe)
+        assert not analyzed.executed
+        assert "not executed" in analyzed.render()
+
+    def test_leaves_global_tracing_untouched(self):
+        db = paper.load()
+        db.explain_analyze("(x, EARNS, y)")
+        assert not tracing_enabled()
+        assert active_tracer() is NULL_TRACER

@@ -110,6 +110,31 @@ class TestBenchHarness:
         assert format_value(0.0) == "0"
         assert format_value("text") == "text"
 
+    def test_format_value_near_zero(self):
+        # Both signed zeros collapse to the same bare "0".
+        assert format_value(-0.0) == "0"
+        # Values fixed-point would round to zero switch to scientific…
+        assert format_value(0.00001) == "1.00e-05"
+        assert format_value(-0.00001) == "-1.00e-05"
+        # …but values that survive rounding stay fixed-point, even at
+        # the boundary (0.0009999 rounds to 0.001, like its neighbors).
+        assert format_value(0.0009999) == "0.001"
+        assert format_value(0.001) == "0.001"
+        assert format_value(0.5) == "0.5"
+        assert format_value(-0.5) == "-0.5"
+        assert format_value(-3) == "-3"
+        assert format_value(True) == "True"
+
+    def test_format_value_sign_symmetry(self):
+        for magnitude in (0.0, 0.00001, 0.0004, 0.0009999, 0.001, 0.25,
+                          0.5, 1.0, 3.14159, 12345.678):
+            positive = format_value(magnitude)
+            negative = format_value(-magnitude)
+            if positive == "0":
+                assert negative == "0"
+            else:
+                assert negative == "-" + positive
+
     def test_format_table(self):
         text = format_table(["a", "bee"], [[1, 2.5], [300, "x"]])
         lines = text.splitlines()
