@@ -1,7 +1,7 @@
 """Benchmark harness: sweeps, timing, and text reporting."""
 
-from .harness import Measurement, Sweep, timed
+from .harness import Measurement, Sweep, measure, timed, write_bench_json
 from .reporting import format_sweep, format_table, format_value, print_sweep
 
-__all__ = ["Measurement", "Sweep", "timed", "format_sweep", "format_table",
-           "format_value", "print_sweep"]
+__all__ = ["Measurement", "Sweep", "measure", "timed", "write_bench_json",
+           "format_sweep", "format_table", "format_value", "print_sweep"]

@@ -8,6 +8,7 @@ benchmark files.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -62,6 +63,30 @@ def measure(label: str, function: Callable[[], object], repeat: int = 3,
                     name.startswith(prefix) for prefix in counter_prefixes):
                 metrics[name] = value
     return Measurement(label=label, seconds=seconds, metrics=metrics)
+
+
+def write_bench_json(path: str, benchmark: str,
+                     rows: Sequence[Dict[str, object]],
+                     summary: Optional[Dict[str, object]] = None,
+                     config: Optional[Dict[str, object]] = None) -> dict:
+    """Persist a benchmark result matrix as a JSON document.
+
+    ``rows`` is the flat result matrix (one dict per measured cell —
+    e.g. engine × dataset × limit); ``summary`` holds the headline
+    numbers a trajectory tracker reads without joining the matrix;
+    ``config`` records how the run was parameterized.  Returns the
+    document written, for callers that also want to print it.
+    """
+    document: Dict[str, object] = {"benchmark": benchmark}
+    if config:
+        document["config"] = dict(config)
+    document["results"] = [dict(row) for row in rows]
+    if summary:
+        document["summary"] = dict(summary)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return document
 
 
 @dataclass

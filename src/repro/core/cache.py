@@ -1,0 +1,91 @@
+"""A small LRU cache for versioned query/navigation results.
+
+The paper's principal retrieval mode is browsing (§5): the user asks
+for the same neighborhoods and the same queries again and again while
+the database barely changes.  Because :class:`~repro.core.store.FactStore`
+carries a monotone mutation version, a result computed against version
+*v* stays valid exactly until the version moves — so cache keys simply
+embed the version and invalidation is free: stale entries are never
+*hit* again, and the LRU discipline ages them out.
+
+Hit/miss totals are exposed both as attributes (for tests that run with
+tracing off) and as the ``cache.hits`` / ``cache.misses`` obs counters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+from ..obs import tracer as _obs
+
+#: Sentinel distinguishing "missing" from a cached falsy value.
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Values are returned exactly as stored; callers that hand cached
+    objects to the outside world must treat them as read-only (or copy
+    on the way out, as the query layer does with its result sets).
+    """
+
+    def __init__(self, maxsize: int = 512):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value for ``key`` (marking it recently used), or
+        ``default``."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            if _obs.ENABLED:
+                _obs.TRACER.count("cache.misses")
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        if _obs.ENABLED:
+            _obs.TRACER.count("cache.hits")
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``key`` → ``value``, evicting the oldest entries when
+        the cache is over capacity."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            if _obs.ENABLED:
+                _obs.TRACER.count("cache.evictions")
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction totals plus current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+    def __repr__(self) -> str:
+        return (f"LRUCache({len(self._data)}/{self.maxsize},"
+                f" {self.hits} hits, {self.misses} misses)")

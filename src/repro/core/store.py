@@ -50,6 +50,10 @@ class FactStore:
         # Reference counts so entity bookkeeping survives deletions.
         self._entity_refs: Dict[str, int] = defaultdict(int)
         self._relationship_refs: Dict[str, int] = defaultdict(int)
+        # Monotone mutation counter: bumped on every successful add,
+        # discard, or clear — never reset.  Result caches key on it so
+        # a moved version invalidates every entry for free.
+        self._version: int = 0
         for f in facts:
             self.add(f)
 
@@ -62,6 +66,7 @@ class FactStore:
             return False
         if _obs.ENABLED:
             _obs.TRACER.count("store.adds")
+        self._version += 1
         self._facts.add(fact)
         s, r, t = fact
         self._by_s[s].add(fact)
@@ -85,6 +90,7 @@ class FactStore:
             return False
         if _obs.ENABLED:
             _obs.TRACER.count("store.removes")
+        self._version += 1
         self._facts.remove(fact)
         s, r, t = fact
         self._by_s[s].discard(fact)
@@ -103,8 +109,10 @@ class FactStore:
         return True
 
     def clear(self) -> None:
-        """Remove every fact."""
+        """Remove every fact.  The version keeps moving forward."""
+        version = self._version + 1
         self.__init__()
+        self._version = version
 
     # ------------------------------------------------------------------
     # Inspection
@@ -121,9 +129,38 @@ class FactStore:
     def __bool__(self) -> bool:
         return bool(self._facts)
 
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (adds, discards, and clears)."""
+        return self._version
+
     def copy(self) -> "FactStore":
-        """An independent copy of this store."""
-        return FactStore(self._facts)
+        """An independent copy of this store.
+
+        The six index dicts and the two refcount maps are duplicated
+        directly instead of re-inserting every fact through
+        :meth:`add` — the closure engine seeds each delta with a copy,
+        so this is on the closure hot path.  The copy starts at the
+        same version as the original.
+        """
+        new = FactStore.__new__(FactStore)
+        new._facts = set(self._facts)
+        new._by_s = defaultdict(
+            set, ((k, set(v)) for k, v in self._by_s.items() if v))
+        new._by_r = defaultdict(
+            set, ((k, set(v)) for k, v in self._by_r.items() if v))
+        new._by_t = defaultdict(
+            set, ((k, set(v)) for k, v in self._by_t.items() if v))
+        new._by_sr = defaultdict(
+            set, ((k, set(v)) for k, v in self._by_sr.items() if v))
+        new._by_st = defaultdict(
+            set, ((k, set(v)) for k, v in self._by_st.items() if v))
+        new._by_rt = defaultdict(
+            set, ((k, set(v)) for k, v in self._by_rt.items() if v))
+        new._entity_refs = defaultdict(int, self._entity_refs)
+        new._relationship_refs = defaultdict(int, self._relationship_refs)
+        new._version = self._version
+        return new
 
     def entities(self) -> Set[str]:
         """The active domain: every entity occurring in any position."""
@@ -139,6 +176,10 @@ class FactStore:
         Probing uses this to report "no such database entities" (§5.2).
         """
         return entity in self._entity_refs
+
+    def has_relationship(self, relationship: str) -> bool:
+        """True if any stored fact uses ``relationship``."""
+        return relationship in self._relationship_refs
 
     # ------------------------------------------------------------------
     # Template matching
@@ -172,6 +213,35 @@ class FactStore:
             return self._by_r.get(r, ())
         if t is not None:
             return self._by_t.get(t, ())
+        return self._facts
+
+    def lookup(self, source: Optional[str] = None,
+               relationship: Optional[str] = None,
+               target: Optional[str] = None) -> Iterable[Fact]:
+        """The indexed candidate set for raw ground positions.
+
+        Each argument is an entity or ``None`` (wildcard).  This is the
+        template-free twin of :meth:`match`, used by the compiled rule
+        joins (:mod:`repro.rules.dispatch`) which track bindings in
+        slots instead of :class:`~repro.core.facts.Binding` dicts.
+        """
+        if _obs.ENABLED:
+            _obs.TRACER.count("store.lookups")
+        if source is not None:
+            if relationship is not None:
+                if target is not None:
+                    f = Fact(source, relationship, target)
+                    return (f,) if f in self._facts else ()
+                return self._by_sr.get((source, relationship), ())
+            if target is not None:
+                return self._by_st.get((source, target), ())
+            return self._by_s.get(source, ())
+        if relationship is not None:
+            if target is not None:
+                return self._by_rt.get((relationship, target), ())
+            return self._by_r.get(relationship, ())
+        if target is not None:
+            return self._by_t.get(target, ())
         return self._facts
 
     def match(self, pattern: Template,

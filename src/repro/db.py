@@ -29,6 +29,7 @@ from .core.entities import (
     CONTRA, EQ, GE, GT, INV, LE, LT, NE,
     CLASS_RELATIONSHIP, INDIVIDUAL_RELATIONSHIP, MEMBER,
 )
+from .core.cache import LRUCache
 from .core.errors import IntegrityError, QueryError
 from .core.facts import Fact, Template, fact as make_fact
 from .core.store import FactStore
@@ -43,6 +44,7 @@ from .query.ast import Query
 from .query.evaluate import Evaluator
 from .query.parser import parse_query, parse_template
 from .rules.composition import COMPOSITION_OFF, compose_closure
+from .rules.dispatch import dispatched_closure
 from .rules.engine import (
     ClosureResult,
     extend_closure,
@@ -85,7 +87,7 @@ class Database:
     def __init__(self, facts: Iterable[Fact] = (), *,
                  with_axioms: bool = True,
                  auto_check: bool = False,
-                 engine: str = "semi-naive",
+                 engine: str = "dispatched",
                  incremental: bool = True,
                  trace: bool = False,
                  observe: bool = False,
@@ -96,8 +98,11 @@ class Database:
             with_axioms: seed :data:`AXIOM_FACTS`.
             auto_check: verify the closure stays contradiction-free on
                 every mutation (rolls the mutation back on violation).
-            engine: ``"semi-naive"`` (default) or ``"naive"`` closure
-                engine — the latter exists as the F2 baseline.
+            engine: ``"dispatched"`` (default; compiled joins with
+                relationship-indexed dispatch and stratified rounds),
+                ``"semi-naive"`` (the interpreted delta engine), or
+                ``"naive"`` (the F2 baseline).  All three produce
+                identical closures.
             incremental: maintain the cached closure in place when
                 facts are *inserted* (deletions always recompute);
                 disable to force full recomputation on every mutation
@@ -112,7 +117,7 @@ class Database:
                 which records *provenance*, not execution behavior.
             virtual: override the virtual-relation registry (tests).
         """
-        if engine not in ("semi-naive", "naive"):
+        if engine not in ("dispatched", "semi-naive", "naive"):
             raise ValueError(f"unknown engine: {engine!r}")
         from .views import ViewCatalog
 
@@ -135,6 +140,12 @@ class Database:
         self._lazy_engine: Optional[LazyEngine] = None
         self._view: Optional[FactView] = None
         self._hierarchy: Optional[GeneralizationHierarchy] = None
+        # Versioned result cache for repeated queries and navigation
+        # neighborhoods (the paper's principal retrieval mode, §5).
+        # Keys embed _cache_token(), so entries go stale for free when
+        # the base version moves or the configuration epoch bumps.
+        self._result_cache = LRUCache()
+        self._cache_epoch = 0
         self._on_mutation = None  # set by storage.DurableSession.attach
         if observe:
             from .obs import enable_tracing
@@ -174,8 +185,11 @@ class Database:
         if not self._base.add(new_fact):
             return False
         if self._can_extend_incrementally(new_fact):
+            compiled = (self.rules.compiled()
+                        if self.engine == "dispatched" else None)
             extend_closure(self._standard_result, (new_fact,),
-                           list(self.rules), self.rule_context())
+                           list(self.rules), self.rule_context(),
+                           compiled=compiled)
             # Composition (if on) and the derived caches rebuild lazily
             # from the extended standard closure.
             if self._full_result is not self._standard_result:
@@ -205,7 +219,8 @@ class Database:
         retroactively blocks inferences already drawn, so those
         declarations force recomputation.
         """
-        if not self.incremental or self.engine != "semi-naive":
+        if not self.incremental \
+                or self.engine not in ("dispatched", "semi-naive"):
             return False
         if self._standard_result is None:
             return False
@@ -309,6 +324,17 @@ class Database:
         self._lazy_engine = None
         self._view = None
         self._hierarchy = None
+        # Rule/limit/classification changes alter results without
+        # necessarily moving the base version; the epoch covers them.
+        self._cache_epoch += 1
+
+    def _cache_token(self) -> Tuple[int, int, Optional[int]]:
+        """What query/navigation cache keys embed: any answer-changing
+        event moves at least one component.  Base mutations move the
+        store version (including the incremental-extension path, which
+        bypasses :meth:`_invalidate`); everything else bumps the epoch."""
+        return (self._base.version, self._cache_epoch,
+                self._composition_limit)
 
     def rule_context(self) -> RuleContext:
         return RuleContext(classifier=RelationshipClassifier(self._base))
@@ -322,11 +348,17 @@ class Database:
         """The closure under the enabled rules, *without* composition
         facts — the layer incremental maintenance extends in place."""
         if self._standard_result is None:
-            engine = (semi_naive_closure if self.engine == "semi-naive"
-                      else naive_closure)
-            self._standard_result = engine(self._base, list(self.rules),
-                                           self.rule_context(),
-                                           trace=self.trace)
+            if self.engine == "dispatched":
+                self._standard_result = dispatched_closure(
+                    self._base, list(self.rules), self.rule_context(),
+                    trace=self.trace, compiled=self.rules.compiled())
+            else:
+                engine = (semi_naive_closure
+                          if self.engine == "semi-naive"
+                          else naive_closure)
+                self._standard_result = engine(
+                    self._base, list(self.rules), self.rule_context(),
+                    trace=self.trace)
             self._full_result = None
         return self._standard_result
 
@@ -456,7 +488,8 @@ class Database:
     # Standard queries (§2.7)
     # ------------------------------------------------------------------
     def evaluator(self) -> Evaluator:
-        return Evaluator(self.view())
+        return Evaluator(self.view(), cache=self._result_cache,
+                         cache_token=self._cache_token())
 
     def query(self, query: Union[str, Query]) -> Set[tuple]:
         """The value {Q} of a query: the set of satisfying tuples."""
@@ -481,11 +514,13 @@ class Database:
     # ------------------------------------------------------------------
     def navigate(self, pattern: Union[str, Template]) -> NavigationResult:
         """One navigation (star-template) query."""
-        return navigate(self.view(), pattern)
+        return navigate(self.view(), pattern, cache=self._result_cache,
+                        cache_token=self._cache_token())
 
     def session(self) -> NavigationSession:
         """Start an interactive navigation session."""
-        return NavigationSession(self.view())
+        return NavigationSession(self.view(), cache=self._result_cache,
+                                 cache_token=self._cache_token)
 
     def probe(self, query: Union[str, Query],
               max_waves: int = DEFAULT_MAX_WAVES) -> ProbeResult:
@@ -551,6 +586,7 @@ class Database:
             "iterations": closure.iterations,
             "rule_firings": dict(closure.rule_firings),
             "rule_times": dict(closure.rule_times),
+            "result_cache": self._result_cache.stats(),
         }
 
     def __repr__(self) -> str:

@@ -22,12 +22,26 @@ from ..virtual.computed import FactView
 from .ast import And, Atom, Exists, ForAll, Formula, Or, Query
 from .planner import choose_conjunct
 
+#: Sentinel distinguishing a cache miss from a cached falsy value.
+_NO_RESULT = object()
+
 
 class Evaluator:
-    """Evaluates formulas and queries against a fact view."""
+    """Evaluates formulas and queries against a fact view.
 
-    def __init__(self, view: FactView):
+    With ``cache`` (an :class:`~repro.core.cache.LRUCache`) and
+    ``cache_token`` set, query values and truth values are memoized
+    under ``(kind, canonical query text, token)``.  The token must
+    change whenever the view's answers could (the
+    :class:`~repro.db.Database` embeds its store version and
+    configuration epoch), so stale entries are never hit and no
+    explicit invalidation is needed.
+    """
+
+    def __init__(self, view: FactView, cache=None, cache_token=None):
         self.view = view
+        self.cache = cache
+        self.cache_token = cache_token
 
     # ------------------------------------------------------------------
     # Public API
@@ -38,6 +52,12 @@ class Evaluator:
         For a proposition (closed formula) the value is ``{()}`` if it
         is true and ``set()`` otherwise; use :meth:`ask` for a bool.
         """
+        if self.cache is not None:
+            key = ("query", str(query), self.cache_token)
+            hit = self.cache.get(key, _NO_RESULT)
+            if hit is not _NO_RESULT:
+                # Stored frozen; hand out a fresh mutable set each time.
+                return set(hit)
         check_safety(query.formula)
         evaluate_span = (_obs.TRACER.span("query.evaluate",
                                           query=str(query))
@@ -47,6 +67,8 @@ class Evaluator:
             for binding in self.solutions(query.formula, {}):
                 results.add(tuple(binding[v] for v in query.variables))
             span.set(rows=len(results))
+        if self.cache is not None:
+            self.cache.put(key, frozenset(results))
         return results
 
     def ask(self, query: Query) -> bool:
@@ -55,8 +77,16 @@ class Evaluator:
             raise QueryError(
                 f"not a proposition — free variables:"
                 f" {[v.name for v in query.variables]}")
+        if self.cache is not None:
+            key = ("ask", str(query), self.cache_token)
+            hit = self.cache.get(key, _NO_RESULT)
+            if hit is not _NO_RESULT:
+                return hit
         check_safety(query.formula)
-        return any(True for _ in self.solutions(query.formula, {}))
+        result = any(True for _ in self.solutions(query.formula, {}))
+        if self.cache is not None:
+            self.cache.put(key, result)
+        return result
 
     def succeeds(self, query: Query) -> bool:
         """True if the query has a non-empty value.

@@ -9,6 +9,12 @@ from .composition import (
     compose_closure,
     compose_pair,
 )
+from .dispatch import (
+    CompiledRuleSet,
+    compile_ruleset,
+    dispatched_closure,
+    stratify,
+)
 from .engine import (
     ClosureResult,
     Justification,
@@ -43,7 +49,9 @@ __all__ = [
     "STANDARD_RULES", "STANDARD_RULES_BY_NAME", "COMPOSITION_OFF",
     "UNLIMITED", "CompositionResult", "composable", "compose_closure",
     "compose_pair", "ClosureResult", "Justification", "extend_closure",
-    "naive_closure", "semi_naive_closure", "LazyEngine", "canonical_goal",
+    "naive_closure", "semi_naive_closure", "CompiledRuleSet",
+    "compile_ruleset", "dispatched_closure", "stratify",
+    "LazyEngine", "canonical_goal",
     "DerivationTree", "ProvenanceError", "explain_fact",
     "Violation", "contradictory_pairs", "find_contradictions",
     "is_consistent", "RuleRegistry", "Condition", "Distinct",

@@ -33,6 +33,7 @@ from ..core.store import FactStore
 from .engine import (
     ClosureResult,
     Justification,
+    _checkable,
     _fire,
     _pivoted_rules,
     _premises,
@@ -162,9 +163,11 @@ def _join_body(rule: Rule, binding, store: FactStore,
         atom = rule.body[index]
         for extended in store.solutions(atom, current):
             bound = set(extended)
-            ready = [c for c in remaining if c.variables() <= bound]
-            if all(c.holds(extended, context) for c in ready):
-                rest = [c for c in remaining if c not in ready]
+            ready = _checkable(remaining, bound)
+            if all(remaining[i].holds(extended, context) for i in ready):
+                ready_set = set(ready)
+                rest = [c for i, c in enumerate(remaining)
+                        if i not in ready_set]
                 yield from extend(index + 1, extended, rest)
 
     yield from extend(0, binding, list(rule.conditions))

@@ -1,0 +1,679 @@
+"""The closure fast path: compiled joins, relationship-indexed rule
+dispatch, and stratified fixpoint evaluation.
+
+The paper leaves "suitable storage strategies [and] performance" open
+(§6.2).  The semi-naive engine (:mod:`.engine`) is correct but does far
+more work per round than the rule set requires: every pivoted rule body
+is re-joined through every delta, via generic template matching that
+allocates a binding dict per candidate.  The standard rules (§3) have
+*ground* relationship positions in almost every body atom, which makes
+three classic deductive-database techniques apply directly:
+
+1. **Compiled joins** — each pivoted rule body is compiled once into a
+   slot program: variables become integer slots, atoms become indexed
+   lookups with precomputed fill/check positions, and conditions are
+   compiled to closures attached to the earliest join level at which
+   their variables are bound.  No ``Binding`` dicts, no per-candidate
+   frozensets, no re-derived condition schedules.
+
+2. **Relationship-indexed dispatch** — a dispatch index maps each
+   ground pivot relationship (plus a wildcard bucket) to the compiled
+   rule bodies whose pivot atom can match it.  A semi-naive round then
+   fires only the rules reachable from the relationships actually
+   present in the delta; quiescent rules are skipped outright (the
+   ``dispatch.skipped_rules`` counter).
+
+3. **Stratified fixpoint** — the rule head→body relationship-dependency
+   graph is condensed into SCC strata; each stratum runs to quiescence
+   in topological order.  Rules in later strata never join against the
+   churn of earlier strata's rounds, and rules in earlier strata are
+   provably quiescent once their stratum closes.  (The full standard
+   rule set collapses into one stratum — the synonym substitution rules
+   consume and produce every relationship — so stratification pays off
+   for ablated and user-defined rule sets, exactly the configurations
+   ``include``/``exclude`` (§6.1) creates.)
+
+All three layers preserve the semantics of :func:`.engine.semi_naive_closure`
+bit for bit: the same closure contents and, for single-stratum rule
+sets, the same round structure, per-rule firing totals, and provenance.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..core.entities import is_special_relationship
+from ..core.facts import Binding, Fact, Template, Variable
+from ..core.store import FactStore
+from ..obs import tracer as _obs
+from .rule import (
+    ANY_RELATIONSHIP,
+    NONSPECIAL_RELATIONSHIP,
+    Condition,
+    Distinct,
+    IndividualRelationship,
+    NotSpecial,
+    RelationshipSpec,
+    Rule,
+    RuleContext,
+    specs_overlap,
+)
+
+# ----------------------------------------------------------------------
+# Stratification
+# ----------------------------------------------------------------------
+def rule_dependencies(rules: Sequence[Rule]) -> List[List[int]]:
+    """Adjacency lists of the head→body relationship-dependency graph.
+
+    ``edges[b]`` contains ``a`` when a fact derivable by ``rules[b]``'s
+    head could match some body atom of ``rules[a]`` — i.e. rule *b*
+    feeds rule *a*, so *a* must be evaluated with or after *b*.  The
+    analysis is a sound overapproximation (see
+    :func:`~repro.rules.rule.specs_overlap`).
+    """
+    produced = [rule.produced_relationship_specs() for rule in rules]
+    consumed = [rule.consumed_relationship_specs() for rule in rules]
+    edges: List[List[int]] = []
+    for b in range(len(rules)):
+        out: List[int] = []
+        for a in range(len(rules)):
+            if any(specs_overlap(p, c)
+                   for p in produced[b] for c in consumed[a]):
+                out.append(a)
+        edges.append(out)
+    return edges
+
+
+def stratify(rules: Sequence[Rule]) -> List[List[Rule]]:
+    """SCC strata of the dependency graph, in topological order.
+
+    Producers come first; mutually recursive rules share a stratum;
+    within a stratum rules keep their registration order.  Evaluating
+    the strata in order, each to quiescence, reaches the same fixpoint
+    as global round-robin evaluation.
+    """
+    rules = list(rules)
+    n = len(rules)
+    if n == 0:
+        return []
+    succ = rule_dependencies(rules)
+
+    # Iterative Tarjan: SCCs are emitted consumers-first, so the
+    # reversed emission order is the producers-first topological order.
+    indices: List[Optional[int]] = [None] * n
+    low = [0] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = 0
+    for root in range(n):
+        if indices[root] is not None:
+            continue
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            node, edge_index = work[-1]
+            if edge_index == 0:
+                indices[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            descended = False
+            for i in range(edge_index, len(succ[node])):
+                neighbor = succ[node][i]
+                if indices[neighbor] is None:
+                    work[-1] = (node, i + 1)
+                    work.append((neighbor, 0))
+                    descended = True
+                    break
+                if on_stack[neighbor]:
+                    low[node] = min(low[node], indices[neighbor])
+            if descended:
+                continue
+            if low[node] == indices[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return [[rules[i] for i in sorted(component)]
+            for component in reversed(sccs)]
+
+
+# ----------------------------------------------------------------------
+# Rule compilation
+# ----------------------------------------------------------------------
+#: Outcome markers for compile-time-decidable conditions.
+_DROP = object()  # condition always holds — drop it
+_DEAD = object()  # condition never holds — the rule can never fire
+
+_AtomSpec = Tuple[Tuple[bool, Any], Tuple[bool, Any], Tuple[bool, Any]]
+
+
+def _atom_spec(atom: Template, slot_of: Dict[Variable, int]) -> _AtomSpec:
+    """Per position: ``(True, entity)`` or ``(False, slot)``."""
+    return tuple(
+        (False, slot_of[component]) if isinstance(component, Variable)
+        else (True, component)
+        for component in atom
+    )  # type: ignore[return-value]
+
+
+def _materialize(spec: _AtomSpec, slots: List[Optional[str]]) -> Fact:
+    """Instantiate an atom spec under a slot assignment."""
+    (c0, v0), (c1, v1), (c2, v2) = spec
+    return Fact(v0 if c0 else slots[v0],
+                v1 if c1 else slots[v1],
+                v2 if c2 else slots[v2])
+
+
+def _compile_key(parts: Sequence[Tuple[str, Any]]
+                 ) -> Callable[[List[Optional[str]]],
+                               Sequence[Optional[str]]]:
+    """The lookup-key builder for one join level.
+
+    ``parts`` holds per position ``('c', entity)``, ``('b', slot)``
+    (bound at an earlier level), or ``('f', None)`` (free here).
+    """
+    consts = [value if tag == "c" else None for tag, value in parts]
+    bound = tuple((i, value) for i, (tag, value) in enumerate(parts)
+                  if tag == "b")
+    if not bound:
+        fixed = tuple(consts)
+        return lambda slots: fixed
+
+    def key(slots, _consts=tuple(consts), _bound=bound):
+        out = list(_consts)
+        for position, slot in _bound:
+            out[position] = slots[slot]
+        return out
+
+    return key
+
+
+def _compile_condition(condition: Condition,
+                       slot_of: Dict[Variable, int]):
+    """Compile one condition to ``fn(slots, context) -> bool``.
+
+    Returns ``(fn, needed_slots, schedule_last)`` — or the markers
+    :data:`_DROP` / :data:`_DEAD` when the outcome is decidable at
+    compile time.  Unknown :class:`Condition` subclasses fall back to
+    rebuilding a partial binding dict and calling ``holds`` (same
+    semantics as the interpreted engine, just slower).
+    """
+    variables = condition.variables()
+    missing = [v for v in variables if v not in slot_of]
+    if not missing:
+        if isinstance(condition, Distinct):
+            left, right = condition.left, condition.right
+            left_var = isinstance(left, Variable)
+            right_var = isinstance(right, Variable)
+            if left_var and right_var:
+                i, j = slot_of[left], slot_of[right]
+                fn = lambda slots, context, _i=i, _j=j: \
+                    slots[_i] != slots[_j]
+            elif left_var:
+                i = slot_of[left]
+                fn = lambda slots, context, _i=i, _v=right: \
+                    slots[_i] != _v
+            elif right_var:
+                j = slot_of[right]
+                fn = lambda slots, context, _j=j, _v=left: \
+                    _v != slots[_j]
+            else:
+                return _DROP if left != right else _DEAD
+            needed = frozenset(slot_of[v] for v in variables)
+            return fn, needed, False
+        if isinstance(condition, IndividualRelationship):
+            component = condition.component
+            if isinstance(component, Variable):
+                i = slot_of[component]
+                fn = lambda slots, context, _i=i: \
+                    context.classifier.is_individual(slots[_i])
+            else:
+                fn = lambda slots, context, _v=component: \
+                    context.classifier.is_individual(_v)
+            needed = frozenset(slot_of[v] for v in variables)
+            return fn, needed, False
+        if isinstance(condition, NotSpecial):
+            component = condition.component
+            if isinstance(component, Variable):
+                i = slot_of[component]
+                fn = lambda slots, context, _i=i: \
+                    not is_special_relationship(slots[_i])
+            else:
+                return (_DROP if not is_special_relationship(component)
+                        else _DEAD)
+            needed = frozenset(slot_of[v] for v in variables)
+            return fn, needed, False
+    # Fallback: unknown condition type, or a condition over variables
+    # the body never binds (the interpreted engine checks those once
+    # per complete solution, with the variable absent from the binding).
+    pairs = tuple((v, slot_of[v]) for v in variables if v in slot_of)
+
+    def fallback(slots, context, _condition=condition, _pairs=pairs):
+        binding: Binding = {v: slots[i] for v, i in _pairs}
+        return _condition.holds(binding, context)
+
+    needed = frozenset(slot_of[v] for v in variables if v in slot_of)
+    schedule_last = bool(missing) or not isinstance(
+        condition, (Distinct, IndividualRelationship, NotSpecial))
+    # Unknown-but-fully-bindable conditions still schedule at their
+    # earliest ready level; only unbindable ones must wait for the end.
+    return fallback, needed, bool(missing)
+
+
+class _Level:
+    """One join level of a compiled rule body."""
+
+    __slots__ = ("key", "fills", "checks", "conditions")
+
+    def __init__(self, key, fills, checks):
+        self.key = key
+        self.fills: Tuple[Tuple[int, int], ...] = fills
+        self.checks: Tuple[Tuple[int, int], ...] = checks
+        self.conditions: Tuple[Callable, ...] = ()
+
+
+class CompiledRule:
+    """One pivoted rule body compiled to a slot program.
+
+    ``order`` reproduces the interpreted engine's evaluation order
+    (rule-major, pivot-minor), so firing attribution and provenance
+    stay identical for single-stratum rule sets.
+    """
+
+    __slots__ = ("rule", "pivot", "order", "n_slots", "levels", "heads",
+                 "premise_specs", "pivot_spec", "dead")
+
+    def __init__(self, rule: Rule, pivot: int, order: int):
+        self.rule = rule
+        self.pivot = pivot
+        self.order = order
+        self.dead = False
+
+        body = (rule.body[pivot],) + (
+            rule.body[:pivot] + rule.body[pivot + 1:])
+
+        # Assign slots by first appearance in the pivoted body.
+        slot_of: Dict[Variable, int] = {}
+        for atom in body:
+            for component in atom:
+                if isinstance(component, Variable) \
+                        and component not in slot_of:
+                    slot_of[component] = len(slot_of)
+        self.n_slots = len(slot_of)
+
+        # Build levels, tracking which slots are bound after each.
+        levels: List[_Level] = []
+        bound: Set[int] = set()
+        bound_after: List[Set[int]] = []
+        for atom in body:
+            parts: List[Tuple[str, Any]] = []
+            fills: List[Tuple[int, int]] = []
+            checks: List[Tuple[int, int]] = []
+            filled_here: Set[int] = set()
+            for position, component in enumerate(atom):
+                if not isinstance(component, Variable):
+                    parts.append(("c", component))
+                    continue
+                slot = slot_of[component]
+                if slot in bound:
+                    parts.append(("b", slot))
+                elif slot in filled_here:
+                    parts.append(("f", None))
+                    checks.append((position, slot))
+                else:
+                    parts.append(("f", None))
+                    fills.append((position, slot))
+                    filled_here.add(slot)
+            bound |= filled_here
+            bound_after.append(set(bound))
+            levels.append(_Level(_compile_key(parts), tuple(fills),
+                                 tuple(checks)))
+
+        # Attach each condition to the earliest level at which its
+        # variables are bound (the interpreted engine's eager pruning).
+        last = len(levels) - 1
+        scheduled: Dict[int, List[Callable]] = {}
+        for condition in rule.conditions:
+            compiled = _compile_condition(condition, slot_of)
+            if compiled is _DROP:
+                continue
+            if compiled is _DEAD:
+                self.dead = True
+                continue
+            fn, needed, schedule_last = compiled
+            level_index = last
+            if not schedule_last:
+                for i, bound_slots in enumerate(bound_after):
+                    if needed <= bound_slots:
+                        level_index = i
+                        break
+            scheduled.setdefault(level_index, []).append(fn)
+        for level_index, fns in scheduled.items():
+            levels[level_index].conditions = tuple(fns)
+        self.levels = tuple(levels)
+
+        self.heads: Tuple[_AtomSpec, ...] = tuple(
+            _atom_spec(atom, slot_of) for atom in rule.head)
+        # Premises in the original body order (for provenance).
+        self.premise_specs: Tuple[_AtomSpec, ...] = tuple(
+            _atom_spec(atom, slot_of) for atom in rule.body)
+        self.pivot_spec: RelationshipSpec = _pivot_spec(body[0],
+                                                        rule.conditions)
+
+    def solutions(self, delta: FactStore, store: FactStore,
+                  context: RuleContext) -> Iterator[List[Optional[str]]]:
+        """All slot assignments satisfying the body, pivot atom matched
+        against ``delta`` and the rest against ``store``.
+
+        Yields one mutable slot list, reused across solutions: callers
+        must consume (or copy) each yield before advancing.
+        """
+        slots: List[Optional[str]] = [None] * self.n_slots
+        levels = self.levels
+        last = len(levels) - 1
+
+        def extend(i: int) -> Iterator[List[Optional[str]]]:
+            level = levels[i]
+            s, r, t = level.key(slots)
+            source = delta if i == 0 else store
+            fills = level.fills
+            checks = level.checks
+            conditions = level.conditions
+            for fact in source.lookup(s, r, t):
+                for position, slot in fills:
+                    slots[slot] = fact[position]
+                if checks:
+                    matched = True
+                    for position, slot in checks:
+                        if fact[position] != slots[slot]:
+                            matched = False
+                            break
+                    if not matched:
+                        continue
+                if conditions:
+                    satisfied = True
+                    for condition in conditions:
+                        if not condition(slots, context):
+                            satisfied = False
+                            break
+                    if not satisfied:
+                        continue
+                if i == last:
+                    yield slots
+                else:
+                    yield from extend(i + 1)
+
+        return extend(0)
+
+    def premises(self, slots: List[Optional[str]]) -> Tuple[Fact, ...]:
+        """The body instantiation (original atom order) for a solution."""
+        return tuple(_materialize(spec, slots)
+                     for spec in self.premise_specs)
+
+    def __repr__(self) -> str:
+        return (f"CompiledRule({self.rule.name!r}, pivot={self.pivot},"
+                f" levels={len(self.levels)})")
+
+
+def _pivot_spec(pivot_atom: Template,
+                conditions: Sequence[Condition]) -> RelationshipSpec:
+    from .rule import atom_relationship_spec
+    return atom_relationship_spec(pivot_atom, conditions)
+
+
+# ----------------------------------------------------------------------
+# Dispatch index
+# ----------------------------------------------------------------------
+class DispatchGroup:
+    """A set of compiled rules plus the relationship → rules index.
+
+    ``by_relationship`` maps each ground pivot relationship to the
+    compiled bodies pivoting on it; ``nonspecial`` and ``wildcard`` are
+    the buckets for variable pivot relationships (with and without a
+    ``NotSpecial`` guard).  :meth:`select` returns, in evaluation
+    order, exactly the rules whose pivot can match some relationship in
+    the delta — everything else is skipped for the round.
+    """
+
+    __slots__ = ("compiled", "by_relationship", "nonspecial", "wildcard")
+
+    def __init__(self, compiled: Sequence[CompiledRule]):
+        self.compiled: Tuple[CompiledRule, ...] = tuple(
+            sorted(compiled, key=lambda cr: cr.order))
+        by_relationship: Dict[str, List[CompiledRule]] = {}
+        nonspecial: List[CompiledRule] = []
+        wildcard: List[CompiledRule] = []
+        for cr in self.compiled:
+            spec = cr.pivot_spec
+            if spec is ANY_RELATIONSHIP:
+                wildcard.append(cr)
+            elif spec is NONSPECIAL_RELATIONSHIP:
+                nonspecial.append(cr)
+            else:
+                by_relationship.setdefault(spec, []).append(cr)
+        self.by_relationship = {
+            rel: tuple(rules) for rel, rules in by_relationship.items()}
+        self.nonspecial = tuple(nonspecial)
+        self.wildcard = tuple(wildcard)
+
+    def select(self, delta_relationships: Iterable[str]
+               ) -> List[CompiledRule]:
+        """The compiled rules reachable from a delta's relationships,
+        in evaluation order."""
+        chosen: Dict[int, CompiledRule] = {}
+        has_nonspecial = False
+        for relationship in delta_relationships:
+            if not is_special_relationship(relationship):
+                has_nonspecial = True
+            for cr in self.by_relationship.get(relationship, ()):
+                chosen[cr.order] = cr
+        if has_nonspecial:
+            for cr in self.nonspecial:
+                chosen[cr.order] = cr
+        for cr in self.wildcard:
+            chosen[cr.order] = cr
+        return [chosen[order] for order in sorted(chosen)]
+
+    def __len__(self) -> int:
+        return len(self.compiled)
+
+
+class CompiledRuleSet:
+    """Everything the dispatched engine precomputes for a rule set:
+    compiled pivoted bodies, the dispatch index, and the SCC strata."""
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules: List[Rule] = list(rules)
+        compiled: List[CompiledRule] = []
+        order = 0
+        by_name: Dict[str, List[CompiledRule]] = {}
+        for rule in self.rules:
+            for pivot in range(len(rule.body)):
+                cr = CompiledRule(rule, pivot, order)
+                order += 1
+                if cr.dead:
+                    continue
+                compiled.append(cr)
+                by_name.setdefault(rule.name, []).append(cr)
+        self.compiled = compiled
+        #: Every compiled body behind one dispatch index — the group
+        #: incremental extension evaluates (deltas there are tiny).
+        self.all_rules = DispatchGroup(compiled)
+        self.strata_rules: List[List[Rule]] = stratify(self.rules)
+        self.strata: List[DispatchGroup] = [
+            DispatchGroup([cr for rule in stratum
+                           for cr in by_name.get(rule.name, ())])
+            for stratum in self.strata_rules
+        ]
+
+    def __repr__(self) -> str:
+        return (f"CompiledRuleSet({len(self.rules)} rules,"
+                f" {len(self.compiled)} pivoted bodies,"
+                f" {len(self.strata)} strata)")
+
+
+def compile_ruleset(rules: Sequence[Rule]) -> CompiledRuleSet:
+    """Compile a rule sequence for the dispatched engine."""
+    return CompiledRuleSet(rules)
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+def run_rounds(store: FactStore, delta: FactStore, group: DispatchGroup,
+               context: RuleContext, firings: Dict[str, int],
+               max_iterations: Optional[int] = None,
+               provenance: Optional[Dict[Fact, Any]] = None,
+               rule_times: Optional[Dict[str, float]] = None,
+               stratum: Optional[int] = None,
+               round_offset: int = 0) -> int:
+    """Dispatched semi-naive rounds until quiescence.
+
+    The compiled twin of :func:`.engine._semi_naive_rounds`: ``store``
+    is mutated in place, ``delta`` holds the facts not yet joined
+    against the rest of the store (already *in* the store), and the
+    returned value is the number of rounds executed.
+    """
+    from .engine import APPLY, Justification
+
+    iterations = 0
+    observing = _obs.ENABLED and rule_times is not None
+    total = len(group)
+    while delta:
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+        iterations += 1
+        if observing:
+            attributes: Dict[str, Any] = {
+                "engine": "dispatched",
+                "round": round_offset + iterations,
+                "delta_in": len(delta),
+            }
+            if stratum is not None:
+                attributes["stratum"] = stratum
+            round_span = _obs.TRACER.span("closure.round", **attributes)
+        else:
+            round_span = _obs.NULL_SPAN
+        with round_span as rspan:
+            active = group.select(delta.relationships())
+            if observing:
+                skipped = total - len(active)
+                if skipped:
+                    _obs.TRACER.count("dispatch.skipped_rules", skipped)
+                _obs.TRACER.count("dispatch.fired_rules", len(active))
+            fresh: Set[Fact] = set()
+            for cr in active:
+                rule_name = cr.rule.name
+                heads = cr.heads
+                if observing:
+                    rule_started = time.perf_counter()
+                for slots in cr.solutions(delta, store, context):
+                    for spec in heads:
+                        fact = _materialize(spec, slots)
+                        if fact not in store and fact not in fresh:
+                            fresh.add(fact)
+                            firings[rule_name] += 1
+                            if provenance is not None \
+                                    and fact not in provenance:
+                                provenance[fact] = Justification(
+                                    rule_name, cr.premises(slots))
+                if observing:
+                    rule_times[rule_name] = (
+                        rule_times.get(rule_name, 0.0)
+                        + time.perf_counter() - rule_started)
+            if observing:
+                apply_started = time.perf_counter()
+            delta = FactStore()
+            for fact in fresh:
+                if store.add(fact):
+                    delta.add(fact)
+            if observing:
+                rule_times[APPLY] = (rule_times.get(APPLY, 0.0)
+                                     + time.perf_counter() - apply_started)
+            rspan.set(fresh_out=len(delta))
+    return iterations
+
+
+def dispatched_closure(base: Iterable[Fact], rules: Sequence[Rule],
+                       context: RuleContext,
+                       max_iterations: Optional[int] = None,
+                       trace: bool = False,
+                       compiled: Optional[CompiledRuleSet] = None):
+    """Fixpoint by dispatched, stratified, compiled semi-naive rounds.
+
+    Drop-in equivalent of :func:`.engine.semi_naive_closure` (identical
+    closure contents; identical rounds/firings for single-stratum rule
+    sets) with the three fast-path layers applied.  ``compiled`` lets
+    callers reuse a :class:`CompiledRuleSet` across closures — the
+    :class:`~repro.rules.registry.RuleRegistry` caches one per enabled
+    rule set.
+    """
+    from .engine import ClosureResult
+
+    rules = list(rules)
+    if compiled is None or compiled.rules != rules:
+        compiled = compile_ruleset(rules)
+    observing = _obs.ENABLED
+    closure_span = (_obs.TRACER.span("closure.dispatched",
+                                     rules=len(rules),
+                                     strata=len(compiled.strata))
+                    if observing else _obs.NULL_SPAN)
+    with closure_span as span:
+        store = FactStore(base)
+        base_count = len(store)
+        firings: Dict[str, int] = {rule.name: 0 for rule in rules}
+        rule_times: Dict[str, float] = {}
+        provenance: Optional[Dict[Fact, Any]] = {} if trace else None
+        iterations = 0
+        loop_started = time.perf_counter()
+        for stratum_index, group in enumerate(compiled.strata):
+            remaining = (None if max_iterations is None
+                         else max_iterations - iterations)
+            if remaining is not None and remaining <= 0:
+                break
+            stratum_span = (_obs.TRACER.span("closure.stratum",
+                                             stratum=stratum_index,
+                                             rules=len(group))
+                            if observing else _obs.NULL_SPAN)
+            with stratum_span as sspan:
+                # The stratum's rules have joined against nothing yet:
+                # every fact accumulated so far is its initial delta.
+                rounds = run_rounds(store, store.copy(), group, context,
+                                    firings, remaining, provenance,
+                                    rule_times, stratum=stratum_index,
+                                    round_offset=iterations)
+                iterations += rounds
+                sspan.set(rounds=rounds, store_size=len(store))
+        if observing:
+            _obs.TRACER.count("engine.rounds", iterations)
+            _obs.TRACER.gauge("engine.strata", len(compiled.strata))
+            _obs.TRACER.gauge("engine.closure_seconds",
+                              time.perf_counter() - loop_started)
+            span.set(iterations=iterations,
+                     derived=len(store) - base_count)
+        return ClosureResult(store=store, base_count=base_count,
+                             derived_count=len(store) - base_count,
+                             iterations=iterations, rule_firings=firings,
+                             rule_times=rule_times, provenance=provenance)

@@ -70,9 +70,15 @@ class ClosureResult:
 
 
 def _checkable(conditions: Sequence[Condition],
-               bound: Set[Variable]) -> List[Condition]:
-    """Conditions whose variables are all bound."""
-    return [c for c in conditions if c.variables() <= bound]
+               bound: Set[Variable]) -> List[int]:
+    """Indices of the conditions whose variables are all bound.
+
+    Indices — not the conditions themselves — so that a rule repeating
+    one condition object (or two conditions comparing equal) keeps every
+    copy: pruning "remaining minus ready" by equality would drop all
+    copies of a duplicated condition the moment one became checkable.
+    """
+    return [i for i, c in enumerate(conditions) if c.variables() <= bound]
 
 
 def _rule_solutions(rule: Rule, atom_sources: Sequence[FactStore],
@@ -92,8 +98,10 @@ def _rule_solutions(rule: Rule, atom_sources: Sequence[FactStore],
         for extended in atom_sources[index].solutions(atom, binding):
             bound = set(extended)
             ready = _checkable(remaining, bound)
-            if all(c.holds(extended, context) for c in ready):
-                still_pending = [c for c in remaining if c not in ready]
+            if all(remaining[i].holds(extended, context) for i in ready):
+                ready_set = set(ready)
+                still_pending = [c for i, c in enumerate(remaining)
+                                 if i not in ready_set]
                 yield from extend(index + 1, extended, still_pending)
 
     yield from extend(0, {}, pending)
@@ -200,7 +208,7 @@ def semi_naive_closure(base: Iterable[Fact], rules: Sequence[Rule],
         rule_times: Dict[str, float] = {}
         provenance: Optional[Dict[Fact, Justification]] = {} if trace else None
         loop_started = time.perf_counter()
-        iterations = _semi_naive_rounds(store, FactStore(store), rules,
+        iterations = _semi_naive_rounds(store, store.copy(), rules,
                                         context, firings, max_iterations,
                                         provenance, rule_times)
         if observing:
@@ -296,14 +304,20 @@ def _semi_naive_rounds(store: FactStore, delta: FactStore,
 
 
 def extend_closure(result: ClosureResult, new_facts: Iterable[Fact],
-                   rules: Sequence[Rule],
-                   context: RuleContext) -> ClosureResult:
+                   rules: Sequence[Rule], context: RuleContext,
+                   compiled=None) -> ClosureResult:
     """Incrementally maintain a closure under fact *insertion*.
 
     Semi-naive evaluation restarts exactly where it stopped: the new
     facts become the delta, and rounds run until quiescence.  The
     result's store is extended **in place** (so live views over it stay
     valid); statistics are updated to cover the extension.
+
+    When ``compiled`` (a :class:`~repro.rules.dispatch.CompiledRuleSet`
+    for the same rules) is given, the rounds run through the dispatched
+    fast path — all strata behind one dispatch index, which is sound
+    for any delta and ideal here, where deltas are tiny and most rules
+    stay quiescent.
 
     Only insertions can be maintained this way — a deletion may
     invalidate derivations and requires recomputation (the caller
@@ -319,9 +333,16 @@ def extend_closure(result: ClosureResult, new_facts: Iterable[Fact],
                                         new_facts=len(delta))
                        if _obs.ENABLED else _obs.NULL_SPAN)
         with extend_span:
-            result.iterations += _semi_naive_rounds(
-                result.store, delta, rules, context, result.rule_firings,
-                provenance=result.provenance,
-                rule_times=result.rule_times)
+            if compiled is not None:
+                from .dispatch import run_rounds
+                result.iterations += run_rounds(
+                    result.store, delta, compiled.all_rules, context,
+                    result.rule_firings, provenance=result.provenance,
+                    rule_times=result.rule_times)
+            else:
+                result.iterations += _semi_naive_rounds(
+                    result.store, delta, rules, context,
+                    result.rule_firings, provenance=result.provenance,
+                    rule_times=result.rule_times)
         result.derived_count = len(result.store) - result.base_count
     return result

@@ -34,6 +34,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from ..core.facts import Binding, Component, Fact, Template, Variable
 from ..core.store import FactStore
+from .engine import _checkable
 from .rule import Condition, Rule, RuleContext
 
 
@@ -279,10 +280,12 @@ class LazyEngine:
             rest_atoms = atoms[:index] + atoms[index + 1:]
             for extended in self._lookup(atom, current):
                 now_bound = set(extended)
-                ready = [c for c in remaining
-                         if c.variables() <= now_bound]
-                if all(c.holds(extended, self.context) for c in ready):
-                    rest = [c for c in remaining if c not in ready]
+                ready = _checkable(remaining, now_bound)
+                if all(remaining[i].holds(extended, self.context)
+                       for i in ready):
+                    ready_set = set(ready)
+                    rest = [c for i, c in enumerate(remaining)
+                            if i not in ready_set]
                     yield from extend(rest_atoms, extended, rest)
 
         yield from extend(list(rule.body), binding,

@@ -27,6 +27,7 @@ class RuleRegistry:
                  enabled: bool = True):
         self._rules: Dict[str, Rule] = {}
         self._enabled: Dict[str, bool] = {}
+        self._compiled = None  # cached CompiledRuleSet for enabled rules
         for rule in (STANDARD_RULES if rules is None else rules):
             self.register(rule, enabled=enabled)
 
@@ -35,6 +36,7 @@ class RuleRegistry:
         """Add (or replace) a rule; newly registered rules default on."""
         self._rules[rule.name] = rule
         self._enabled[rule.name] = enabled
+        self._compiled = None
 
     def _name_of(self, ref: RuleRef) -> str:
         name = ref.name if isinstance(ref, Rule) else ref
@@ -54,16 +56,19 @@ class RuleRegistry:
             self.register(ref, enabled=True)
             return
         self._enabled[self._name_of(ref)] = True
+        self._compiled = None
 
     def exclude(self, ref: RuleRef) -> None:
         """Disable a rule (the paper's ``exclude(rule)``)."""
         self._enabled[self._name_of(ref)] = False
+        self._compiled = None
 
     def remove(self, ref: RuleRef) -> None:
         """Forget a rule entirely."""
         name = self._name_of(ref)
         del self._rules[name]
         del self._enabled[name]
+        self._compiled = None
 
     # ------------------------------------------------------------------
     def is_enabled(self, ref: RuleRef) -> bool:
@@ -100,3 +105,18 @@ class RuleRegistry:
         for name, enabled in state.items():
             if name in self._rules:
                 self._enabled[name] = enabled
+        self._compiled = None
+
+    def compiled(self):
+        """The :class:`~repro.rules.dispatch.CompiledRuleSet` for the
+        currently enabled rules.
+
+        Compilation (pivoting, slot programs, dispatch index, strata)
+        costs a few milliseconds, so the result is cached and
+        invalidated whenever the registry changes — the dispatched
+        engine then reuses it across every closure of the session.
+        """
+        if self._compiled is None or self._compiled.rules != list(self):
+            from .dispatch import compile_ruleset
+            self._compiled = compile_ruleset(list(self))
+        return self._compiled

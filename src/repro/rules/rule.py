@@ -15,7 +15,7 @@ can be printed, compared, and listed in documentation and benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple, Union
 
 from ..core.entities import (
     CLASS_RELATIONSHIP,
@@ -151,6 +151,72 @@ class NotSpecial(Condition):
         return f"{self.component} not special"
 
 
+# ----------------------------------------------------------------------
+# Relationship signatures (static dispatch / stratification analysis)
+# ----------------------------------------------------------------------
+class _RelationshipWildcard:
+    """A non-ground relationship-position signature (see
+    :func:`atom_relationship_spec`)."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"<{self.label}>"
+
+
+#: The atom's relationship position is an unconstrained variable: it can
+#: match (or, in a head, produce) a fact with *any* relationship.
+ANY_RELATIONSHIP = _RelationshipWildcard("any-relationship")
+
+#: The atom's relationship position is a variable guarded by a
+#: :class:`NotSpecial` condition: it can only match/produce facts whose
+#: relationship is not one of the special entities (``≺ ∈ ≈ ↔ ⊥`` and
+#: the comparators).
+NONSPECIAL_RELATIONSHIP = _RelationshipWildcard("nonspecial-relationship")
+
+#: What a template's relationship position can statically match: a
+#: ground relationship entity, or one of the two wildcard signatures.
+RelationshipSpec = Union[str, _RelationshipWildcard]
+
+
+def atom_relationship_spec(atom: Template,
+                           conditions: Sequence[Condition]
+                           ) -> RelationshipSpec:
+    """The static signature of one atom's relationship position.
+
+    A ground position is its own signature.  A variable position is
+    :data:`NONSPECIAL_RELATIONSHIP` when some :class:`NotSpecial`
+    condition constrains that variable (the guard is checked as soon as
+    the variable is bound, so facts with special relationships can
+    never satisfy the atom), :data:`ANY_RELATIONSHIP` otherwise.
+    """
+    relationship = atom.relationship
+    if not isinstance(relationship, Variable):
+        return relationship
+    for condition in conditions:
+        if (isinstance(condition, NotSpecial)
+                and condition.component == relationship):
+            return NONSPECIAL_RELATIONSHIP
+    return ANY_RELATIONSHIP
+
+
+def specs_overlap(produced: RelationshipSpec,
+                  consumed: RelationshipSpec) -> bool:
+    """True if a fact produced under one signature could match an atom
+    consuming under the other (a sound overapproximation)."""
+    if produced is ANY_RELATIONSHIP or consumed is ANY_RELATIONSHIP:
+        return True
+    if produced is NONSPECIAL_RELATIONSHIP:
+        return (consumed is NONSPECIAL_RELATIONSHIP
+                or not is_special_relationship(consumed))
+    if consumed is NONSPECIAL_RELATIONSHIP:
+        return not is_special_relationship(produced)
+    return produced == consumed
+
+
 @dataclass(frozen=True)
 class Rule:
     """An inference rule or integrity constraint: ``body ⇒ head``.
@@ -197,6 +263,19 @@ class Rule:
         for atom in self.body:
             variables.update(atom.variable_set())
         return frozenset(variables)
+
+    def consumed_relationship_specs(self) -> Tuple[RelationshipSpec, ...]:
+        """Per body atom, the relationships it can match (see
+        :func:`atom_relationship_spec`) — the rule's input signature
+        for dispatch and stratification."""
+        return tuple(atom_relationship_spec(atom, self.conditions)
+                     for atom in self.body)
+
+    def produced_relationship_specs(self) -> Tuple[RelationshipSpec, ...]:
+        """Per head atom, the relationships its derived facts can carry
+        — the rule's output signature for stratification."""
+        return tuple(atom_relationship_spec(atom, self.conditions)
+                     for atom in self.head)
 
     def rename_apart(self, suffix: str) -> "Rule":
         """A copy with every variable renamed (standardizing apart)."""

@@ -1,0 +1,473 @@
+"""The closure fast path: compiled dispatch, strata, and result caches.
+
+Covers the three layers of :mod:`repro.rules.dispatch` (compiled
+joins, the relationship-indexed dispatch index, SCC stratification),
+the versioned query/navigation cache, the fast
+:meth:`~repro.core.store.FactStore.copy`, and the duplicate-condition
+pruning regression in the interpreted engines.
+"""
+
+import pytest
+
+from repro.core.entities import ISA, MEMBER, SYN
+from repro.core.facts import Fact, Template, Variable
+from repro.core.store import FactStore
+from repro.db import Database
+from repro.obs import Tracer, use_tracer
+from repro.rules.builtin import STANDARD_RULES
+from repro.rules.dispatch import (
+    CompiledRuleSet,
+    compile_ruleset,
+    dispatched_closure,
+    rule_dependencies,
+    stratify,
+)
+from repro.rules.engine import (
+    extend_closure,
+    naive_closure,
+    semi_naive_closure,
+)
+from repro.rules.rule import (
+    ANY_RELATIONSHIP,
+    NONSPECIAL_RELATIONSHIP,
+    Condition,
+    Distinct,
+    NotSpecial,
+    RelationshipClassifier,
+    Rule,
+    RuleContext,
+    atom_relationship_spec,
+    specs_overlap,
+)
+
+X, Y, Z, R = Variable("x"), Variable("y"), Variable("z"), Variable("r")
+
+
+def _context(facts):
+    return RuleContext(classifier=RelationshipClassifier(FactStore(facts)))
+
+
+# ----------------------------------------------------------------------
+# Relationship signatures
+# ----------------------------------------------------------------------
+class TestRelationshipSpecs:
+    def test_ground_atom_is_its_own_spec(self):
+        assert atom_relationship_spec(Template(X, ISA, Y), ()) == ISA
+
+    def test_unguarded_variable_is_any(self):
+        spec = atom_relationship_spec(Template(X, R, Y), ())
+        assert spec is ANY_RELATIONSHIP
+
+    def test_notspecial_guard_narrows_to_nonspecial(self):
+        spec = atom_relationship_spec(Template(X, R, Y), (NotSpecial(R),))
+        assert spec is NONSPECIAL_RELATIONSHIP
+
+    def test_overlap_rules(self):
+        assert specs_overlap(ISA, ISA)
+        assert not specs_overlap(ISA, MEMBER)
+        assert specs_overlap(ANY_RELATIONSHIP, ISA)
+        assert specs_overlap(NONSPECIAL_RELATIONSHIP, "WORKS-FOR")
+        # A NotSpecial-guarded position can never produce/match ``≺``.
+        assert not specs_overlap(NONSPECIAL_RELATIONSHIP, ISA)
+        assert specs_overlap(NONSPECIAL_RELATIONSHIP,
+                             NONSPECIAL_RELATIONSHIP)
+
+
+# ----------------------------------------------------------------------
+# Stratification
+# ----------------------------------------------------------------------
+class TestStratify:
+    def test_standard_rules_collapse_to_one_stratum(self):
+        # syn-source/syn-target consume and produce *any* relationship,
+        # so the full standard set is one big SCC.
+        strata = stratify(STANDARD_RULES)
+        assert len(strata) == 1
+        assert [r.name for r in strata[0]] == [
+            r.name for r in STANDARD_RULES]
+
+    def test_ablated_rules_split_into_ordered_strata(self):
+        ablated = [r for r in STANDARD_RULES
+                   if not r.name.startswith("syn-")]
+        strata = stratify(ablated)
+        assert len(strata) > 1
+        # Topological soundness: no rule in a later stratum feeds a
+        # rule in an earlier one.
+        for later_index in range(1, len(strata)):
+            for earlier_index in range(later_index):
+                for producer in strata[later_index]:
+                    for consumer in strata[earlier_index]:
+                        assert not any(
+                            specs_overlap(p, c)
+                            for p in
+                            producer.produced_relationship_specs()
+                            for c in
+                            consumer.consumed_relationship_specs()), (
+                            f"{producer.name} (stratum {later_index})"
+                            f" feeds {consumer.name}"
+                            f" (stratum {earlier_index})")
+
+    def test_dependencies_are_a_sound_overapproximation(self):
+        edges = rule_dependencies(STANDARD_RULES)
+        by_name = {r.name: i for i, r in enumerate(STANDARD_RULES)}
+        # ≺-transitivity feeds itself and the inheritance rules.
+        gen = by_name["gen-transitive"]
+        assert gen in edges[gen]
+        assert by_name["gen-source"] in edges[gen]
+
+    def test_stratified_closure_matches_on_ablated_rules(self):
+        ablated = [r for r in STANDARD_RULES
+                   if not r.name.startswith("syn-")]
+        facts = [Fact("A", ISA, "B"), Fact("B", ISA, "C"),
+                 Fact("I", MEMBER, "A"), Fact("C", "OWNS", "THING"),
+                 Fact("P", "LIKES", "Q")]
+        context = _context(facts)
+        reference = semi_naive_closure(facts, ablated, context)
+        fast = dispatched_closure(facts, ablated, context)
+        assert set(fast.store) == set(reference.store)
+        assert fast.rule_firings == reference.rule_firings
+
+
+# ----------------------------------------------------------------------
+# Compiled rules and the dispatch index
+# ----------------------------------------------------------------------
+class TestDispatch:
+    def test_standard_rules_identical_closure_and_attribution(self):
+        facts = [Fact("A", ISA, "B"), Fact("B", ISA, "C"),
+                 Fact("M", SYN, "A"), Fact("I", MEMBER, "A"),
+                 Fact("B", "OWNS", "THING")]
+        context = _context(facts)
+        reference = semi_naive_closure(facts, STANDARD_RULES, context,
+                                       trace=True)
+        fast = dispatched_closure(facts, STANDARD_RULES, context,
+                                  trace=True)
+        assert set(fast.store) == set(reference.store)
+        assert fast.iterations == reference.iterations
+        assert fast.rule_firings == reference.rule_firings
+        assert set(fast.provenance) == set(reference.provenance)
+
+    def test_dispatch_index_buckets_by_pivot_relationship(self):
+        compiled = compile_ruleset(STANDARD_RULES)
+        group = compiled.all_rules
+        assert ISA in group.by_relationship
+        # The synonym-substitution pivots land in the wildcard bucket.
+        wildcard_rules = {cr.rule.name for cr in group.wildcard}
+        assert "syn-source" in wildcard_rules
+        # The ordinary-relationship inheritance pivots are guarded by
+        # NotSpecial, so they sit in the nonspecial bucket.
+        nonspecial_rules = {cr.rule.name for cr in group.nonspecial}
+        assert "gen-source" in nonspecial_rules
+
+    def test_select_skips_unreachable_rules(self):
+        compiled = compile_ruleset(STANDARD_RULES)
+        group = compiled.all_rules
+        active = group.select({ISA})
+        assert len(active) < len(group)
+        names = {cr.rule.name for cr in active}
+        assert "gen-transitive" in names
+        # No delta relationship can feed the ∈-pivoted bodies.
+        assert all(cr.pivot_spec != MEMBER for cr in active)
+        # A non-special relationship additionally wakes the nonspecial
+        # bucket.
+        wider = group.select({ISA, "OWNS"})
+        assert len(wider) > len(active)
+
+    def test_skipped_rules_counter_and_equivalence(self):
+        facts = [Fact(f"N{i}", ISA, f"N{i+1}") for i in range(6)]
+        context = _context(facts)
+        with use_tracer(Tracer()) as tracer:
+            fast = dispatched_closure(facts, STANDARD_RULES, context)
+        assert tracer.counters.get("dispatch.skipped_rules", 0) > 0
+        reference = semi_naive_closure(facts, STANDARD_RULES, context)
+        assert set(fast.store) == set(reference.store)
+        assert fast.rule_firings == reference.rule_firings
+
+    def test_tracing_does_not_change_results(self):
+        facts = [Fact("A", ISA, "B"), Fact("I", MEMBER, "A"),
+                 Fact("B", "OWNS", "T")]
+        context = _context(facts)
+        untraced = dispatched_closure(facts, STANDARD_RULES, context)
+        with use_tracer(Tracer()):
+            traced = dispatched_closure(facts, STANDARD_RULES, context)
+        assert set(traced.store) == set(untraced.store)
+        assert traced.rule_firings == untraced.rule_firings
+        assert traced.iterations == untraced.iterations
+
+    def test_max_iterations_caps_total_rounds(self):
+        facts = [Fact(f"N{i}", ISA, f"N{i+1}") for i in range(8)]
+        context = _context(facts)
+        capped = dispatched_closure(facts, STANDARD_RULES, context,
+                                    max_iterations=2)
+        assert capped.iterations == 2
+        full = dispatched_closure(facts, STANDARD_RULES, context)
+        assert len(capped.store) < len(full.store)
+
+    def test_compiled_ruleset_reuse_and_registry_cache(self):
+        from repro.rules.registry import RuleRegistry
+
+        registry = RuleRegistry()
+        first = registry.compiled()
+        assert registry.compiled() is first
+        registry.exclude("gen-transitive")
+        second = registry.compiled()
+        assert second is not first
+        assert all(r.name != "gen-transitive" for r in second.rules)
+        registry.include("gen-transitive")
+        assert registry.compiled() is not second
+
+    def test_extend_closure_with_compiled_rules(self):
+        facts = [Fact("A", ISA, "B"), Fact("I", MEMBER, "A")]
+        context = _context(facts)
+        compiled = compile_ruleset(STANDARD_RULES)
+        result = dispatched_closure(facts, STANDARD_RULES, context,
+                                    compiled=compiled)
+        extend_closure(result, (Fact("B", ISA, "C"),), STANDARD_RULES,
+                       context, compiled=compiled)
+        recomputed = dispatched_closure(
+            facts + [Fact("B", ISA, "C")], STANDARD_RULES, context,
+            compiled=compiled)
+        assert set(result.store) == set(recomputed.store)
+
+    def test_dead_rule_compiles_to_nothing_but_keeps_firing_entry(self):
+        dead = Rule(name="never", body=(Template(X, "R", Y),),
+                    head=(Template(X, "DERIVED", Y),),
+                    conditions=(Distinct("A", "A"),))
+        compiled = compile_ruleset([dead])
+        assert len(compiled.compiled) == 0
+        facts = [Fact("A", "R", "B")]
+        result = dispatched_closure(facts, [dead], _context(facts))
+        assert result.rule_firings == {"never": 0}
+        assert len(result.store) == 1
+
+
+# ----------------------------------------------------------------------
+# Database integration
+# ----------------------------------------------------------------------
+class TestDatabaseEngine:
+    def test_dispatched_is_the_default_engine(self):
+        assert Database().engine == "dispatched"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            Database(engine="magic")
+
+    def test_engines_agree_through_the_database(self):
+        facts = [Fact("JOHN", MEMBER, "EMPLOYEE"),
+                 Fact("EMPLOYEE", ISA, "PERSON"),
+                 Fact("EMPLOYEE", "EARNS", "SALARY")]
+        closures = {}
+        for engine in ("dispatched", "semi-naive", "naive"):
+            db = Database(facts, engine=engine)
+            closures[engine] = frozenset(db.closure().store)
+        assert closures["dispatched"] == closures["semi-naive"]
+        assert closures["dispatched"] == closures["naive"]
+
+    def test_incremental_add_matches_recompute(self):
+        db = Database()
+        db.add("EMPLOYEE", ISA, "PERSON")
+        db.add("JOHN", MEMBER, "EMPLOYEE")
+        db.closure()
+        db.add("PERSON", ISA, "AGENT")  # extends the cached closure
+        fresh = Database(list(db.facts))
+        assert frozenset(db.closure().store) == \
+            frozenset(fresh.closure().store)
+
+
+# ----------------------------------------------------------------------
+# Versioned result cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_repeated_query_hits_cache(self):
+        db = Database()
+        db.add("JOHN", MEMBER, "EMPLOYEE")
+        db.add("EMPLOYEE", "EARNS", "SALARY")
+        first = db.query("(JOHN, EARNS, y)")
+        hits_before = db._result_cache.hits
+        second = db.query("(JOHN, EARNS, y)")
+        assert second == first
+        assert db._result_cache.hits > hits_before
+        # Cached values are handed out as fresh sets.
+        second.add(("INTRUDER",))
+        assert db.query("(JOHN, EARNS, y)") == first
+
+    def test_cache_hit_counter_visible_to_tracer(self):
+        db = Database()
+        db.add("A", ISA, "B")
+        db.query("(A, ≺, y)")
+        with use_tracer(Tracer()) as tracer:
+            db.query("(A, ≺, y)")
+        assert tracer.counters.get("cache.hits", 0) > 0
+
+    def test_mutation_invalidates_by_version(self):
+        db = Database()
+        db.add("A", ISA, "B")
+        assert ("C",) not in db.query("(A, ≺, y)")
+        db.add("B", ISA, "C")
+        assert ("C",) in db.query("(A, ≺, y)")
+        db.remove_fact(Fact("B", ISA, "C"))
+        assert ("C",) not in db.query("(A, ≺, y)")
+
+    def test_ask_caches_false_results(self):
+        db = Database()
+        db.add("A", ISA, "B")
+        assert db.ask("(A, ≺, C)") is False
+        hits_before = db._result_cache.hits
+        assert db.ask("(A, ≺, C)") is False
+        assert db._result_cache.hits > hits_before
+
+    def test_repeated_navigation_hits_cache(self):
+        db = Database()
+        db.add("JOHN", MEMBER, "EMPLOYEE")
+        db.add("JOHN", "DRIVES", "PC#9")
+        first = db.navigate("(JOHN, *, *)")
+        hits_before = db._result_cache.hits
+        second = db.navigate("(JOHN, *, *)")
+        assert db._result_cache.hits > hits_before
+        assert second.render() == first.render()
+        db.add("JOHN", "OWNS", "HOUSE")
+        third = db.navigate("(JOHN, *, *)")
+        assert "OWNS" in third.groups
+
+    def test_navigation_session_sees_configuration_changes(self):
+        db = Database()
+        db.add("JOHN", "DRIVES", "PC#9")
+        session = db.session()
+        assert "DRIVES" in session.visit("JOHN").groups
+        db.add("JOHN", "OWNS", "HOUSE")
+        # The session's token is live, so the second visit recomputes.
+        assert "OWNS" in db.session().visit("JOHN").groups
+
+    def test_rule_toggle_bumps_epoch(self):
+        db = Database()
+        db.add("A", ISA, "B")
+        db.add("B", ISA, "C")
+        assert ("C",) in db.query("(A, ≺, y)")
+        db.exclude("gen-transitive")
+        assert ("C",) not in db.query("(A, ≺, y)")
+        db.include("gen-transitive")
+        assert ("C",) in db.query("(A, ≺, y)")
+
+    def test_stats_reports_cache(self):
+        db = Database()
+        db.add("A", ISA, "B")
+        db.query("(A, ≺, y)")
+        db.query("(A, ≺, y)")
+        stats = db.stats()["result_cache"]
+        assert stats["hits"] >= 1
+        assert stats["size"] >= 1
+
+
+# ----------------------------------------------------------------------
+# FactStore.copy fast path
+# ----------------------------------------------------------------------
+class TestStoreCopy:
+    def test_copy_equals_rebuilt_from_scratch(self):
+        store = FactStore()
+        for i in range(20):
+            store.add(Fact(f"E{i % 7}", f"R{i % 3}", f"E{(i + 2) % 7}"))
+        store.discard(Fact("E0", "R0", "E2"))
+        store.discard(Fact("E1", "R1", "E3"))
+        copied = store.copy()
+        rebuilt = FactStore(store)
+        assert set(copied) == set(rebuilt)
+        for index in ("_by_s", "_by_r", "_by_t", "_by_sr", "_by_st",
+                      "_by_rt"):
+            assert dict(getattr(copied, index)) == \
+                dict(getattr(rebuilt, index)), index
+        assert dict(copied._entity_refs) == dict(rebuilt._entity_refs)
+        assert dict(copied._relationship_refs) == \
+            dict(rebuilt._relationship_refs)
+        assert copied.entities() == rebuilt.entities()
+        assert copied.relationships() == rebuilt.relationships()
+
+    def test_copy_is_independent(self):
+        store = FactStore([Fact("A", "R", "B")])
+        copied = store.copy()
+        copied.add(Fact("C", "S", "D"))
+        copied.discard(Fact("A", "R", "B"))
+        assert Fact("A", "R", "B") in store
+        assert Fact("C", "S", "D") not in store
+        assert store.relationships() == {"R"}
+
+    def test_copy_preserves_version(self):
+        store = FactStore([Fact("A", "R", "B")])
+        version = store.version
+        assert store.copy().version == version
+
+    def test_version_moves_on_every_mutation(self):
+        store = FactStore()
+        v0 = store.version
+        store.add(Fact("A", "R", "B"))
+        v1 = store.version
+        assert v1 > v0
+        store.add(Fact("A", "R", "B"))  # duplicate: no change
+        assert store.version == v1
+        store.discard(Fact("A", "R", "B"))
+        v2 = store.version
+        assert v2 > v1
+        store.clear()
+        assert store.version > v2
+
+
+# ----------------------------------------------------------------------
+# Duplicate-condition pruning regression
+# ----------------------------------------------------------------------
+class _ClassEqualCondition(Condition):
+    """A condition whose instances compare equal by *class* while
+    meaning different things — the worst case for pruning checked
+    conditions by equality instead of by position."""
+
+    def __init__(self, variable, forbidden):
+        self.variable = variable
+        self.forbidden = forbidden
+
+    def holds(self, binding, context):
+        return binding.get(self.variable) != self.forbidden
+
+    def variables(self):
+        return frozenset({self.variable})
+
+    def __eq__(self, other):
+        return isinstance(other, _ClassEqualCondition)
+
+    def __hash__(self):
+        return hash(_ClassEqualCondition)
+
+
+class TestDuplicateConditionPruning:
+    def _rule(self):
+        # x's guard becomes checkable after the first atom; z's only
+        # after the second.  Equality-based pruning dropped z's guard
+        # the moment x's was checked, deriving (x, T, BAD-Z).
+        return Rule(
+            name="guarded",
+            body=(Template(X, "R", Y), Template(Y, "S", Z)),
+            head=(Template(X, "T", Z),),
+            conditions=(_ClassEqualCondition(X, "BAD-X"),
+                        _ClassEqualCondition(Z, "BAD-Z")))
+
+    @pytest.fixture
+    def facts(self):
+        return [Fact("A", "R", "B"), Fact("BAD-X", "R", "B"),
+                Fact("B", "S", "OK-Z"), Fact("B", "S", "BAD-Z")]
+
+    def test_all_engines_enforce_every_copy(self, facts):
+        rule = self._rule()
+        context = _context(facts)
+        expected = {Fact("A", "T", "OK-Z")}
+        for engine in (naive_closure, semi_naive_closure,
+                       dispatched_closure):
+            result = engine(facts, [rule], context)
+            derived = set(result.store) - set(facts)
+            assert derived == expected, engine.__name__
+
+    def test_literally_repeated_condition_is_harmless(self, facts):
+        guard = _ClassEqualCondition(Z, "BAD-Z")
+        rule = Rule(name="doubled",
+                    body=(Template(X, "R", Y), Template(Y, "S", Z)),
+                    head=(Template(X, "T", Z),),
+                    conditions=(guard, guard))
+        context = _context(facts)
+        result = semi_naive_closure(facts, [rule], context)
+        derived = set(result.store) - set(facts)
+        assert derived == {Fact("A", "T", "OK-Z"),
+                           Fact("BAD-X", "T", "OK-Z")}
