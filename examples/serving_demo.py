@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Serving demo: snapshot-isolated reads, batched writes, and the wire.
+
+Wraps a database in :class:`repro.DatabaseService`, shows that readers
+see immutable snapshots while a writer batch is in flight, demonstrates
+write coalescing (many queued mutations, few snapshot publishes), and
+finishes with a JSON-lines TCP round trip through
+:class:`repro.serve.net.ServiceServer` / ``ServiceClient``.
+
+Run:  python examples/serving_demo.py
+"""
+
+import threading
+
+from repro import Database, DatabaseService
+from repro.serve.net import ServiceClient, ServiceServer
+
+
+def build_database() -> Database:
+    db = Database()
+    db.add("JOHN", "∈", "EMPLOYEE")
+    db.add("EMPLOYEE", "≺", "PERSON")
+    db.add("EMPLOYEE", "EARNS", "SALARY")
+    return db
+
+
+def main() -> None:
+    service = DatabaseService(build_database(), batch_window=0.005)
+
+    # --- Snapshot isolation -----------------------------------------
+    # A pinned view is a frozen snapshot: writes that land later are
+    # invisible to it, while fresh reads see them immediately.
+    pinned = service.read_view()
+    service.add("MARY", "∈", "EMPLOYEE")
+    print("pinned view still has one employee: ",
+          sorted(pinned.query("(x, ∈, EMPLOYEE)")))
+    print("fresh reads see the new employee:   ",
+          sorted(service.query("(x, ∈, EMPLOYEE)")))
+    print("derived facts serve too:            ",
+          service.ask("(MARY, EARNS, SALARY)"))
+
+    # --- Write coalescing -------------------------------------------
+    # Queue a burst of asynchronous writes; the single writer thread
+    # folds them into a handful of batches, each publishing one new
+    # snapshot (instead of one closure recompute per fact).
+    before = service.stats()["snapshot_publishes"]
+    tickets = [service.add_async(("ITEM%d" % i, "∈", "INVENTORY"))
+               for i in range(100)]
+    for ticket in tickets:
+        ticket.result(timeout=10.0)
+    stats = service.stats()
+    print("\n100 writes coalesced into %d publish(es); largest batch %d"
+          % (stats["snapshot_publishes"] - before, stats["largest_batch"]))
+
+    # --- Concurrent readers -----------------------------------------
+    # Reads never block on the writer: each thread grabs the currently
+    # published snapshot and queries it lock-free.
+    counts = []
+
+    def reader() -> None:
+        counts.append(len(service.query("(x, ∈, INVENTORY)")))
+
+    threads = [threading.Thread(target=reader) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    print("8 concurrent readers each saw %d items" % counts[0])
+
+    # --- Over the wire ----------------------------------------------
+    server = ServiceServer(service, host="127.0.0.1", port=0)
+    server.start()
+    host, port = server.address
+    client = ServiceClient(host, port)
+    client.add("REMOTE", "∈", "EMPLOYEE")
+    print("\nvia TCP (%s:%d): employees = %s"
+          % (host, port, sorted(client.query("(x, ∈, EMPLOYEE)"))))
+    client.close()
+    server.close()
+    service.close()
+    print("\nservice closed cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,12 +37,17 @@ from .core.entities import (
     TOP,
 )
 from .core.errors import (
+    DeadlineExceeded,
     EntityError,
+    FrozenStoreError,
     IntegrityError,
+    Overloaded,
     ParseError,
     QueryError,
     ReproError,
     RuleError,
+    ServiceClosed,
+    ServiceError,
     StorageError,
     TemplateError,
 )
@@ -53,17 +58,20 @@ from .query.ast import And, Atom, Exists, ForAll, Or, Query, atom, exists, foral
 from .query.parser import parse_formula, parse_query, parse_template
 from .rules.builtin import STANDARD_RULES
 from .rules.rule import Rule
+from .serve import DatabaseService
 from .storage.session import open_database
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BOTTOM", "CONTRA", "EQ", "GE", "GT", "INV", "ISA", "LE", "LT",
-    "MEMBER", "NE", "SYN", "TOP", "EntityError", "IntegrityError",
-    "ParseError", "QueryError", "ReproError", "RuleError", "StorageError",
-    "TemplateError", "Fact", "Template", "Variable", "fact", "template",
-    "var", "FactStore", "AXIOM_FACTS", "Database", "And", "Atom", "Exists",
-    "ForAll", "Or", "Query", "atom", "exists", "forall", "parse_formula",
-    "parse_query", "parse_template", "STANDARD_RULES", "Rule",
-    "open_database", "__version__",
+    "MEMBER", "NE", "SYN", "TOP", "DeadlineExceeded", "EntityError",
+    "FrozenStoreError", "IntegrityError", "Overloaded", "ParseError",
+    "QueryError", "ReproError", "RuleError", "ServiceClosed",
+    "ServiceError", "StorageError", "TemplateError", "Fact", "Template",
+    "Variable", "fact", "template", "var", "FactStore", "AXIOM_FACTS",
+    "Database", "DatabaseService", "And", "Atom", "Exists", "ForAll", "Or",
+    "Query", "atom", "exists", "forall", "parse_formula", "parse_query",
+    "parse_template", "STANDARD_RULES", "Rule", "open_database",
+    "__version__",
 ]

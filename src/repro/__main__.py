@@ -1,4 +1,12 @@
-"""``python -m repro`` launches the interactive browser shell."""
+"""``python -m repro`` launches the interactive browser shell.
+
+Subcommands pass through to :mod:`repro.shell`::
+
+    python -m repro music                  # browse a bundled dataset
+    python -m repro /path/to/durable-db    # browse a durable directory
+    python -m repro serve music            # host it over TCP (repro.serve)
+    python -m repro connect localhost:7474 # remote shell against a server
+"""
 
 from .shell import main
 

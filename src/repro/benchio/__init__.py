@@ -1,4 +1,19 @@
-"""Benchmark harness: sweeps, timing, and text reporting."""
+"""Benchmark harness: sweeps, timing, and text reporting.
+
+Shared plumbing for ``benchmarks/``: best-of-N timing
+(:func:`~repro.benchio.harness.timed`), measurements that attach obs
+counters from a separately observed run
+(:func:`~repro.benchio.harness.measure`), parameter sweeps,
+fixed-width table printing, and the ``BENCH_*.json`` document writer
+(:func:`~repro.benchio.harness.write_bench_json`).
+
+Example::
+
+    from repro.benchio import timed
+
+    seconds = timed(lambda: sum(range(1000)), repeat=3)
+    assert seconds > 0.0
+"""
 
 from .harness import Measurement, Sweep, measure, timed, write_bench_json
 from .reporting import format_sweep, format_table, format_value, print_sweep

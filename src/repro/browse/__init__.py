@@ -1,4 +1,24 @@
-"""Browsing: navigation (§4) and probing with automatic retraction (§5)."""
+"""Browsing: navigation (§4) and probing with automatic retraction (§5).
+
+The paper's principal retrieval method for an unorganized heap:
+*navigation* iterates neighborhood (star-template) queries, rendering
+each answer as the grouped two-way table of §4.1; *probing* evaluates
+a query and, on failure, automatically retries minimally broader
+versions of it — the §5.2 wave process over the generalization
+hierarchy — presenting the successes as a menu.
+
+Example::
+
+    from repro import Database
+
+    db = Database()
+    db.add("JOHN", "∈", "EMPLOYEE")
+    db.add("EMPLOYEE", "EARNS", "SALARY")
+    table = db.navigate("(JOHN, *, *)").render()     # §4.1 table
+    assert "EMPLOYEE" in table
+    outcome = db.probe("(JOHN, OWNS, z)")            # §5.2 retraction
+    assert not outcome.succeeded
+"""
 
 from .navigation import (
     NavigationResult,

@@ -1,4 +1,23 @@
-"""Core fact model: entities, facts, templates, and the fact heap."""
+"""Core fact model: entities, facts, templates, and the fact heap.
+
+Everything above this layer manipulates the same three shapes: `Fact`
+triplets over string entities (:mod:`repro.core.facts`), `Template`
+patterns with variables, and the fully indexed :class:`FactStore`
+(:mod:`repro.core.store`).  The package also holds the cross-cutting
+utilities the upper layers share: the special-entity vocabulary
+(:mod:`repro.core.entities`), the typed error hierarchy
+(:mod:`repro.core.errors`), the version-keyed LRU result cache
+(:mod:`repro.core.cache`), and cooperative per-request deadlines
+(:mod:`repro.core.deadline`).
+
+Example::
+
+    from repro.core import Fact, FactStore, template, var
+
+    store = FactStore([Fact("JOHN", "EARNS", "$25000")])
+    pattern = template("JOHN", var("r"), var("y"))
+    assert [f.target for f in store.match(pattern)] == ["$25000"]
+"""
 
 from .entities import (
     BOTTOM,

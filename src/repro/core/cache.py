@@ -10,10 +10,27 @@ embed the version and invalidation is free: stale entries are never
 
 Hit/miss totals are exposed both as attributes (for tests that run with
 tracing off) and as the ``cache.hits`` / ``cache.misses`` obs counters.
+
+The cache is thread-safe: the serving layer (:mod:`repro.serve`) shares
+one instance across every published snapshot so warm entries survive
+snapshot publication (an unchanged version means unchanged keys), and
+concurrent readers hit it simultaneously.  A single lock guards the
+``OrderedDict`` — the critical sections are a few dict operations, far
+cheaper than recomputing any cached result.
+
+Example::
+
+    from repro.core.cache import LRUCache
+
+    cache = LRUCache(maxsize=2)
+    cache.put(("query", "(x, ≺, y)", 7), frozenset({("A", "B")}))
+    cache.get(("query", "(x, ≺, y)", 7))   # hit
+    cache.get(("query", "(x, ≺, y)", 8))   # miss: version moved
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
@@ -39,18 +56,24 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value for ``key`` (marking it recently used), or
         ``default``."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                missed = True
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
+                missed = False
+        if missed:
             if _obs.ENABLED:
                 _obs.TRACER.count("cache.misses")
             return default
-        self._data.move_to_end(key)
-        self.hits += 1
         if _obs.ENABLED:
             _obs.TRACER.count("cache.hits")
         return value
@@ -58,17 +81,21 @@ class LRUCache:
     def put(self, key: Hashable, value: Any) -> None:
         """Store ``key`` → ``value``, evicting the oldest entries when
         the cache is over capacity."""
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
-            if _obs.ENABLED:
-                _obs.TRACER.count("cache.evictions")
+        evicted = 0
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted and _obs.ENABLED:
+            _obs.TRACER.count("cache.evictions", evicted)
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __len__(self) -> int:
         return len(self._data)

@@ -1,0 +1,117 @@
+"""Cooperative per-request deadlines.
+
+The serving layer (:mod:`repro.serve`) promises bounded latency: a
+request that cannot finish in time must stop consuming the process
+instead of running to completion.  Python threads cannot be interrupted
+from outside, so cancellation is *cooperative*: the long loops of the
+system — the query evaluator's binding enumeration and the closure
+engines' fixpoint rounds — call :func:`check` at natural checkpoints,
+and :func:`check` raises :class:`~repro.core.errors.DeadlineExceeded`
+once the active deadline has passed.
+
+The mechanism follows the zero-overhead pattern of :mod:`repro.obs`:
+one module-level flag (:data:`ACTIVE`) counts threads currently inside
+a deadline scope, and every checkpoint guards itself with::
+
+    from ..core import deadline as _deadline
+    ...
+    if _deadline.ACTIVE:
+        _deadline.check()
+
+so that with no deadline anywhere in the process (the default — every
+single-user, single-thread workload) the cost per checkpoint is one
+module-attribute load and a falsy branch.  The deadline itself is
+thread-local: scopes on different threads never see each other, and
+nested scopes tighten (never loosen) the effective deadline.
+
+Example::
+
+    from repro.core import deadline
+    from repro.core.errors import DeadlineExceeded
+
+    with deadline.deadline_scope(0.050):     # 50 ms budget
+        try:
+            db.query("(x, ≺, y) and (y, ≺, z)")
+        except DeadlineExceeded:
+            ...  # the evaluator stopped at a checkpoint
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .errors import DeadlineExceeded
+
+#: Fast-path flag: the number of threads currently inside a deadline
+#: scope.  Checkpoints test this and nothing else when it is zero.
+ACTIVE = 0
+
+_lock = threading.Lock()
+_local = threading.local()
+
+
+@contextmanager
+def deadline_scope(seconds: Optional[float] = None, *,
+                   at: Optional[float] = None) -> Iterator[None]:
+    """Run the body under a deadline.
+
+    Args:
+        seconds: budget from now (``time.monotonic()``).  ``None``
+            (with ``at`` also ``None``) makes the scope a no-op, so
+            callers can pass an optional deadline straight through.
+            A non-positive budget is already expired: the first
+            checkpoint raises.
+        at: absolute ``time.monotonic()`` timestamp instead of a
+            relative budget (used by the service, which computes one
+            admission deadline per request).
+
+    Scopes nest by tightening: an inner scope can only shorten the
+    effective deadline, never extend it past the enclosing scope's.
+    """
+    global ACTIVE
+    if seconds is None and at is None:
+        yield
+        return
+    expires = at if at is not None else time.monotonic() + seconds
+    previous = getattr(_local, "expires", None)
+    if previous is not None:
+        expires = min(previous, expires)
+    _local.expires = expires
+    with _lock:
+        ACTIVE += 1
+    try:
+        yield
+    finally:
+        with _lock:
+            ACTIVE -= 1
+        _local.expires = previous
+
+
+def check() -> None:
+    """Raise :class:`DeadlineExceeded` if this thread's deadline passed.
+
+    A no-op on threads with no active scope.  Call sites should guard
+    with ``if deadline.ACTIVE:`` so the disabled path stays free.
+    """
+    expires = getattr(_local, "expires", None)
+    if expires is not None and time.monotonic() >= expires:
+        raise DeadlineExceeded(
+            f"deadline exceeded ({time.monotonic() - expires:.3f}s past)")
+
+
+def remaining() -> Optional[float]:
+    """Seconds left on this thread's deadline, or ``None`` if no scope
+    is active.  May be negative once the deadline has passed."""
+    expires = getattr(_local, "expires", None)
+    if expires is None:
+        return None
+    return expires - time.monotonic()
+
+
+def expired() -> bool:
+    """True when this thread has an active deadline that has passed."""
+    expires = getattr(_local, "expires", None)
+    return expires is not None and time.monotonic() >= expires

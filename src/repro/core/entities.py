@@ -19,6 +19,13 @@ TOP       ``Δ``                    most abstract entity (§2.3)
 BOTTOM    ``∇``                    most specified entity (§2.3)
 LT/GT/..  ``<  >  =  ≠  ≤  ≥``     mathematical facts (§3.6)
 ========  =======================  ==========================================
+
+Example::
+
+    from repro.core.entities import MEMBER, is_numeric, numeric_value
+
+    assert MEMBER == "∈"
+    assert is_numeric("$25000") and numeric_value("$25000") == 25000
 """
 
 from __future__ import annotations

@@ -2,6 +2,16 @@
 
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch a single base class at the API boundary.
+
+Example::
+
+    from repro import Database
+    from repro.core.errors import ParseError, ReproError
+
+    try:
+        Database().query("(not a template")
+    except ReproError as exc:
+        assert isinstance(exc, ParseError)
 """
 
 from __future__ import annotations
@@ -55,3 +65,40 @@ class StorageError(ReproError):
 
 class UnknownRuleError(RuleError):
     """``include``/``exclude`` named a rule not present in the registry."""
+
+
+class FrozenStoreError(ReproError):
+    """A mutation was attempted on a frozen (read-only) fact store.
+
+    Published service snapshots freeze their stores so that a stray
+    write through a reader's reference fails loudly instead of tearing
+    the snapshot other readers are using.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the concurrent serving layer
+    (:mod:`repro.serve`)."""
+
+
+class DeadlineExceeded(ServiceError):
+    """A request ran past its deadline and was cooperatively cancelled.
+
+    Raised from the deadline checkpoints inside the query evaluator and
+    the closure loops (see :mod:`repro.core.deadline`), or when a write
+    ticket was not applied within the caller's deadline.  For writes the
+    mutation may still be applied by the writer after the caller has
+    given up; the ticket records the eventual outcome.
+    """
+
+
+class Overloaded(ServiceError):
+    """The service's bounded admission queue is full (backpressure).
+
+    Clients should back off and retry; the request was rejected before
+    doing any work.
+    """
+
+
+class ServiceClosed(ServiceError):
+    """The service has shut down; no further requests are accepted."""

@@ -4,6 +4,14 @@ A *fact* is a named pair of entities: the triplet
 ``(source, relationship, target)``.  A *template* is a fact in which
 any position may hold a :class:`Variable`; templates are the atoms of
 both rules and queries.
+
+Example::
+
+    from repro.core.facts import fact, template, var
+
+    t = template(var("x"), "EARNS", var("y"))
+    binding = t.match(fact("JOHN", "EARNS", "$25000"))
+    assert binding[var("x")] == "JOHN"
 """
 
 from __future__ import annotations

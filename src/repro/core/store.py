@@ -19,6 +19,14 @@ s, t                  ``_by_st``
 r, t                  ``_by_rt``
 s, r, t               membership test
 ====================  =========================
+
+Example::
+
+    from repro.core import Fact, FactStore, template, var
+
+    store = FactStore([Fact("JOHN", "EARNS", "$25000")])
+    matches = store.match(template("JOHN", var("r"), var("y")))
+    assert [f.target for f in matches] == ["$25000"]
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from collections import defaultdict
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
 from ..obs import tracer as _obs
+from .errors import FrozenStoreError
 from .facts import Binding, Fact, Template, Variable
 
 
@@ -54,6 +63,8 @@ class FactStore:
         # discard, or clear — never reset.  Result caches key on it so
         # a moved version invalidates every entry for free.
         self._version: int = 0
+        # Frozen stores reject mutation (published service snapshots).
+        self._frozen: bool = False
         for f in facts:
             self.add(f)
 
@@ -62,6 +73,8 @@ class FactStore:
     # ------------------------------------------------------------------
     def add(self, fact: Fact) -> bool:
         """Insert a fact.  Returns True if it was not already present."""
+        if self._frozen:
+            raise FrozenStoreError("cannot add to a frozen store")
         if fact in self._facts:
             return False
         if _obs.ENABLED:
@@ -86,6 +99,8 @@ class FactStore:
 
     def discard(self, fact: Fact) -> bool:
         """Remove a fact if present.  Returns True if it was present."""
+        if self._frozen:
+            raise FrozenStoreError("cannot discard from a frozen store")
         if fact not in self._facts:
             return False
         if _obs.ENABLED:
@@ -110,9 +125,29 @@ class FactStore:
 
     def clear(self) -> None:
         """Remove every fact.  The version keeps moving forward."""
+        if self._frozen:
+            raise FrozenStoreError("cannot clear a frozen store")
         version = self._version + 1
         self.__init__()
         self._version = version
+
+    def freeze(self) -> "FactStore":
+        """Make this store permanently read-only (returns ``self``).
+
+        Any subsequent :meth:`add` / :meth:`discard` / :meth:`clear`
+        raises :class:`~repro.core.errors.FrozenStoreError`.  The
+        serving layer freezes the stores of every published snapshot so
+        concurrent readers can share them without locks — an accidental
+        write fails instead of tearing another reader's view.
+        :meth:`copy` always produces an *unfrozen* copy.
+        """
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` has been called."""
+        return self._frozen
 
     # ------------------------------------------------------------------
     # Inspection
@@ -160,6 +195,7 @@ class FactStore:
         new._entity_refs = defaultdict(int, self._entity_refs)
         new._relationship_refs = defaultdict(int, self._relationship_refs)
         new._version = self._version
+        new._frozen = False
         return new
 
     def entities(self) -> Set[str]:

@@ -1,4 +1,22 @@
-"""Datasets: the paper's worked examples and synthetic generators."""
+"""Datasets: the paper's worked examples and synthetic generators.
+
+Each non-synthetic module rebuilds one of the paper's running examples
+(John and the music world, the university, books/citations, plus a
+larger film world) as a ``load()`` function returning a ready
+:class:`~repro.db.Database`; :mod:`repro.datasets.synthetic` generates
+parameterized hierarchies, memberships, and random heaps for the
+benchmarks.
+
+Example::
+
+    from repro.datasets import music
+    from repro.datasets.synthetic import hierarchy_facts
+
+    db = music.load()
+    assert db.ask("(JOHN, ∈, EMPLOYEE)")
+    tree, leaves = hierarchy_facts(depth=2, fanout=2)
+    assert len(leaves) == 4
+"""
 
 from . import books, movies, music, paper, synthetic, university
 

@@ -258,6 +258,80 @@ class Database:
         return True
 
     # ------------------------------------------------------------------
+    # Snapshots (repro.serve)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "Database":
+        """A read-only, point-in-time clone for concurrent readers.
+
+        The clone's base heap is an independent :meth:`FactStore.copy`
+        (frozen, so any mutation attempt raises
+        :class:`~repro.core.errors.FrozenStoreError`), the cached
+        closure layers are copied so later incremental maintenance of
+        *this* database cannot tear them, and the rule registry state
+        is duplicated.  The version-keyed result cache is **shared**:
+        cache keys embed the store version and configuration epoch, so
+        entries computed against one snapshot are valid for any other
+        snapshot at the same version — publishing a snapshot keeps the
+        cache warm for free.
+
+        This is the publication primitive of
+        :class:`repro.serve.DatabaseService`: the single writer mutates
+        the master database, then publishes ``master.snapshot()`` for
+        readers to use lock-free.  Lazy caches on a snapshot (view,
+        hierarchy, full closure) are benignly racy — concurrent readers
+        may compute one twice, but every computed value is identical;
+        the service warms them before publishing.
+        """
+        from .views import ViewCatalog
+
+        clone = Database.__new__(Database)
+        clone._base = self._base.copy().freeze()
+        clone.rules = RuleRegistry(self.rules.all_rules())
+        clone.rules.restore_state(self.rules.snapshot_state())
+        clone.rules._compiled = self.rules._compiled  # reuse compilation
+        clone.operators = self.operators
+        clone.views = ViewCatalog(clone)
+        clone.views._definitions = dict(self.views._definitions)
+        clone.engine = self.engine
+        clone.auto_check = False       # snapshots never mutate
+        clone.incremental = False      # nor maintain anything in place
+        clone.trace = self.trace
+        clone._composition_limit = self._composition_limit
+        clone._virtual = self._virtual
+        clone._standard_result = self._copy_result(self._standard_result)
+        if self._full_result is self._standard_result:
+            clone._full_result = clone._standard_result
+        else:
+            clone._full_result = self._copy_result(self._full_result)
+        clone._lazy_engine = None
+        clone._view = None
+        clone._hierarchy = None
+        clone._result_cache = self._result_cache   # shared (thread-safe)
+        clone._cache_epoch = self._cache_epoch
+        clone._on_mutation = None
+        return clone
+
+    @staticmethod
+    def _copy_result(result: Optional[ClosureResult]) \
+            -> Optional[ClosureResult]:
+        """An independent copy of a cached closure result (the store is
+        copied and frozen; statistics are duplicated)."""
+        if result is None:
+            return None
+        return ClosureResult(
+            store=result.store.copy().freeze(),
+            base_count=result.base_count,
+            derived_count=result.derived_count,
+            iterations=result.iterations,
+            rule_firings=dict(result.rule_firings),
+            rule_times=dict(result.rule_times),
+            # Copied, not shared: incremental extension of the master
+            # inserts into its provenance dict in place.
+            provenance=(dict(result.provenance)
+                        if result.provenance is not None else None),
+        )
+
+    # ------------------------------------------------------------------
     # Relationship classification (§2.2)
     # ------------------------------------------------------------------
     def declare_class_relationship(self, relationship: str) -> bool:

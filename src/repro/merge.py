@@ -13,6 +13,17 @@ this module provides around it:
   vocabularies whose neighborhoods overlap, ranked by Jaccard
   similarity.  The §3.3 synonym mechanism does the actual unification;
   these functions find where to apply it.
+
+Example::
+
+    from repro import Database
+    from repro.core import Fact
+    from repro.merge import merge
+
+    db = Database()
+    db.add("A", "R", "B")
+    report = merge(db, [Fact("A", "R", "B"), Fact("C", "R", "D")])
+    assert report.added == 1 and report.duplicates == 1 and report.clean
 """
 
 from __future__ import annotations

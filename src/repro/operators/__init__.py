@@ -1,4 +1,19 @@
-"""The §6.1 operators: try, relation, and user-defined operators."""
+"""The §6.1 operators: try, relation, and user-defined operators.
+
+``try(e)`` collects every fact mentioning an entity (the paper's
+browsing starting point); ``relation(...)`` tabulates a class and its
+relationships as a possibly non-1NF table; and the registry lets
+users define new operators as named callables over the database
+(``db.define`` / ``db.invoke``).
+
+Example::
+
+    from repro import Database
+
+    db = Database()
+    db.add("JOHN", "∈", "EMPLOYEE")
+    assert [str(f) for f in db.try_("JOHN")] == ["(JOHN, ∈, EMPLOYEE)"]
+"""
 
 from .definitions import OperatorRegistry
 from .ops import FunctionView, RelationRow, RelationTable, relation, try_

@@ -1,4 +1,22 @@
-"""The standard query language: predicate-logic formulas over templates."""
+"""The standard query language: predicate-logic formulas over templates.
+
+§2.7's retrieval language: template atoms combined with ∧, ∨, ∃, ∀
+over the closure plus the virtual relations.  The package provides the
+AST (:mod:`repro.query.ast`), the textual surface syntax
+(:mod:`repro.query.parser`), a selectivity-based conjunct planner, the
+backtracking evaluator, EXPLAIN / EXPLAIN ANALYZE, and a brute-force
+reference evaluator used for differential testing.
+
+Example::
+
+    from repro import Database
+
+    db = Database()
+    db.add("JOHN", "∈", "EMPLOYEE")
+    db.add("EMPLOYEE", "EARNS", "SALARY")
+    assert db.query("(x, EARNS, SALARY)") == {("JOHN",), ("EMPLOYEE",)}
+    assert db.ask("exists y: (JOHN, EARNS, y)")
+"""
 
 from .ast import (
     And,

@@ -8,6 +8,13 @@ A :class:`Query` is a formula together with the order of its free
 variables; its value is the set of tuples satisfying it.  There is no
 negation operator — per the paper, negative assertions use
 complementary relationships such as ``≠``.
+
+Example::
+
+    from repro.query import parse_query
+
+    q = parse_query("(x, ∈, EMPLOYEE) and (x, EARNS, y)")
+    assert str(q).startswith("Q(x, y)")
 """
 
 from __future__ import annotations

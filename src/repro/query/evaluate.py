@@ -9,12 +9,21 @@ Quantifier semantics: both ∃ and ∀ range over the *active domain* (the
 entities occurring in the closure).  This is the only finite reading of
 the paper's predicate calculus, and matches its examples: every worked
 query quantifies over entities the database mentions.
+
+Example::
+
+    from repro import Database
+
+    db = Database()
+    db.add("JOHN", "∈", "EMPLOYEE")
+    assert db.query("(x, ∈, EMPLOYEE)") == {("JOHN",)}
 """
 
 from __future__ import annotations
 
 from typing import FrozenSet, Iterator, Optional, Set, Tuple
 
+from ..core import deadline as _deadline
 from ..core.errors import QueryError
 from ..core.facts import Binding, Variable
 from ..obs import tracer as _obs
@@ -65,6 +74,10 @@ class Evaluator:
         with evaluate_span as span:
             results: Set[Tuple[str, ...]] = set()
             for binding in self.solutions(query.formula, {}):
+                # Deadline checkpoint: one per result row keeps even a
+                # single huge conjunct cancellable (repro.core.deadline).
+                if _deadline.ACTIVE:
+                    _deadline.check()
                 results.add(tuple(binding[v] for v in query.variables))
             span.set(rows=len(results))
         if self.cache is not None:
@@ -126,6 +139,11 @@ class Evaluator:
         if not parts:
             yield binding
             return
+        # Deadline checkpoint: entered once per conjunct selection, i.e.
+        # once per partial binding — frequent enough to bound latency,
+        # rare enough not to show up in profiles.
+        if _deadline.ACTIVE:
+            _deadline.check()
         bound = set(binding)
         index, cost = choose_conjunct(parts, bound, self.view)
         first = parts[index]

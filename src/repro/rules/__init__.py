@@ -1,4 +1,21 @@
-"""Rules: inference, integrity, composition, and closure engines."""
+"""Rules: inference, integrity, composition, and closure engines.
+
+The §2.5–§3 inference machinery: conjunctive rules ``<L, R>``, the
+standard rule set (generalization, membership, synonymy, inversion),
+three equivalent forward-chaining closure engines (naive, semi-naive,
+and the compiled *dispatched* fast path), incremental maintenance
+under insertion and deletion, composition bounded by ``limit(n)``,
+integrity constraints, provenance, and a tabled lazy evaluator.
+
+Example::
+
+    from repro import Database
+
+    db = Database()
+    db.define_rule("sym", "(a, MARRIED-TO, b) => (b, MARRIED-TO, a)")
+    db.add("ANN", "MARRIED-TO", "BOB")
+    assert db.ask("(BOB, MARRIED-TO, ANN)")          # derived
+"""
 
 from .builtin import STANDARD_RULES, STANDARD_RULES_BY_NAME
 from .composition import (

@@ -55,6 +55,7 @@ from typing import (
     Tuple,
 )
 
+from ..core import deadline as _deadline
 from ..core.entities import is_special_relationship
 from ..core.facts import Binding, Fact, Template, Variable
 from ..core.store import FactStore
@@ -585,6 +586,11 @@ def run_rounds(store: FactStore, delta: FactStore, group: DispatchGroup,
                 _obs.TRACER.count("dispatch.fired_rules", len(active))
             fresh: Set[Fact] = set()
             for cr in active:
+                # Deadline checkpoint: once per (rule, round) — a
+                # cancelled closure leaves no shared state behind
+                # (the store under construction is discarded).
+                if _deadline.ACTIVE:
+                    _deadline.check()
                 rule_name = cr.rule.name
                 heads = cr.heads
                 if observing:

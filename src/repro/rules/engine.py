@@ -14,6 +14,16 @@ Two engines are provided:
 
 Both return a :class:`ClosureResult` carrying the closed store and
 evaluation statistics.
+
+Example::
+
+    from repro import Database
+
+    for engine in ("dispatched", "semi-naive", "naive"):
+        db = Database(engine=engine)
+        db.add("JOHN", "∈", "EMPLOYEE")
+        db.add("EMPLOYEE", "EARNS", "SALARY")
+        assert db.ask("(JOHN, EARNS, SALARY)")  # same derived closure
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..core import deadline as _deadline
 from ..core.facts import Binding, Fact, Template, Variable
 from ..core.store import FactStore
 from ..obs import tracer as _obs
@@ -149,6 +160,8 @@ def naive_closure(base: Iterable[Fact], rules: Sequence[Rule],
             with round_span as rspan:
                 fresh: List[Fact] = []
                 for rule in rules:
+                    if _deadline.ACTIVE:
+                        _deadline.check()
                     sources = [store] * len(rule.body)
                     if observing:
                         rule_started = time.perf_counter()
@@ -271,6 +284,12 @@ def _semi_naive_rounds(store: FactStore, delta: FactStore,
         with round_span as rspan:
             fresh: Set[Fact] = set()
             for rule, reordered in pivoted:
+                # Deadline checkpoint (see repro.core.deadline): a
+                # cancelled full closure is simply not cached; only
+                # incremental extension mutates shared state, and the
+                # serving layer never runs that under a deadline.
+                if _deadline.ACTIVE:
+                    _deadline.check()
                 arity = len(reordered.body)
                 sources: List[FactStore] = [delta] + [store] * (arity - 1)
                 if observing:

@@ -3,6 +3,19 @@
 "As inference rules are representations of additional facts, they too
 may be edited dynamically.  This allows us to turn inference rules off
 and on, at will."
+
+Example::
+
+    from repro import Database
+
+    db = Database()
+    db.add("JOHN", "∈", "EMPLOYEE")
+    db.add("EMPLOYEE", "EARNS", "SALARY")
+    assert db.ask("(JOHN, EARNS, SALARY)")
+    db.exclude("mem-source")            # turn inheritance off …
+    assert not db.ask("(JOHN, EARNS, SALARY)")
+    db.include("mem-source")            # … and back on
+    assert db.ask("(JOHN, EARNS, SALARY)")
 """
 
 from __future__ import annotations

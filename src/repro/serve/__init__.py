@@ -1,0 +1,49 @@
+"""The concurrent serving layer: many readers, one writer, snapshots.
+
+The paper positions browsing as an *interactive, multi-user* retrieval
+method but defers all system concerns to future work (§6).  This
+package is that serving tier: :class:`DatabaseService` wraps a
+:class:`~repro.db.Database` with reader-writer concurrency —
+
+* **reads** run lock-free against an immutable, frozen, copy-on-write
+  snapshot published by the writer (:meth:`repro.db.Database.snapshot`),
+  under optional per-request deadlines with cooperative cancellation
+  (:mod:`repro.core.deadline`);
+* **writes** funnel through a bounded admission queue into a single
+  writer thread that coalesces queued mutations into batches, applies
+  them to the master database, journals the batch when a
+  :class:`~repro.storage.session.DurableSession` is attached, and
+  atomically publishes the next snapshot;
+* **overload** surfaces as the typed
+  :class:`~repro.core.errors.Overloaded` /
+  :class:`~repro.core.errors.DeadlineExceeded` hierarchy instead of
+  unbounded queueing.
+
+:mod:`repro.serve.net` adds a JSON-lines TCP server and client so the
+service can sit behind a socket (``python -m repro.shell serve music``
+/ ``python -m repro.shell connect localhost:7474``).
+
+Example::
+
+    from repro import Database
+    from repro.serve import DatabaseService
+
+    db = Database()
+    db.add("JOHN", "∈", "EMPLOYEE")
+    with DatabaseService(db) as service:
+        service.add("EMPLOYEE", "EARNS", "SALARY")   # via the writer
+        service.query("(JOHN, EARNS, y)")            # {("SALARY",)}
+"""
+
+from ..core.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ServiceClosed,
+    ServiceError,
+)
+from .service import DatabaseService, WriteTicket
+
+__all__ = [
+    "DatabaseService", "WriteTicket",
+    "ServiceError", "Overloaded", "DeadlineExceeded", "ServiceClosed",
+]

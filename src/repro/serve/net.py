@@ -1,0 +1,436 @@
+"""JSON-lines TCP access to a :class:`~repro.serve.DatabaseService`.
+
+Protocol
+--------
+
+One request per line, one response per line, both JSON objects
+(stdlib only — no new dependencies)::
+
+    -> {"op": "query", "query": "(x, ∈, COMPOSER)", "deadline": 2.0}
+    <- {"ok": true, "result": [["BRAHMS"], ["MAHLER"]]}
+
+    -> {"op": "add", "fact": ["ELGAR", "∈", "COMPOSER"]}
+    <- {"ok": true, "result": true}
+
+    -> {"op": "query", "query": "(x, BOGUS"}
+    <- {"ok": false, "error": "ParseError", "message": "..."}
+
+Errors travel as the exception's class name plus message; the client
+re-raises the matching class from :mod:`repro.core.errors`, so remote
+callers handle :class:`~repro.core.errors.Overloaded` and
+:class:`~repro.core.errors.DeadlineExceeded` exactly like local ones.
+Result sets are serialised as sorted lists of lists (JSON has no sets
+or tuples); rendered operators (``navigate``, ``try``) ship their text.
+
+Example (in-process round trip)::
+
+    from repro import Database
+    from repro.serve import DatabaseService
+    from repro.serve.net import ServiceClient, ServiceServer
+
+    service = DatabaseService(Database())
+    server = ServiceServer(service, port=0)   # 0 = ephemeral port
+    server.start()
+    host, port = server.address
+    with ServiceClient(host, port) as client:
+        client.add("JOHN", "∈", "EMPLOYEE")
+        assert client.ask("(JOHN, ∈, EMPLOYEE)")
+    server.close()
+    service.close()
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from ..core import errors as _errors
+from ..core.errors import ReproError, ServiceError
+from ..obs import tracer as _obs
+
+__all__ = ["ServiceServer", "ServiceClient", "RemoteShell",
+           "PROTOCOL_VERSION"]
+
+PROTOCOL_VERSION = 1
+
+# Exception classes the client may re-raise by name.  Anything not
+# listed degrades to ServiceError on the client side.
+_ERROR_CLASSES = {
+    name: getattr(_errors, name)
+    for name in (
+        "ReproError", "EntityError", "TemplateError", "RuleError",
+        "QueryError", "ParseError", "InfiniteRelationError",
+        "IntegrityError", "StorageError", "UnknownRuleError",
+        "FrozenStoreError", "ServiceError", "DeadlineExceeded",
+        "Overloaded", "ServiceClosed",
+    )
+}
+
+
+def _rows(result) -> list:
+    """A set of tuples as a deterministic JSON value."""
+    return sorted(list(row) for row in result)
+
+
+def _facts(facts) -> list:
+    return [list(f) for f in facts]
+
+
+def _dispatch(service, request: Dict[str, Any]) -> Any:
+    op = request.get("op")
+    deadline = request.get("deadline")
+    if op == "ping":
+        info = service.ping()
+        info["protocol"] = PROTOCOL_VERSION
+        return info
+    if op == "query":
+        return _rows(service.query(request["query"], deadline=deadline))
+    if op == "ask":
+        return service.ask(request["query"], deadline=deadline)
+    if op == "match":
+        return _facts(service.match(request["pattern"], deadline=deadline))
+    if op == "navigate":
+        return service.navigate(request["pattern"],
+                                deadline=deadline).render()
+    if op == "try":
+        return _facts(service.try_(request["entity"], deadline=deadline))
+    if op == "probe":
+        outcome = service.probe(request["query"], deadline=deadline)
+        return {"succeeded": outcome.succeeded,
+                "value": _rows(outcome.value),
+                "waves": len(outcome.waves)}
+    if op == "add":
+        return service.add(*request["fact"], deadline=deadline)
+    if op == "remove":
+        return service.remove(*request["fact"], deadline=deadline)
+    if op == "limit":
+        return service.limit(request["n"], deadline=deadline)
+    if op == "include":
+        service.include(request["rule"], deadline=deadline)
+        return True
+    if op == "exclude":
+        service.exclude(request["rule"], deadline=deadline)
+        return True
+    if op == "rule":
+        rule = service.define_rule(
+            request["name"], request["text"],
+            is_constraint=bool(request.get("is_constraint", False)),
+            deadline=deadline)
+        return str(rule)
+    if op == "checkpoint":
+        return service.checkpoint(deadline=deadline)
+    if op == "stats":
+        return service.stats()
+    if op == "db_stats":
+        return service.database_stats(deadline=deadline)
+    raise ServiceError(f"unknown operation {op!r}")
+
+
+class ServiceServer:
+    """A threading TCP server speaking the JSON-lines protocol.
+
+    Each connection gets its own handler thread; reads are lock-free
+    against the service's published snapshot, so connection threads
+    scale without contending.  ``port=0`` binds an ephemeral port
+    (read it back from :attr:`address`).
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 7474):
+        self.service = service
+
+        outer = self
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                for raw in self.rfile:
+                    line = raw.decode("utf-8", errors="replace").strip()
+                    if not line:
+                        continue
+                    response = outer._respond(line)
+                    self.wfile.write(
+                        (json.dumps(response, ensure_ascii=False) + "\n")
+                        .encode("utf-8"))
+                    self.wfile.flush()
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((host, port), _Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    def _respond(self, line: str) -> Dict[str, Any]:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ServiceError("request must be a JSON object")
+            result = _dispatch(self.service, request)
+        except ReproError as error:
+            if _obs.ENABLED:
+                _obs.TRACER.count("serve.net.errors")
+            return {"ok": False, "error": type(error).__name__,
+                    "message": str(error)}
+        except (KeyError, TypeError, ValueError,
+                json.JSONDecodeError) as error:
+            if _obs.ENABLED:
+                _obs.TRACER.count("serve.net.errors")
+            return {"ok": False, "error": "ServiceError",
+                    "message": f"bad request: {error!r}"}
+        if _obs.ENABLED:
+            _obs.TRACER.count("serve.net.requests")
+        return {"ok": True, "result": result}
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        return self._server.server_address[:2]
+
+    def start(self) -> None:
+        """Serve on a background thread; returns immediately."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-serve-net",
+            daemon=True)
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``serve`` shell mode)."""
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServiceClient:
+    """A blocking JSON-lines client for :class:`ServiceServer`.
+
+    Remote errors re-raise as their local classes, so
+    ``except Overloaded:`` works the same against a socket as against
+    an in-process :class:`~repro.serve.DatabaseService`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7474,
+                 timeout: Optional[float] = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self._writer = self._sock.makefile("w", encoding="utf-8")
+
+    def _call(self, op: str, **fields) -> Any:
+        request = {"op": op}
+        request.update({k: v for k, v in fields.items() if v is not None})
+        return self._call_raw(request)
+
+    def _call_raw(self, request: Dict[str, Any]) -> Any:
+        self._writer.write(json.dumps(request, ensure_ascii=False) + "\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = json.loads(line)
+        if response.get("ok"):
+            return response.get("result")
+        error_class = _ERROR_CLASSES.get(response.get("error", ""),
+                                         ServiceError)
+        raise error_class(response.get("message", "remote error"))
+
+    # -- mirrored API ---------------------------------------------------
+    def ping(self) -> dict:
+        return self._call("ping")
+
+    def query(self, query: str, deadline: Optional[float] = None) -> list:
+        return self._call("query", query=query, deadline=deadline)
+
+    def ask(self, query: str, deadline: Optional[float] = None) -> bool:
+        return self._call("ask", query=query, deadline=deadline)
+
+    def match(self, pattern: str, deadline: Optional[float] = None) -> list:
+        return self._call("match", pattern=pattern, deadline=deadline)
+
+    def navigate(self, pattern: str,
+                 deadline: Optional[float] = None) -> str:
+        return self._call("navigate", pattern=pattern, deadline=deadline)
+
+    def try_(self, entity: str, deadline: Optional[float] = None) -> list:
+        return self._call("try", entity=entity, deadline=deadline)
+
+    def probe(self, query: str, deadline: Optional[float] = None) -> dict:
+        """Returns ``{"succeeded": bool, "value": rows, "waves": n}``."""
+        return self._call("probe", query=query, deadline=deadline)
+
+    def add(self, source: str, relationship: str, target: str,
+            deadline: Optional[float] = None) -> bool:
+        return self._call("add", fact=[source, relationship, target],
+                          deadline=deadline)
+
+    def remove(self, source: str, relationship: str, target: str,
+               deadline: Optional[float] = None) -> bool:
+        return self._call("remove", fact=[source, relationship, target],
+                          deadline=deadline)
+
+    def limit(self, n: Optional[int],
+              deadline: Optional[float] = None):
+        # n=None is meaningful (unlimited), so send it explicitly
+        # instead of letting _call's None-filter drop it.
+        request: Dict[str, Any] = {"op": "limit", "n": n}
+        if deadline is not None:
+            request["deadline"] = deadline
+        return self._call_raw(request)
+
+    def include(self, rule: str, deadline: Optional[float] = None) -> bool:
+        return self._call("include", rule=rule, deadline=deadline)
+
+    def exclude(self, rule: str, deadline: Optional[float] = None) -> bool:
+        return self._call("exclude", rule=rule, deadline=deadline)
+
+    def define_rule(self, name: str, text: str, *,
+                    is_constraint: bool = False,
+                    deadline: Optional[float] = None) -> str:
+        return self._call("rule", name=name, text=text,
+                          is_constraint=is_constraint or None,
+                          deadline=deadline)
+
+    def checkpoint(self, deadline: Optional[float] = None) -> bool:
+        return self._call("checkpoint", deadline=deadline)
+
+    def stats(self) -> dict:
+        return self._call("stats")
+
+    def database_stats(self, deadline: Optional[float] = None) -> dict:
+        return self._call("db_stats", deadline=deadline)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+            self._writer.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RemoteShell:
+    """A minimal interactive shell over a :class:`ServiceClient`.
+
+    Speaks a subset of :class:`~repro.shell.BrowserShell`'s commands —
+    the ones that round-trip cleanly over the wire.
+    """
+
+    PROMPT = "remote> "
+
+    def __init__(self, client: ServiceClient):
+        self.client = client
+
+    def execute(self, line: str) -> str:
+        line = line.strip()
+        if not line:
+            return ""
+        if line.startswith("("):
+            return self.client.navigate(line)
+        parts = line.split(None, 1)
+        command, rest = parts[0].lower(), (parts[1] if len(parts) > 1 else "")
+        try:
+            return self._run(command, rest)
+        except ReproError as error:
+            return f"error ({type(error).__name__}): {error}"
+
+    def _run(self, command: str, rest: str) -> str:
+        client = self.client
+        if command in ("quit", "exit"):
+            raise EOFError
+        if command == "help":
+            return ("commands: (template) | query Q | ask Q | try ENTITY |"
+                    " probe Q | add S R T | remove S R T | limit N |"
+                    " rule NAME TEXT | include NAME | exclude NAME |"
+                    " stats | checkpoint | ping | quit")
+        if command == "ping":
+            info = client.ping()
+            return (f"ok: version {info['version']},"
+                    f" {info['facts']} facts")
+        if command == "query":
+            rows = client.query(rest)
+            if not rows:
+                return "no results"
+            return "\n".join("(" + ", ".join(row) + ")" for row in rows)
+        if command == "ask":
+            return "yes" if client.ask(rest) else "no"
+        if command == "try":
+            facts = client.try_(rest.strip())
+            if not facts:
+                return "no facts"
+            return "\n".join(f"({s}, {r}, {t})" for s, r, t in facts)
+        if command == "probe":
+            outcome = client.probe(rest)
+            status = "succeeded" if outcome["succeeded"] else "failed"
+            lines = [f"{status} after {outcome['waves']} wave(s)"]
+            lines += ["(" + ", ".join(row) + ")"
+                      for row in outcome["value"]]
+            return "\n".join(lines)
+        if command == "add":
+            source, relationship, target = rest.split()
+            added = client.add(source, relationship, target)
+            return "added" if added else "already present"
+        if command == "remove":
+            source, relationship, target = rest.split()
+            removed = client.remove(source, relationship, target)
+            return "removed" if removed else "not present"
+        if command == "limit":
+            value = None if rest.strip().lower() == "none" else int(rest)
+            client.limit(value)
+            return f"composition limit = {value}"
+        if command == "rule":
+            name, text = rest.split(None, 1)
+            return "defined " + client.define_rule(name, text)
+        if command == "include":
+            client.include(rest.strip())
+            return f"included {rest.strip()}"
+        if command == "exclude":
+            client.exclude(rest.strip())
+            return f"excluded {rest.strip()}"
+        if command == "checkpoint":
+            client.checkpoint()
+            return "checkpointed"
+        if command == "stats":
+            stats = client.stats()
+            return "\n".join(f"{key}: {value}"
+                             for key, value in sorted(stats.items()))
+        return f"unknown command: {command!r} (try 'help')"
+
+    def run(self, stdin=None, stdout=None) -> None:
+        import sys
+
+        stdin = stdin or sys.stdin
+        stdout = stdout or sys.stdout
+        stdout.write("connected — 'help' lists commands, 'quit' leaves\n")
+        while True:
+            stdout.write(self.PROMPT)
+            stdout.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            try:
+                output = self.execute(line)
+            except EOFError:
+                break
+            except (ValueError, OSError) as error:
+                output = f"error: {error}"
+            if output:
+                stdout.write(output + "\n")

@@ -1,0 +1,569 @@
+"""DatabaseService: one writer, many snapshot-isolated readers.
+
+Concurrency model
+-----------------
+
+The service owns a private *master* :class:`~repro.db.Database` that
+only the writer thread ever touches, plus one *published* snapshot
+(a frozen, read-only clone produced by
+:meth:`repro.db.Database.snapshot`).  The division of labour:
+
+* **Readers** grab a local reference to the published snapshot — a
+  single attribute read, atomic under the GIL — and evaluate against
+  it without any locking.  The snapshot's stores are frozen, so a
+  stray mutation raises :class:`~repro.core.errors.FrozenStoreError`
+  instead of corrupting concurrent reads.  Each read runs inside a
+  :func:`repro.core.deadline.deadline_scope`, so long evaluations are
+  cancelled cooperatively at the checkpoints inside the evaluator and
+  the closure engines.
+
+* **Writers** enqueue typed operations onto a bounded admission queue
+  (:class:`~repro.core.errors.Overloaded` once ``max_pending`` is
+  reached) and receive a :class:`WriteTicket`.  A single writer thread
+  drains the queue, coalescing everything queued within one
+  ``batch_window`` into a batch: it applies the ops to the master,
+  journals the effective mutations in one append
+  (:meth:`repro.storage.session.DurableSession.record_batch`),
+  recomputes the closure once, and atomically publishes the next
+  snapshot.  Tickets resolve only *after* publication, so a caller
+  that waited for its write is guaranteed to see it in subsequent
+  reads (read-your-writes).
+
+The shared result cache makes publication cheap for readers: snapshots
+share the master's thread-safe LRU cache, and cache keys include the
+store version, so entries computed against snapshot N stay valid and
+warm for every later reader of snapshot N while snapshot N+1 starts
+populating its own keys.
+
+Checkpointing degrades gracefully: the writer folds the journal into a
+fresh snapshot file while readers keep serving the last published
+in-memory snapshot — no read downtime.
+
+Example::
+
+    from repro import Database
+    from repro.serve import DatabaseService
+
+    service = DatabaseService(Database())
+    try:
+        service.add("BRAHMS", "∈", "COMPOSER")        # waits for publish
+        assert service.ask("(BRAHMS, ∈, COMPOSER)")   # lock-free read
+        ticket = service.add_async(("MAHLER", "∈", "COMPOSER"))
+        ticket.result(timeout=5.0)                     # explicit wait
+    finally:
+        service.close()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from ..core import deadline as _deadline
+from ..core.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ReproError,
+    ServiceClosed,
+    ServiceError,
+)
+from ..core.facts import Fact, fact as make_fact
+from ..db import Database
+from ..obs import tracer as _obs
+
+__all__ = ["DatabaseService", "WriteTicket"]
+
+
+def _as_fact(value) -> Fact:
+    if isinstance(value, Fact):
+        return value
+    return make_fact(*value)
+
+
+class WriteTicket:
+    """A pending write: resolves once the writer has published it.
+
+    Returned by the ``*_async`` submission methods.  ``result()``
+    blocks until the batch containing this operation has been applied
+    *and* the next snapshot published, then returns the operation's
+    outcome (or re-raises the error it hit on the writer thread).
+    """
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        """True once the writer has settled this operation."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Wait for the outcome.
+
+        Raises :class:`~repro.core.errors.DeadlineExceeded` if the
+        writer has not settled the operation within ``timeout``
+        seconds.  Note the write is *not* revoked on timeout — it
+        stays queued and may still be applied later.
+        """
+        if not self._event.wait(timeout):
+            raise DeadlineExceeded(
+                "write not applied within deadline"
+                " (it remains queued and may still be applied)")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+# One queued operation: (kind, payload, ticket).
+_Op = Tuple[str, Any, WriteTicket]
+
+_MUTATING_KINDS = frozenset(
+    {"add", "add_many", "remove", "limit", "include", "exclude",
+     "define_rule"})
+
+
+class DatabaseService:
+    """Thread-safe serving facade over a :class:`~repro.db.Database`.
+
+    Args:
+        db: the master database (a fresh empty one by default).  The
+            service takes ownership: touching it directly from other
+            threads afterwards voids the concurrency guarantees.
+        session: optional :class:`~repro.storage.session.DurableSession`;
+            when given, every writer batch is journaled in one append
+            and ``checkpoint()`` folds the journal into the snapshot
+            file.  The service detaches any per-fact callback and
+            journals batches itself.
+        max_pending: admission-queue bound; submissions beyond it
+            raise :class:`~repro.core.errors.Overloaded`.
+        batch_window: seconds the writer waits after waking so
+            concurrent submissions coalesce into one batch (0 batches
+            only what is already queued).
+        default_deadline: per-request deadline in seconds applied to
+            reads and write waits when the call does not pass its own.
+        start: start the writer thread immediately (tests pass False
+            to stage queue states deterministically).
+    """
+
+    def __init__(self, db: Optional[Database] = None, *,
+                 session=None,
+                 max_pending: int = 1024,
+                 batch_window: float = 0.002,
+                 default_deadline: Optional[float] = None,
+                 start: bool = True):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._db = db if db is not None else Database()
+        self._session = session
+        if session is not None:
+            # The service journals whole batches; a per-fact callback
+            # would double-record every mutation.
+            session.detach()
+        self.max_pending = max_pending
+        self.batch_window = batch_window
+        self.default_deadline = default_deadline
+
+        self._lock = threading.Lock()
+        self._has_work = threading.Condition(self._lock)
+        self._ops: deque = deque()
+        self._closed = False
+        self._writer: Optional[threading.Thread] = None
+
+        # Writer-thread statistics (written only by the writer).
+        self._batches = 0
+        self._ops_applied = 0
+        self._largest_batch = 0
+        self._publishes = 0
+        self._checkpoints = 0
+
+        # Initial publication happens on the constructing thread; the
+        # writer has not started yet, so the master is ours to touch.
+        self._published = self._build_snapshot()
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the writer thread (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            if self._writer is not None and self._writer.is_alive():
+                return
+            self._writer = threading.Thread(
+                target=self._writer_loop, name="repro-serve-writer",
+                daemon=True)
+            self._writer.start()
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Drain queued writes, stop the writer, close the session.
+
+        Operations already queued are applied before the writer exits;
+        submissions after ``close`` raise
+        :class:`~repro.core.errors.ServiceClosed`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._has_work.notify_all()
+            writer = self._writer
+        if writer is not None and writer.is_alive():
+            writer.join(timeout)
+        # If the writer never ran (start=False) or failed to drain in
+        # time, settle the leftovers so no caller blocks forever.
+        with self._lock:
+            leftovers = list(self._ops)
+            self._ops.clear()
+        for _, _, ticket in leftovers:
+            ticket._reject(ServiceClosed("service closed before the"
+                                         " operation was applied"))
+        if self._session is not None:
+            self._session.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "DatabaseService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Writer thread
+    # ------------------------------------------------------------------
+    def _writer_loop(self) -> None:
+        while True:
+            with self._has_work:
+                while not self._ops and not self._closed:
+                    self._has_work.wait()
+                if not self._ops and self._closed:
+                    return
+            # Let concurrent submitters pile on for one window, then
+            # take everything queued as a single batch.
+            if self.batch_window > 0:
+                time.sleep(self.batch_window)
+            with self._lock:
+                batch: List[_Op] = list(self._ops)
+                self._ops.clear()
+                if _obs.ENABLED:
+                    _obs.TRACER.gauge("serve.queue_depth", 0)
+            try:
+                self._apply_batch(batch)
+            except Exception as error:  # pragma: no cover - defensive
+                # A bug in batch application must not strand callers:
+                # settle every unresolved ticket and keep serving the
+                # previously published snapshot.
+                wrapped = ServiceError(f"writer failed: {error!r}")
+                wrapped.__cause__ = error
+                for _, _, ticket in batch:
+                    if not ticket.done():
+                        ticket._reject(wrapped)
+
+    def _apply_batch(self, batch: List[_Op]) -> None:
+        span = (_obs.TRACER.span("serve.batch", size=len(batch))
+                if _obs.ENABLED else _obs.NULL_SPAN)
+        settled: List[Tuple[WriteTicket, Any, Optional[BaseException]]] = []
+        with span:
+            journal_entries: List[Tuple[str, Fact]] = []
+            mutated = False
+            checkpoint_requested = False
+            for kind, payload, ticket in batch:
+                try:
+                    outcome: Any
+                    if kind == "add":
+                        outcome = self._db.add_fact(payload)
+                        if outcome:
+                            journal_entries.append(("add", payload))
+                            mutated = True
+                    elif kind == "add_many":
+                        added = 0
+                        for grouped in payload:
+                            if self._db.add_fact(grouped):
+                                journal_entries.append(("add", grouped))
+                                mutated = True
+                                added += 1
+                        outcome = added
+                    elif kind == "remove":
+                        outcome = self._db.remove_fact(payload)
+                        if outcome:
+                            journal_entries.append(("remove", payload))
+                            mutated = True
+                    elif kind == "limit":
+                        self._db.limit(payload)
+                        outcome = payload
+                        mutated = True
+                    elif kind == "include":
+                        self._db.include(payload)
+                        outcome = True
+                        mutated = True
+                    elif kind == "exclude":
+                        self._db.exclude(payload)
+                        outcome = True
+                        mutated = True
+                    elif kind == "define_rule":
+                        name, text, is_constraint = payload
+                        outcome = self._db.define_rule(
+                            name, text, is_constraint=is_constraint)
+                        mutated = True
+                    elif kind == "checkpoint":
+                        checkpoint_requested = True
+                        outcome = True
+                    else:  # pragma: no cover - guarded at submission
+                        raise ServiceError(f"unknown operation {kind!r}")
+                except (ReproError, ValueError) as error:
+                    settled.append((ticket, None, error))
+                else:
+                    settled.append((ticket, outcome, None))
+            if journal_entries and self._session is not None:
+                self._session.record_batch(journal_entries)
+            if mutated:
+                self._published = self._build_snapshot()
+            if checkpoint_requested and self._session is not None:
+                # Readers keep hitting the published in-memory snapshot
+                # while the on-disk one is rewritten.
+                self._checkpoints += 1
+                self._session.checkpoint(database=self._db)
+            self._batches += 1
+            self._ops_applied += len(batch)
+            self._largest_batch = max(self._largest_batch, len(batch))
+            if _obs.ENABLED:
+                _obs.TRACER.count("serve.batches")
+                _obs.TRACER.count("serve.ops_applied", len(batch))
+                _obs.TRACER.gauge("serve.batch_size", len(batch))
+        # Settle tickets only after the snapshot swap above, so a caller
+        # that waited on its ticket reads its own write.
+        for ticket, value, error in settled:
+            if error is not None:
+                ticket._reject(error)
+            else:
+                ticket._resolve(value)
+
+    def _build_snapshot(self) -> Database:
+        """Clone the master and pre-warm it so readers never compute.
+
+        Runs only on the writer thread (or in ``__init__`` before it
+        starts).  Warming the *master* first means the closure is
+        computed once and the snapshot copies the cached result; the
+        snapshot's own ``view()`` then just wraps the copied stores.
+        """
+        self._db.view()
+        snap = self._db.snapshot()
+        snap.view()
+        self._publishes += 1
+        if _obs.ENABLED:
+            _obs.TRACER.count("serve.snapshot_publishes")
+            _obs.TRACER.gauge("serve.snapshot_version", snap.facts.version)
+        return snap
+
+    # ------------------------------------------------------------------
+    # Write API
+    # ------------------------------------------------------------------
+    def _submit(self, kind: str, payload) -> WriteTicket:
+        ticket = WriteTicket()
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            if len(self._ops) >= self.max_pending:
+                if _obs.ENABLED:
+                    _obs.TRACER.count("serve.overloaded")
+                raise Overloaded(
+                    f"admission queue is full ({self.max_pending} pending"
+                    f" writes); retry with backoff")
+            self._ops.append((kind, payload, ticket))
+            if _obs.ENABLED:
+                _obs.TRACER.gauge("serve.queue_depth", len(self._ops))
+            self._has_work.notify()
+        return ticket
+
+    def _await(self, ticket: WriteTicket, deadline: Optional[float]):
+        timeout = deadline if deadline is not None else self.default_deadline
+        return ticket.result(timeout)
+
+    def add_async(self, new_fact) -> WriteTicket:
+        """Queue an insertion; returns the ticket immediately."""
+        return self._submit("add", _as_fact(new_fact))
+
+    def remove_async(self, old_fact) -> WriteTicket:
+        """Queue a removal; returns the ticket immediately."""
+        return self._submit("remove", _as_fact(old_fact))
+
+    def add(self, source: str, relationship: str, target: str,
+            deadline: Optional[float] = None) -> bool:
+        """Insert a fact and wait until it is published."""
+        ticket = self.add_async(make_fact(source, relationship, target))
+        return self._await(ticket, deadline)
+
+    def remove(self, source: str, relationship: str, target: str,
+               deadline: Optional[float] = None) -> bool:
+        """Remove a fact and wait until the removal is published."""
+        ticket = self.remove_async(make_fact(source, relationship, target))
+        return self._await(ticket, deadline)
+
+    def add_facts_async(self, new_facts: Iterable) -> WriteTicket:
+        """Queue a *group* of insertions as one operation.
+
+        Unlike a burst of :meth:`add_async` calls, the group is applied
+        inside a single batch, so no published snapshot ever contains a
+        proper subset of it — use this when several facts form one
+        logical change.  (If a member raises — e.g. an integrity
+        violation under ``auto_check`` — earlier members of the group
+        stay applied, exactly as separately queued ops would.)  The
+        ticket resolves to the number of facts actually added.
+        """
+        return self._submit(
+            "add_many", tuple(_as_fact(f) for f in new_facts))
+
+    def add_facts(self, new_facts: Iterable,
+                  deadline: Optional[float] = None) -> int:
+        """Insert a group of facts atomically (one batch) and wait;
+        returns the number actually added."""
+        return self._await(self.add_facts_async(new_facts), deadline)
+
+    def limit(self, n: Optional[int],
+              deadline: Optional[float] = None) -> Optional[int]:
+        """Set the composition limit (the paper's ``limit(n)``)."""
+        return self._await(self._submit("limit", n), deadline)
+
+    def include(self, rule, deadline: Optional[float] = None) -> bool:
+        """Enable a rule on the master database."""
+        return self._await(self._submit("include", rule), deadline)
+
+    def exclude(self, rule, deadline: Optional[float] = None) -> bool:
+        """Disable a rule on the master database."""
+        return self._await(self._submit("exclude", rule), deadline)
+
+    def define_rule(self, name: str, text: str, *,
+                    is_constraint: bool = False,
+                    deadline: Optional[float] = None):
+        """Define (and enable) a rule; returns the parsed Rule."""
+        ticket = self._submit("define_rule", (name, text, is_constraint))
+        return self._await(ticket, deadline)
+
+    def checkpoint(self, deadline: Optional[float] = None) -> bool:
+        """Fold the journal into a fresh on-disk snapshot.
+
+        Runs on the writer thread; readers keep serving the published
+        in-memory snapshot throughout.  Requires a durable session.
+        """
+        if self._session is None:
+            raise ServiceError("no durable session attached;"
+                               " construct with session=")
+        return self._await(self._submit("checkpoint", None), deadline)
+
+    # ------------------------------------------------------------------
+    # Read API (lock-free, snapshot-isolated)
+    # ------------------------------------------------------------------
+    def _read(self, op: str, fn: Callable[[Database], Any],
+              deadline: Optional[float]) -> Any:
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        snap = self._published        # atomic ref grab: our isolation
+        seconds = deadline if deadline is not None else self.default_deadline
+        started = time.perf_counter()
+        try:
+            with _deadline.deadline_scope(seconds):
+                return fn(snap)
+        except DeadlineExceeded:
+            if _obs.ENABLED:
+                _obs.TRACER.count("serve.deadline_exceeded")
+            raise
+        finally:
+            if _obs.ENABLED:
+                _obs.TRACER.count("serve.requests")
+                _obs.TRACER.count(f"serve.requests.{op}")
+                _obs.TRACER.gauge("serve.request_seconds",
+                                  time.perf_counter() - started)
+
+    def query(self, query, deadline: Optional[float] = None):
+        """Evaluate a query against the published snapshot."""
+        return self._read("query", lambda db: db.query(query), deadline)
+
+    def ask(self, query, deadline: Optional[float] = None) -> bool:
+        """Closed-query test against the published snapshot."""
+        return self._read("ask", lambda db: db.ask(query), deadline)
+
+    def match(self, pattern, deadline: Optional[float] = None):
+        """Template match against the published snapshot."""
+        return self._read("match", lambda db: db.match(pattern), deadline)
+
+    def navigate(self, pattern, deadline: Optional[float] = None):
+        """Browse one template step against the published snapshot."""
+        return self._read("navigate", lambda db: db.navigate(pattern),
+                          deadline)
+
+    def try_(self, entity: str, deadline: Optional[float] = None):
+        """The paper's ``try`` operator against the snapshot."""
+        return self._read("try", lambda db: db.try_(entity), deadline)
+
+    def probe(self, query, deadline: Optional[float] = None):
+        """Broadened query (vagueness, §5) against the snapshot."""
+        return self._read("probe", lambda db: db.probe(query), deadline)
+
+    def why(self, fact, deadline: Optional[float] = None):
+        """Derivation tree for a fact, from the snapshot's provenance."""
+        return self._read("why", lambda db: db.why(fact), deadline)
+
+    def read_view(self) -> Database:
+        """The currently published snapshot (frozen, safe to share).
+
+        Holders keep a consistent point-in-time database even as later
+        batches publish newer snapshots.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        return self._published
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service-level counters plus the published snapshot's shape."""
+        snap = self._published
+        with self._lock:
+            pending = len(self._ops)
+        return {
+            "pending_writes": pending,
+            "max_pending": self.max_pending,
+            "batch_window": self.batch_window,
+            "batches": self._batches,
+            "ops_applied": self._ops_applied,
+            "largest_batch": self._largest_batch,
+            "snapshot_publishes": self._publishes,
+            "checkpoints": self._checkpoints,
+            "published_version": snap.facts.version,
+            "base_facts": len(snap.facts),
+            "durable": self._session is not None,
+            "closed": self._closed,
+        }
+
+    def database_stats(self, deadline: Optional[float] = None) -> dict:
+        """The snapshot's own :meth:`~repro.db.Database.stats`."""
+        return self._read("stats", lambda db: db.stats(), deadline)
+
+    def ping(self) -> dict:
+        """Cheap liveness probe: snapshot version and fact count."""
+        snap = self._published
+        return {"version": snap.facts.version, "facts": len(snap.facts)}
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"DatabaseService({state}, facts={len(self._published.facts)},"
+                f" publishes={self._publishes}, batches={self._batches})")

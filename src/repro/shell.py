@@ -10,6 +10,12 @@ suite asserts on) or interactively::
     python -m repro.shell music        # any dataset in repro.datasets
     python -m repro.shell /path/to/db  # a durable database directory
 
+Two extra modes expose the concurrent serving layer
+(:mod:`repro.serve`)::
+
+    python -m repro.shell serve music --port 7474   # host over TCP
+    python -m repro.shell connect localhost:7474    # remote shell
+
 Commands::
 
     (JOHN, *, *)              navigate a template (stars are wildcards)
@@ -446,23 +452,92 @@ class BrowserShell:
                 stdout.write(output + "\n")
 
 
-def _load(target: str) -> Database:
-    """Resolve a shell target: a dataset name or a durable directory."""
+def _resolve(target: str):
+    """Resolve a shell target to ``(database, session-or-None)``."""
     from . import datasets
 
     dataset = getattr(datasets, target, None)
     if dataset is not None and hasattr(dataset, "load"):
-        return dataset.load()
+        return dataset.load(), None
     from .storage.session import open_database
 
-    db, _session = open_database(target)
+    return open_database(target)
+
+
+def _load(target: str) -> Database:
+    """Resolve a shell target: a dataset name or a durable directory."""
+    db, _session = _resolve(target)
     return db
+
+
+def _serve_main(arguments: List[str]) -> int:
+    """``serve`` mode: host a database behind the JSON-lines server."""
+    import argparse
+
+    from .serve import DatabaseService
+    from .serve.net import ServiceServer
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.shell serve",
+        description="Serve a dataset or durable directory over TCP.")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="dataset name or durable directory"
+                             " (default: empty in-memory database)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7474)
+    parser.add_argument("--batch-window", type=float, default=0.002,
+                        help="writer coalescing window in seconds")
+    parser.add_argument("--max-pending", type=int, default=1024,
+                        help="admission queue bound")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="default per-request deadline in seconds")
+    options = parser.parse_args(arguments)
+
+    if options.target is not None:
+        db, session = _resolve(options.target)
+    else:
+        db, session = Database(), None
+    service = DatabaseService(db, session=session,
+                              max_pending=options.max_pending,
+                              batch_window=options.batch_window,
+                              default_deadline=options.deadline)
+    server = ServiceServer(service, host=options.host, port=options.port)
+    host, port = server.address
+    print(f"serving {options.target or 'an empty database'}"
+          f" on {host}:{port} (ctrl-c stops)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        service.close()
+    return 0
+
+
+def _connect_main(arguments: List[str]) -> int:
+    """``connect`` mode: a remote shell over an existing server."""
+    from .serve.net import RemoteShell, ServiceClient
+
+    if len(arguments) != 1:
+        print("usage: python -m repro.shell connect HOST[:PORT]")
+        return 2
+    host, _, port_text = arguments[0].partition(":")
+    port = int(port_text) if port_text else 7474
+    with ServiceClient(host or "127.0.0.1", port) as client:
+        RemoteShell(client).run()
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     arguments = sys.argv[1:] if argv is None else argv
+    if arguments and arguments[0] == "serve":
+        return _serve_main(arguments[1:])
+    if arguments and arguments[0] == "connect":
+        return _connect_main(arguments[1:])
     if len(arguments) > 1:
-        print("usage: python -m repro.shell [dataset-or-directory]")
+        print("usage: python -m repro.shell"
+              " [dataset-or-directory | serve ... | connect HOST[:PORT]]")
         return 2
     db = _load(arguments[0]) if arguments else Database()
     BrowserShell(db).run()

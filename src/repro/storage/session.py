@@ -71,14 +71,33 @@ class DurableSession:
     def _record(self, op: str, fact) -> None:
         self.journal.append(OP_ADD if op == "add" else OP_REMOVE, fact)
 
+    def record_batch(self, mutations) -> int:
+        """Journal many ``(op, fact)`` pairs with one write+flush.
+
+        ``op`` is ``"add"`` or ``"remove"`` (the mutation-callback
+        vocabulary).  Used by :class:`repro.serve.DatabaseService`,
+        whose writer coalesces queued mutations and journals them as
+        one batch instead of attaching per-fact callbacks.
+        """
+        return self.journal.append_batch(
+            (OP_ADD if op == "add" else OP_REMOVE, fact)
+            for op, fact in mutations)
+
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
-    def checkpoint(self) -> None:
-        """Fold the journal into a fresh snapshot."""
-        if self._database is None:
-            raise RuntimeError("no database attached; call attach() first")
-        database = self._database
+    def checkpoint(self, database=None) -> None:
+        """Fold the journal into a fresh snapshot.
+
+        ``database`` defaults to the attached one; the serving layer
+        passes its master database explicitly because it journals
+        batches itself instead of attaching.
+        """
+        if database is None:
+            database = self._database
+        if database is None:
+            raise RuntimeError("no database attached; call attach() first"
+                               " or pass database=")
         state = SnapshotState(
             facts=list(database.facts),
             rule_states=database.rules.snapshot_state(),

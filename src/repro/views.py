@@ -12,6 +12,15 @@ or plain queries — and materializes them on demand against the current
 closure.  Views are definitions, not snapshots: re-materializing after
 updates reflects the new facts, which is the §1 evolution story told
 from the structured side.
+
+Example::
+
+    from repro import Database
+
+    db = Database()
+    db.add("JOHN", "EARNS", "$25000")
+    db.views.define_function("salary", "EARNS")
+    assert db.views.materialize("salary")("JOHN") == ("$25000",)
 """
 
 from __future__ import annotations

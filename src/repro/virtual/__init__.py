@@ -1,5 +1,21 @@
 """Virtual (computed) relations: the facts the paper assumes present
-"without actually storing them" (§3.6, §2.3)."""
+"without actually storing them" (§3.6, §2.3).
+
+Mathematical comparisons over numeric entities, the reflexive ``≺``,
+the universal ``(E, ≺, Δ)`` / ``(∇, ≺, E)`` facts, and
+endpoint-weakened templates are all evaluated on demand by computed
+predicates — never materialized into the store.  The registry is
+consulted by template matching after the materialized facts.
+
+Example::
+
+    from repro import Database
+
+    db = Database()
+    db.add("JOHN", "EARNS", "$25000")
+    assert db.ask("($25000, >, 20000)")     # a virtual math fact
+    assert db.ask("(EARNS, ≺, EARNS)")      # reflexive ≺, computed
+"""
 
 from .computed import ComputedRelation, FactView, VirtualRegistry
 from .math_facts import MathRelation, compare, entities_equal

@@ -1,0 +1,212 @@
+"""JSON-lines TCP server/client tests: round trips, typed error
+propagation, concurrent clients, and the remote shell."""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.core.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ParseError,
+    ServiceError,
+)
+from repro.db import Database
+from repro.serve import DatabaseService
+from repro.serve.net import (
+    PROTOCOL_VERSION,
+    RemoteShell,
+    ServiceClient,
+    ServiceServer,
+)
+
+
+@pytest.fixture()
+def served():
+    """A live service + server on an ephemeral port."""
+    db = Database()
+    db.add("JOHN", "∈", "EMPLOYEE")
+    db.add("EMPLOYEE", "EARNS", "SALARY")
+    service = DatabaseService(db)
+    server = ServiceServer(service, port=0)
+    server.start()
+    try:
+        yield service, server.address
+    finally:
+        server.close()
+        service.close()
+
+
+class TestRoundTrips:
+    def test_ping(self, served):
+        _, (host, port) = served
+        with ServiceClient(host, port) as client:
+            info = client.ping()
+            assert info["protocol"] == PROTOCOL_VERSION
+            assert info["facts"] > 0
+
+    def test_query_rows_sorted(self, served):
+        _, (host, port) = served
+        with ServiceClient(host, port) as client:
+            rows = client.query("(x, ∈, EMPLOYEE)")
+            assert rows == sorted(rows)
+            assert ["JOHN"] in rows
+
+    def test_ask_and_derived_facts(self, served):
+        _, (host, port) = served
+        with ServiceClient(host, port) as client:
+            assert client.ask("(JOHN, EARNS, SALARY)") is True
+            assert client.ask("(JOHN, EARNS, NOTHING)") is False
+
+    def test_write_then_read(self, served):
+        _, (host, port) = served
+        with ServiceClient(host, port) as client:
+            assert client.add("MARY", "∈", "EMPLOYEE") is True
+            assert client.add("MARY", "∈", "EMPLOYEE") is False
+            assert client.ask("(MARY, EARNS, SALARY)")
+            assert client.remove("MARY", "∈", "EMPLOYEE") is True
+
+    def test_match_try_navigate(self, served):
+        _, (host, port) = served
+        with ServiceClient(host, port) as client:
+            facts = client.match("(JOHN, *, *)")
+            assert ["JOHN", "∈", "EMPLOYEE"] in facts
+            mentions = client.try_("JOHN")
+            assert ["JOHN", "∈", "EMPLOYEE"] in mentions
+            rendered = client.navigate("(JOHN, *, *)")
+            assert "EMPLOYEE" in rendered
+
+    def test_probe(self, served):
+        _, (host, port) = served
+        with ServiceClient(host, port) as client:
+            outcome = client.probe("(JOHN, EARNS, y)")
+            assert outcome["succeeded"] is True
+            assert ["SALARY"] in outcome["value"]
+
+    def test_rule_and_limit(self, served):
+        _, (host, port) = served
+        with ServiceClient(host, port) as client:
+            described = client.define_rule(
+                "sym", "(a, MARRIED-TO, b) => (b, MARRIED-TO, a)")
+            assert "MARRIED-TO" in described
+            client.add("ANN", "MARRIED-TO", "BOB")
+            assert client.ask("(BOB, MARRIED-TO, ANN)")
+            client.exclude("sym")
+            assert not client.ask("(BOB, MARRIED-TO, ANN)")
+            client.include("sym")
+            assert client.ask("(BOB, MARRIED-TO, ANN)")
+            assert client.limit(3) == 3
+            assert client.limit(None) is None
+
+    def test_stats(self, served):
+        _, (host, port) = served
+        with ServiceClient(host, port) as client:
+            stats = client.stats()
+            assert stats["closed"] is False
+            db_stats = client.database_stats()
+            assert db_stats["base_facts"] > 0
+
+
+class TestErrorPropagation:
+    def test_parse_error_reraises_typed(self, served):
+        _, (host, port) = served
+        with ServiceClient(host, port) as client:
+            with pytest.raises(ParseError):
+                client.query("(x, BOGUS")
+
+    def test_deadline_exceeded_over_the_wire(self, served):
+        service, (host, port) = served
+        for i in range(40):
+            service.add(f"E{i}", "∈", "CLS")
+        with ServiceClient(host, port) as client:
+            with pytest.raises(DeadlineExceeded):
+                client.query("(x, ∈, CLS)", deadline=-1.0)
+
+    def test_unknown_op_is_service_error(self, served):
+        _, (host, port) = served
+        with ServiceClient(host, port) as client:
+            with pytest.raises(ServiceError):
+                client._call("frobnicate")
+
+    def test_malformed_request_keeps_connection_alive(self, served):
+        _, (host, port) = served
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            handle = sock.makefile("rw", encoding="utf-8")
+            handle.write("this is not json\n")
+            handle.flush()
+            response = json.loads(handle.readline())
+            assert response["ok"] is False
+            # The connection survives the bad line.
+            handle.write(json.dumps({"op": "ping"}) + "\n")
+            handle.flush()
+            assert json.loads(handle.readline())["ok"] is True
+
+    def test_missing_field_is_reported(self, served):
+        _, (host, port) = served
+        with ServiceClient(host, port) as client:
+            with pytest.raises(ServiceError):
+                client._call("query")   # no "query" field
+
+
+class TestConcurrentClients:
+    def test_parallel_clients_roundtrip(self, served):
+        _, (host, port) = served
+        errors = []
+
+        def worker(index):
+            try:
+                with ServiceClient(host, port) as client:
+                    client.add(f"C{index}", "∈", "EMPLOYEE")
+                    for _ in range(5):
+                        assert client.ask(f"(C{index}, ∈, EMPLOYEE)")
+            except Exception as error:   # noqa: BLE001 - recorded
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors, errors[:3]
+
+
+class TestRemoteShell:
+    def run_shell(self, served, script):
+        _, (host, port) = served
+        with ServiceClient(host, port) as client:
+            stdout = io.StringIO()
+            RemoteShell(client).run(stdin=io.StringIO(script),
+                                    stdout=stdout)
+            return stdout.getvalue()
+
+    def test_session_transcript(self, served):
+        output = self.run_shell(served, "\n".join([
+            "ping",
+            "query (x, ∈, EMPLOYEE)",
+            "add MARY ∈ EMPLOYEE",
+            "ask (MARY, EARNS, SALARY)",
+            "try JOHN",
+            "(JOHN, *, *)",
+            "stats",
+            "quit",
+        ]) + "\n")
+        assert "ok: version" in output
+        assert "(JOHN)" in output
+        assert "added" in output
+        assert "yes" in output
+        assert "(JOHN, ∈, EMPLOYEE)" in output
+        assert "pending_writes: 0" in output
+
+    def test_error_rendering(self, served):
+        output = self.run_shell(served, "query (x, BOGUS\nquit\n")
+        assert "error (ParseError)" in output
+
+    def test_unknown_command(self, served):
+        output = self.run_shell(served, "shazam\nquit\n")
+        assert "unknown command" in output
