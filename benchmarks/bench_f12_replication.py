@@ -1,0 +1,316 @@
+"""F12 — the replica pool: multi-process read scaling past the GIL.
+
+Measures what :class:`repro.serve.ReplicaPool` buys over the
+thread-based service that F11 characterized:
+
+* **read scaling** — aggregate throughput as replica worker processes
+  grow (1 → 4), next to the thread-only service baseline at the same
+  client concurrency.  Replica reads evaluate in worker processes, so
+  aggregate throughput is no longer bound by the primary's GIL —
+  *given cores to run on*.  Interpret the curve against the ``host``
+  block ``write_bench_json`` stamps: on a 1-core container every
+  configuration shares one core and the curve is flat by construction.
+* **replication lag** — the distribution of seconds from delta
+  emission on the writer thread to a worker's applied ack, under a
+  steady write stream.  This is the staleness window a non-RYW read
+  can observe.
+* **failover** — hard-kill a worker mid-stream and measure the time
+  until the pool is back at full strength with every replica caught
+  up to the primary (reads never fail during the window — they fall
+  back to the primary).
+
+Run as a script to emit ``BENCH_replication.json``::
+
+    PYTHONPATH=src python benchmarks/bench_f12_replication.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from typing import Dict, List
+
+from bench_f11_serving import build_database, percentile, query_mix
+
+from repro.serve import DatabaseService, ReplicaPool
+
+
+# ----------------------------------------------------------------------
+# Read scaling
+# ----------------------------------------------------------------------
+def run_pool_readers(pool: ReplicaPool, queries: List[str],
+                     client_threads: int,
+                     ops_per_thread: int) -> Dict[str, object]:
+    """``client_threads`` parent threads issuing reads through the
+    pool; evaluation happens in the replica processes."""
+    latencies: List[List[float]] = [[] for _ in range(client_threads)]
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(client_threads + 1)
+
+    def reader(slot: int) -> None:
+        try:
+            barrier.wait()
+            mine = latencies[slot]
+            for index in range(ops_per_thread):
+                text = queries[(slot * ops_per_thread + index)
+                               % len(queries)]
+                started = time.perf_counter()
+                pool.query(text)
+                mine.append(time.perf_counter() - started)
+        except BaseException as error:  # noqa: BLE001 - recorded
+            errors.append(error)
+
+    workers = [threading.Thread(target=reader, args=(slot,))
+               for slot in range(client_threads)]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    flat = [sample for series in latencies for sample in series]
+    total = client_threads * ops_per_thread
+    stats = pool.stats()
+    return {
+        "mode": "pool-read",
+        "workers": stats["workers"],
+        "client_threads": client_threads,
+        "total_ops": total,
+        "fallback_reads": stats["fallback_reads"],
+        "wall_seconds": round(wall, 6),
+        "ops_per_second": round(total / wall, 1),
+        "p50_us": round(percentile(flat, 0.50) * 1e6, 1),
+        "p95_us": round(percentile(flat, 0.95) * 1e6, 1),
+        "p99_us": round(percentile(flat, 0.99) * 1e6, 1),
+    }
+
+
+def run_thread_baseline(service: DatabaseService, queries: List[str],
+                        client_threads: int,
+                        ops_per_thread: int) -> Dict[str, object]:
+    """The same client concurrency served by the primary's threads —
+    the F11 configuration the pool is being compared against."""
+    latencies: List[List[float]] = [[] for _ in range(client_threads)]
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(client_threads + 1)
+
+    def reader(slot: int) -> None:
+        try:
+            barrier.wait()
+            mine = latencies[slot]
+            for index in range(ops_per_thread):
+                text = queries[(slot * ops_per_thread + index)
+                               % len(queries)]
+                started = time.perf_counter()
+                service.query(text)
+                mine.append(time.perf_counter() - started)
+        except BaseException as error:  # noqa: BLE001 - recorded
+            errors.append(error)
+
+    workers = [threading.Thread(target=reader, args=(slot,))
+               for slot in range(client_threads)]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    flat = [sample for series in latencies for sample in series]
+    total = client_threads * ops_per_thread
+    return {
+        "mode": "thread-baseline",
+        "workers": 0,
+        "client_threads": client_threads,
+        "total_ops": total,
+        "wall_seconds": round(wall, 6),
+        "ops_per_second": round(total / wall, 1),
+        "p50_us": round(percentile(flat, 0.50) * 1e6, 1),
+        "p95_us": round(percentile(flat, 0.95) * 1e6, 1),
+        "p99_us": round(percentile(flat, 0.99) * 1e6, 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# Replication lag
+# ----------------------------------------------------------------------
+def run_lag(service: DatabaseService, pool: ReplicaPool,
+            writes: int) -> Dict[str, object]:
+    """A steady write stream; report the emit→applied distribution."""
+    tickets = []
+    for index in range(writes):
+        tickets.append(service.add_async((f"LAG{index}", "∈", "C1")))
+        if (index + 1) % 5 == 0:
+            time.sleep(0.002)   # pacing: batches form, acks drain
+    for ticket in tickets:
+        ticket.result(120.0)
+    last = max(t.version for t in tickets if t.version is not None)
+    pool.wait_for_version(last, all_workers=True, timeout=60.0)
+    lag = pool.lag_stats()
+    return {
+        "mode": "replication-lag",
+        "workers": pool.workers,
+        "writes": writes,
+        "deltas": pool.stats()["deltas_shipped"],
+        "lag_samples": lag.get("samples", 0),
+        "lag_p50_us": round(lag.get("p50_s", 0.0) * 1e6, 1),
+        "lag_p95_us": round(lag.get("p95_s", 0.0) * 1e6, 1),
+        "lag_p99_us": round(lag.get("p99_s", 0.0) * 1e6, 1),
+        "lag_max_us": round(lag.get("max_s", 0.0) * 1e6, 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# Failover
+# ----------------------------------------------------------------------
+def run_failover(service: DatabaseService,
+                 pool: ReplicaPool) -> Dict[str, object]:
+    """Kill one worker; time until the pool is whole and caught up."""
+    ticket = service.add_async(("FAILOVER", "∈", "C2"))
+    ticket.result(60.0)
+    pool.wait_for_version(ticket.version, all_workers=True, timeout=60.0)
+    before = pool.stats()
+    started = time.perf_counter()
+    pool.crash_worker(0)
+    deadline_at = started + 120.0
+    while time.perf_counter() < deadline_at:
+        stats = pool.stats()
+        if (stats["alive"] == stats["workers"]
+                and stats["respawns"] > before["respawns"]
+                and stats["max_lag"] == 0):
+            break
+        # Reads keep working throughout (primary fallback).
+        pool.ask("(FAILOVER, ∈, C2)")
+        time.sleep(0.01)
+    recovery = time.perf_counter() - started
+    after = pool.stats()
+    return {
+        "mode": "failover",
+        "workers": after["workers"],
+        "recovered": bool(after["alive"] == after["workers"]
+                          and after["max_lag"] == 0),
+        "recovery_seconds": round(recovery, 6),
+        "fallback_reads": after["fallback_reads"],
+        "worker_deaths": after["worker_deaths"],
+        "respawns": after["respawns"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Matrix
+# ----------------------------------------------------------------------
+def run_matrix(quick: bool = False):
+    if quick:
+        depth, fanout, instances = 3, 2, 2
+        worker_counts = [1, 2]
+        client_threads, ops_per_thread = 4, 40
+        lag_writes = 20
+    else:
+        depth, fanout, instances = 4, 3, 3
+        worker_counts = [1, 2, 4]
+        client_threads, ops_per_thread = 8, 200
+        lag_writes = 100
+
+    rows: List[Dict[str, object]] = []
+
+    # Thread baseline at the same client concurrency.
+    db = build_database(depth, fanout, instances)
+    queries = query_mix(db, 48)
+    service = DatabaseService(db)
+    try:
+        rows.append(run_thread_baseline(service, queries,
+                                        client_threads, ops_per_thread))
+    finally:
+        service.close()
+    print("  {mode}: {ops_per_second} ops/s"
+          " p50={p50_us}us p99={p99_us}us".format(**rows[-1]))
+
+    # Pool scaling sweep (fresh primary + pool per cell).
+    for workers in worker_counts:
+        db = build_database(depth, fanout, instances)
+        queries = query_mix(db, 48)
+        service = DatabaseService(db)
+        pool = ReplicaPool(service, workers=workers)
+        try:
+            rows.append(run_pool_readers(pool, queries,
+                                         client_threads, ops_per_thread))
+        finally:
+            pool.close()
+            service.close()
+        print("  {mode} workers={workers}: {ops_per_second} ops/s"
+              " p50={p50_us}us p99={p99_us}us".format(**rows[-1]))
+
+    # Lag distribution + failover on one shared pool.
+    db = build_database(depth, fanout, instances)
+    service = DatabaseService(db, batch_window=0.002)
+    pool = ReplicaPool(service, workers=max(worker_counts))
+    try:
+        rows.append(run_lag(service, pool, lag_writes))
+        print("  {mode}: p50={lag_p50_us}us p99={lag_p99_us}us"
+              " max={lag_max_us}us over {lag_samples} acks".format(
+                  **rows[-1]))
+        rows.append(run_failover(service, pool))
+        print("  {mode}: recovered={recovered} in"
+              " {recovery_seconds}s ({fallback_reads} primary"
+              " fallbacks)".format(**rows[-1]))
+    finally:
+        pool.close()
+        service.close()
+
+    baseline = next(r for r in rows if r["mode"] == "thread-baseline")
+    pool_rows = [r for r in rows if r["mode"] == "pool-read"]
+    one = next((r for r in pool_rows if r["workers"] == 1), None)
+    best = max(pool_rows, key=lambda r: r["ops_per_second"])
+    lag_row = next(r for r in rows if r["mode"] == "replication-lag")
+    failover_row = next(r for r in rows if r["mode"] == "failover")
+    summary = {
+        "worker_counts": [r["workers"] for r in pool_rows],
+        "thread_baseline_ops_per_second": baseline["ops_per_second"],
+        "pool_ops_per_second": {str(r["workers"]): r["ops_per_second"]
+                                for r in pool_rows},
+        "scaling_vs_one_worker": (
+            round(best["ops_per_second"] / one["ops_per_second"], 2)
+            if one else None),
+        "best_workers": best["workers"],
+        "lag_p99_us": lag_row["lag_p99_us"],
+        "failover_recovery_seconds": failover_row["recovery_seconds"],
+        "failover_recovered": failover_row["recovered"],
+    }
+    return rows, summary
+
+
+def main(argv=None) -> int:
+    from repro.benchio.harness import write_bench_json
+
+    parser = argparse.ArgumentParser(
+        description="F12 replication benchmark: pool read scaling,"
+                    " replication lag, failover →"
+                    " BENCH_replication.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="small dataset and op counts (the CI"
+                             " smoke configuration)")
+    parser.add_argument("--output", default="BENCH_replication.json",
+                        help="where to write the JSON document")
+    options = parser.parse_args(argv)
+    print(f"F12 replication matrix"
+          f" ({'quick' if options.quick else 'full'})")
+    rows, summary = run_matrix(quick=options.quick)
+    write_bench_json(
+        options.output, "F12-replication", rows, summary=summary,
+        config={"quick": options.quick})
+    print(f"wrote {options.output}: {len(rows)} cells;"
+          f" scaling {summary['scaling_vs_one_worker']}x"
+          f" at {summary['best_workers']} workers,"
+          f" failover {summary['failover_recovery_seconds']}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,26 @@ def measure(label: str, function: Callable[[], object], repeat: int = 3,
     return Measurement(label=label, seconds=seconds, metrics=metrics)
 
 
+def host_metadata() -> Dict[str, object]:
+    """The host facts needed to interpret a committed benchmark number.
+
+    Scaling results in particular are meaningless without the core
+    count they ran on (a replica pool cannot show a 4-worker speedup
+    on a 1-core container), so every ``write_bench_json`` document
+    embeds this.
+    """
+    import os
+    import platform
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.system(),
+        "machine": platform.machine(),
+    }
+
+
 def write_bench_json(path: str, benchmark: str,
                      rows: Sequence[Dict[str, object]],
                      summary: Optional[Dict[str, object]] = None,
@@ -74,10 +94,13 @@ def write_bench_json(path: str, benchmark: str,
     ``rows`` is the flat result matrix (one dict per measured cell —
     e.g. engine × dataset × limit); ``summary`` holds the headline
     numbers a trajectory tracker reads without joining the matrix;
-    ``config`` records how the run was parameterized.  Returns the
-    document written, for callers that also want to print it.
+    ``config`` records how the run was parameterized.  Host metadata
+    (core count, Python version, platform) is stamped automatically so
+    committed numbers stay interpretable.  Returns the document
+    written, for callers that also want to print it.
     """
     document: Dict[str, object] = {"benchmark": benchmark}
+    document["host"] = host_metadata()
     if config:
         document["config"] = dict(config)
     document["results"] = [dict(row) for row in rows]

@@ -102,3 +102,30 @@ class Overloaded(ServiceError):
 
 class ServiceClosed(ServiceError):
     """The service has shut down; no further requests are accepted."""
+
+
+class ReplicaError(ServiceError):
+    """A replica worker process failed (died mid-request, could not be
+    bootstrapped, or its pipe broke).  The pool retries the request on
+    the primary's published snapshot where possible, so callers mostly
+    see this only when the whole pool is unavailable."""
+
+
+#: Error classes that may travel across a process or socket boundary by
+#: name (the JSON-lines protocol and the replica pipes).  Anything not
+#: listed degrades to :class:`ServiceError` on the receiving side.
+WIRE_ERROR_NAMES = (
+    "ReproError", "EntityError", "TemplateError", "RuleError",
+    "QueryError", "ParseError", "InfiniteRelationError",
+    "IntegrityError", "StorageError", "UnknownRuleError",
+    "FrozenStoreError", "ServiceError", "DeadlineExceeded",
+    "Overloaded", "ServiceClosed", "ReplicaError",
+)
+
+
+def error_class(name: str) -> type:
+    """The error class for a wire name (:data:`WIRE_ERROR_NAMES`),
+    defaulting to :class:`ServiceError` for anything unrecognized."""
+    if name in WIRE_ERROR_NAMES:
+        return globals()[name]
+    return ServiceError

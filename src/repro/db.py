@@ -257,6 +257,29 @@ class Database:
             self._on_mutation("remove", old_fact)
         return True
 
+    def apply_delta(self, adds: Iterable[Fact] = (),
+                    removes: Iterable[Fact] = ()) -> Tuple[int, int]:
+        """Apply a replicated net-effect delta batch.
+
+        This is the replica-side entry point of the log-shipping
+        design (:mod:`repro.serve.replica`): the primary's writer
+        coalesces each published batch into disjoint net ``adds`` and
+        ``removes``, and a replica applies them here.  Removals go
+        first (a batch can free an entity name an add then reuses),
+        then insertions; both run through the normal mutation paths,
+        so with ``incremental`` on and a warm closure the cached
+        closure is maintained in place — Delete/Rederive for removals,
+        incremental extension for insertions — with no full recompute.
+
+        Application is idempotent: re-adding a present fact and
+        re-removing an absent one are no-ops, so a bootstrap that
+        already contains a prefix of the delta log can safely replay
+        the overlapping suffix.  Returns ``(added, removed)`` counts.
+        """
+        removed = sum(1 for f in removes if self.remove_fact(f))
+        added = sum(1 for f in adds if self.add_fact(f))
+        return added, removed
+
     # ------------------------------------------------------------------
     # Snapshots (repro.serve)
     # ------------------------------------------------------------------

@@ -23,6 +23,18 @@ package is that serving tier: :class:`DatabaseService` wraps a
 service can sit behind a socket (``python -m repro.shell serve music``
 / ``python -m repro.shell connect localhost:7474``).
 
+:mod:`repro.serve.pool` scales reads past the GIL:
+:class:`ReplicaPool` forks N worker *processes*, each holding a full
+database replica kept current by the delta batches the writer thread
+publishes (coalesced net fact mutations plus rule/limit controls, in
+order, over pipes), applied through the database's incremental
+maintenance rather than full recomputation.  Reads route round-robin
+with inflight accounting; read-your-writes is preserved by routing
+ticket-bearing reads only to replicas that have applied the ticket's
+version (primary fallback otherwise); crashed workers respawn and
+re-bootstrap automatically.  ``python -m repro.shell serve music
+--workers 4`` puts a pool behind the TCP server.
+
 Example::
 
     from repro import Database
@@ -41,9 +53,13 @@ from ..core.errors import (
     ServiceClosed,
     ServiceError,
 )
+from ..core.errors import ReplicaError
+from .pool import ReplicaPool
+from .replica import Delta
 from .service import DatabaseService, WriteTicket
 
 __all__ = [
-    "DatabaseService", "WriteTicket",
+    "DatabaseService", "WriteTicket", "ReplicaPool", "Delta",
     "ServiceError", "Overloaded", "DeadlineExceeded", "ServiceClosed",
+    "ReplicaError",
 ]

@@ -47,27 +47,19 @@ import socketserver
 import threading
 from typing import Any, Dict, Optional, Tuple
 
-from ..core import errors as _errors
-from ..core.errors import ReproError, ServiceError
+from ..core.errors import ReproError, ServiceError, error_class
 from ..obs import tracer as _obs
 
 __all__ = ["ServiceServer", "ServiceClient", "RemoteShell",
            "PROTOCOL_VERSION"]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
-# Exception classes the client may re-raise by name.  Anything not
-# listed degrades to ServiceError on the client side.
-_ERROR_CLASSES = {
-    name: getattr(_errors, name)
-    for name in (
-        "ReproError", "EntityError", "TemplateError", "RuleError",
-        "QueryError", "ParseError", "InfiniteRelationError",
-        "IntegrityError", "StorageError", "UnknownRuleError",
-        "FrozenStoreError", "ServiceError", "DeadlineExceeded",
-        "Overloaded", "ServiceClosed",
-    )
-}
+#: Read operations that a :class:`~repro.serve.pool.ReplicaPool` can
+#: serve instead of the primary.  Everything else (writes, control
+#: operations, service stats, checkpoint) stays on the service.
+_POOL_READS = frozenset(
+    {"query", "ask", "match", "navigate", "try", "probe", "db_stats"})
 
 
 def _rows(result) -> list:
@@ -79,12 +71,54 @@ def _facts(facts) -> list:
     return [list(f) for f in facts]
 
 
-def _dispatch(service, request: Dict[str, Any]) -> Any:
+def _dispatch_pool(pool, op: str, request: Dict[str, Any],
+                   deadline, min_version: int) -> Any:
+    """Serve one of :data:`_POOL_READS` from a replica.
+
+    ``min_version`` is the connection's read-your-writes floor: the
+    replication sequence its last acknowledged write landed in, so a
+    client that wrote over this socket never reads a replica that has
+    not caught up (the pool falls back to the primary if none has).
+    """
+    if op == "query":
+        return _rows(pool.query(request["query"], deadline=deadline,
+                                min_version=min_version))
+    if op == "ask":
+        return pool.ask(request["query"], deadline=deadline,
+                        min_version=min_version)
+    if op == "match":
+        return _facts(pool.match(request["pattern"], deadline=deadline,
+                                 min_version=min_version))
+    if op == "navigate":
+        return pool.navigate(request["pattern"], deadline=deadline,
+                             min_version=min_version)
+    if op == "try":
+        return _facts(pool.try_(request["entity"], deadline=deadline,
+                                min_version=min_version))
+    if op == "probe":
+        outcome = pool.probe(request["query"], deadline=deadline,
+                             min_version=min_version)
+        return {"succeeded": outcome["succeeded"],
+                "value": _rows(outcome["value"]),
+                "waves": outcome["waves"]}
+    if op == "db_stats":
+        return pool.database_stats(deadline=deadline,
+                                   min_version=min_version)
+    raise ServiceError(f"unknown pool operation {op!r}")
+
+
+def _dispatch(service, request: Dict[str, Any], pool=None,
+              state: Optional[Dict[str, Any]] = None) -> Any:
     op = request.get("op")
     deadline = request.get("deadline")
+    if pool is not None and op in _POOL_READS:
+        floor = state.get("min_version", 0) if state else 0
+        return _dispatch_pool(pool, op, request, deadline, floor)
     if op == "ping":
         info = service.ping()
         info["protocol"] = PROTOCOL_VERSION
+        if pool is not None:
+            info["workers"] = pool.workers
         return info
     if op == "query":
         return _rows(service.query(request["query"], deadline=deadline))
@@ -103,30 +137,39 @@ def _dispatch(service, request: Dict[str, Any]) -> Any:
                 "value": _rows(outcome.value),
                 "waves": len(outcome.waves)}
     if op == "add":
-        return service.add(*request["fact"], deadline=deadline)
-    if op == "remove":
-        return service.remove(*request["fact"], deadline=deadline)
-    if op == "limit":
-        return service.limit(request["n"], deadline=deadline)
-    if op == "include":
+        result = service.add(*request["fact"], deadline=deadline)
+    elif op == "remove":
+        result = service.remove(*request["fact"], deadline=deadline)
+    elif op == "limit":
+        result = service.limit(request["n"], deadline=deadline)
+    elif op == "include":
         service.include(request["rule"], deadline=deadline)
-        return True
-    if op == "exclude":
+        result = True
+    elif op == "exclude":
         service.exclude(request["rule"], deadline=deadline)
-        return True
-    if op == "rule":
+        result = True
+    elif op == "rule":
         rule = service.define_rule(
             request["name"], request["text"],
             is_constraint=bool(request.get("is_constraint", False)),
             deadline=deadline)
-        return str(rule)
-    if op == "checkpoint":
+        result = str(rule)
+    elif op == "checkpoint":
         return service.checkpoint(deadline=deadline)
-    if op == "stats":
-        return service.stats()
-    if op == "db_stats":
+    elif op == "stats":
+        stats = service.stats()
+        if pool is not None:
+            stats["pool"] = pool.stats()
+        return stats
+    elif op == "db_stats":
         return service.database_stats(deadline=deadline)
-    raise ServiceError(f"unknown operation {op!r}")
+    else:
+        raise ServiceError(f"unknown operation {op!r}")
+    # A write (or control op) returned: this batch has published, so
+    # raise the connection's read-your-writes floor to it.
+    if state is not None:
+        state["min_version"] = service.applied_seq
+    return result
 
 
 class ServiceServer:
@@ -136,20 +179,31 @@ class ServiceServer:
     against the service's published snapshot, so connection threads
     scale without contending.  ``port=0`` binds an ephemeral port
     (read it back from :attr:`address`).
+
+    With ``pool=`` (a :class:`~repro.serve.pool.ReplicaPool`), read
+    operations are dispatched to replica worker *processes* instead of
+    the primary, lifting aggregate read throughput past the GIL.
+    Writes still go through the service; each connection tracks the
+    replication sequence of its last acknowledged write and reads with
+    that floor, so read-your-writes holds per connection even though
+    replicas lag the primary.
     """
 
-    def __init__(self, service, host: str = "127.0.0.1", port: int = 7474):
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 7474,
+                 pool=None):
         self.service = service
+        self.pool = pool
 
         outer = self
 
         class _Handler(socketserver.StreamRequestHandler):
             def handle(self):
+                state: Dict[str, Any] = {"min_version": 0}
                 for raw in self.rfile:
                     line = raw.decode("utf-8", errors="replace").strip()
                     if not line:
                         continue
-                    response = outer._respond(line)
+                    response = outer._respond(line, state)
                     self.wfile.write(
                         (json.dumps(response, ensure_ascii=False) + "\n")
                         .encode("utf-8"))
@@ -162,12 +216,13 @@ class ServiceServer:
         self._server = _Server((host, port), _Handler)
         self._thread: Optional[threading.Thread] = None
 
-    def _respond(self, line: str) -> Dict[str, Any]:
+    def _respond(self, line: str,
+                 state: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         try:
             request = json.loads(line)
             if not isinstance(request, dict):
                 raise ServiceError("request must be a JSON object")
-            result = _dispatch(self.service, request)
+            result = _dispatch(self.service, request, self.pool, state)
         except ReproError as error:
             if _obs.ENABLED:
                 _obs.TRACER.count("serve.net.errors")
@@ -244,9 +299,8 @@ class ServiceClient:
         response = json.loads(line)
         if response.get("ok"):
             return response.get("result")
-        error_class = _ERROR_CLASSES.get(response.get("error", ""),
-                                         ServiceError)
-        raise error_class(response.get("message", "remote error"))
+        raise error_class(response.get("error", ""))(
+            response.get("message", "remote error"))
 
     # -- mirrored API ---------------------------------------------------
     def ping(self) -> dict:

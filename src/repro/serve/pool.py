@@ -1,0 +1,621 @@
+"""ReplicaPool: multi-process read scaling past the GIL.
+
+The thread-based :class:`~repro.serve.DatabaseService` tops out near
+one core of aggregate read throughput — CPython's GIL serializes the
+pure-Python evaluators however many reader threads connect.  The pool
+breaks that ceiling with the classic replicated-state-machine split:
+the service keeps its single writer thread on the *primary*, and N
+worker *processes* each hold a full :class:`~repro.db.Database`
+replica, kept current by the ordered delta log the writer emits after
+every published batch (:meth:`DatabaseService.subscribe_deltas`).
+Replicas apply deltas through the database's incremental maintenance —
+insertion extension and Delete/Rederive — so the replica hot path
+never recomputes a closure from scratch.
+
+Reads are routed round-robin with per-worker inflight accounting
+(rotate for fairness, prefer the least-loaded eligible worker).
+Read-your-writes is preserved by version routing: a read carrying a
+settled :class:`~repro.serve.service.WriteTicket` is only dispatched
+to workers whose applied replication sequence has reached the
+ticket's; when no replica is fresh enough (or none is alive) the read
+falls back to the primary's published snapshot, which by construction
+is always current.  A crashed worker is detected by its pipe closing,
+its inflight requests are retried on the primary, and a replacement is
+respawned and bootstrapped from the current published snapshot (or
+from the durable directory's journal/checkpoint when one was given).
+
+Example::
+
+    from repro import Database
+    from repro.serve import DatabaseService, ReplicaPool
+
+    service = DatabaseService(Database())
+    pool = ReplicaPool(service, workers=2)
+    try:
+        ticket = service.add_async(("BRAHMS", "∈", "COMPOSER"))
+        ticket.result(timeout=10.0)
+        pool.query("(x, ∈, COMPOSER)", ticket=ticket)  # sees the write
+    finally:
+        pool.close()
+        service.close()
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import (
+    DeadlineExceeded,
+    ReplicaError,
+    ServiceClosed,
+    error_class,
+)
+from ..obs import tracer as _obs
+from .replica import BootstrapState, Delta, capture_bootstrap, replica_main
+from .service import DatabaseService, WriteTicket
+
+__all__ = ["ReplicaPool"]
+
+
+class _Pending:
+    """One inflight read: resolved by the worker's receiver thread."""
+
+    __slots__ = ("event", "ok", "value", "died")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.ok = False
+        self.value: Any = None
+        self.died = False
+
+    def resolve(self, ok: bool, value: Any) -> None:
+        self.ok = ok
+        self.value = value
+        self.event.set()
+
+    def fail_dead(self) -> None:
+        self.died = True
+        self.event.set()
+
+
+class _Worker:
+    """Parent-side handle for one replica process."""
+
+    __slots__ = ("index", "generation", "process", "conn", "send_lock",
+                 "pending", "applied", "ready", "alive", "start_seq",
+                 "receiver")
+
+    def __init__(self, index: int, generation: int, process, conn,
+                 start_seq: int):
+        self.index = index
+        self.generation = generation
+        self.process = process
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.pending: Dict[int, _Pending] = {}
+        self.applied = -1          # replication seq; -1 until "ready"
+        self.ready = False
+        self.alive = True
+        self.start_seq = start_seq
+        self.receiver: Optional[threading.Thread] = None
+
+    def send(self, message) -> bool:
+        """Serialized pipe send; False (not an exception) on a dead
+        pipe — the receiver thread owns death handling."""
+        try:
+            with self.send_lock:
+                self.conn.send(message)
+            return True
+        except (OSError, ValueError, BrokenPipeError):
+            return False
+
+
+class ReplicaPool:
+    """N process-local read replicas behind one primary service.
+
+    Args:
+        service: the primary.  The pool subscribes to its delta stream;
+            writes still go through the service's own API.
+        workers: number of replica processes.
+        start_method: ``multiprocessing`` start method; default picks
+            ``fork`` where available (fast spawn/respawn) and falls
+            back to ``spawn``.
+        bootstrap_directory: when the service is durable, workers can
+            bootstrap by replaying the directory's snapshot + journal
+            themselves instead of receiving the fact heap over the
+            pipe (rule configuration still ships — it is not
+            journaled).  Delta application is idempotent, so the disk
+            being slightly ahead of the captured sequence is harmless.
+        respawn: automatically replace crashed workers.
+        read_timeout: default seconds to wait for a worker's answer
+            when the read itself carries no deadline.
+        wait_ready: block the constructor until every worker has built
+            its replica and warmed its closure.
+        lag_samples: how many per-delta replication latency samples to
+            retain for :meth:`lag_stats`.
+    """
+
+    def __init__(self, service: DatabaseService, workers: int = 2, *,
+                 start_method: Optional[str] = None,
+                 bootstrap_directory: Optional[str] = None,
+                 respawn: bool = True,
+                 read_timeout: Optional[float] = 30.0,
+                 wait_ready: bool = True,
+                 ready_timeout: float = 60.0,
+                 lag_samples: int = 4096):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._service = service
+        self._bootstrap_directory = bootstrap_directory
+        self._respawn = respawn
+        self.read_timeout = read_timeout
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+
+        self._lock = threading.RLock()
+        self._version_cv = threading.Condition(self._lock)
+        self._workers: List[_Worker] = []
+        self._closed = False
+        self._rotation = 0
+        self._rid = itertools.count(1)
+        self._generation = itertools.count(1)
+
+        # Statistics (under self._lock unless writer-thread-only).
+        self._reads = 0
+        self._fallback_reads = 0
+        self._respawns = 0
+        self._deaths = 0
+        self._deltas_shipped = 0
+        self._delta_emit_times: Dict[int, float] = {}
+        self._lag_log: deque = deque(maxlen=lag_samples)
+
+        service.subscribe_deltas(self._on_delta)
+        try:
+            with self._lock:
+                for index in range(workers):
+                    self._workers.append(self._spawn(index))
+            if wait_ready:
+                self.wait_ready(timeout=ready_timeout)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Spawning and the delta stream
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int) -> _Worker:
+        """Start one worker (caller holds the pool lock).
+
+        Capturing the bootstrap state and registering the worker for
+        delta forwarding happen under the same lock the delta
+        subscriber takes, so no delta can fall between the captured
+        sequence and the first forwarded record; the worker-side
+        ``version > bootstrapped`` guard drops any overlap.
+        """
+        snap, seq = self._service.published_state()
+        config = capture_bootstrap(snap, version=seq)
+        if self._bootstrap_directory is not None:
+            # Facts replay from disk; configuration (not journaled)
+            # ships explicitly.  Strip the heap from the shipped state.
+            payload = ("directory", str(self._bootstrap_directory),
+                       BootstrapState(facts=[], rules=config.rules,
+                                      enabled=config.enabled,
+                                      composition_limit=(
+                                          config.composition_limit),
+                                      engine=config.engine,
+                                      version=seq))
+        else:
+            payload = ("state", config)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        generation = next(self._generation)
+        process = self._ctx.Process(
+            target=replica_main, args=(child_conn, payload),
+            name=f"repro-replica-{index}-g{generation}", daemon=True)
+        process.start()
+        child_conn.close()
+        worker = _Worker(index, generation, process, parent_conn, seq)
+        worker.receiver = threading.Thread(
+            target=self._receive_loop, args=(worker,),
+            name=f"repro-replica-recv-{index}-g{generation}", daemon=True)
+        worker.receiver.start()
+        if _obs.ENABLED:
+            _obs.TRACER.count("serve.pool.spawns")
+        return worker
+
+    def _on_delta(self, delta: Delta) -> None:
+        """Writer-thread subscriber: forward to every live worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._deltas_shipped += 1
+            self._delta_emit_times[delta.version] = time.perf_counter()
+            if len(self._delta_emit_times) > 2 * self._lag_log.maxlen:
+                oldest = min(self._delta_emit_times)
+                self._delta_emit_times.pop(oldest, None)
+            workers = [w for w in self._workers if w.alive]
+        for worker in workers:
+            if delta.version > worker.start_seq:
+                worker.send(("delta", delta))
+
+    def _receive_loop(self, worker: _Worker) -> None:
+        """Per-worker receiver: acks, read results, death detection."""
+        conn = worker.conn
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "ready":
+                with self._version_cv:
+                    worker.applied = message[1]
+                    worker.ready = True
+                    self._version_cv.notify_all()
+            elif kind in ("applied", "pong"):
+                version = message[1]
+                with self._version_cv:
+                    if version > worker.applied:
+                        worker.applied = version
+                    emitted = self._delta_emit_times.get(version)
+                    if emitted is not None and kind == "applied":
+                        self._lag_log.append(
+                            time.perf_counter() - emitted)
+                    self._version_cv.notify_all()
+            elif kind == "result":
+                rid, ok, value, version = message[1:]
+                with self._version_cv:
+                    if version > worker.applied:
+                        worker.applied = version
+                    pending = worker.pending.pop(rid, None)
+                    self._version_cv.notify_all()
+                if pending is not None:
+                    pending.resolve(ok, value)
+        self._on_worker_death(worker)
+
+    def _on_worker_death(self, worker: _Worker) -> None:
+        with self._lock:
+            was_alive = worker.alive
+            worker.alive = False
+            worker.ready = False
+            stranded = list(worker.pending.values())
+            worker.pending.clear()
+            closed = self._closed
+            if was_alive and not closed:
+                self._deaths += 1
+                if _obs.ENABLED:
+                    _obs.TRACER.count("serve.pool.worker_deaths")
+        for pending in stranded:
+            pending.fail_dead()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if closed or not self._respawn or not was_alive:
+            return
+        # Respawn on a fresh thread so this receiver can exit; the
+        # replacement bootstraps from the *current* published snapshot
+        # (or the durable directory), not from where the dead worker
+        # had gotten to.
+        threading.Thread(target=self._respawn_slot,
+                         args=(worker.index, worker.generation),
+                         name=f"repro-replica-respawn-{worker.index}",
+                         daemon=True).start()
+
+    def _respawn_slot(self, index: int, dead_generation: int) -> None:
+        try:
+            with self._lock:
+                if self._closed:
+                    return
+                current = self._workers[index]
+                if current.alive or current.generation != dead_generation:
+                    return   # someone already replaced this slot
+                self._workers[index] = self._spawn(index)
+                self._respawns += 1
+                if _obs.ENABLED:
+                    _obs.TRACER.count("serve.pool.respawns")
+        except Exception:  # pragma: no cover - defensive
+            if _obs.ENABLED:
+                _obs.TRACER.count("serve.pool.respawn_failures")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _pick(self, min_version: int) -> Optional[_Worker]:
+        """Round-robin with inflight accounting (caller holds lock):
+        rotate the starting slot for fairness, then take the eligible
+        worker with the fewest inflight reads (rotation order breaks
+        ties).  Eligible = alive, ready, applied ≥ ``min_version``."""
+        count = len(self._workers)
+        if not count:
+            return None
+        start = self._rotation
+        self._rotation = (self._rotation + 1) % count
+        best: Optional[_Worker] = None
+        for offset in range(count):
+            worker = self._workers[(start + offset) % count]
+            if not (worker.alive and worker.ready
+                    and worker.applied >= min_version):
+                continue
+            if best is None or len(worker.pending) < len(best.pending):
+                best = worker
+        return best
+
+    def _min_version(self, ticket: Optional[WriteTicket],
+                     deadline: Optional[float],
+                     floor: int) -> int:
+        if ticket is None:
+            return floor
+        if ticket.version is None:
+            # Unsettled ticket: "read after this write" means the
+            # write must land first — wait for it (same semantics as
+            # service.add itself).
+            ticket.result(deadline if deadline is not None
+                          else self.read_timeout)
+        return max(floor, ticket.version or 0)
+
+    def _read(self, op: str, payload, deadline: Optional[float],
+              ticket: Optional[WriteTicket],
+              min_version: int = 0) -> Any:
+        if self._closed:
+            raise ServiceClosed("replica pool is closed")
+        min_version = self._min_version(ticket, deadline, min_version)
+        with self._lock:
+            self._reads += 1
+            worker = self._pick(min_version)
+            if worker is not None:
+                rid = next(self._rid)
+                pending = _Pending()
+                worker.pending[rid] = pending
+        if worker is None or not worker.send(
+                ("read", rid, op, payload, deadline)):
+            if worker is not None:
+                with self._lock:
+                    worker.pending.pop(rid, None)
+            return self._fallback(op, payload, deadline)
+        timeout = deadline if deadline is not None else self.read_timeout
+        if not pending.event.wait(timeout):
+            with self._lock:
+                worker.pending.pop(rid, None)
+            if _obs.ENABLED:
+                _obs.TRACER.count("serve.pool.read_timeouts")
+            raise DeadlineExceeded(
+                f"replica did not answer {op!r} within {timeout}s")
+        if pending.died:
+            # The worker died mid-request; the primary always has the
+            # answer.
+            return self._fallback(op, payload, deadline)
+        if not pending.ok:
+            name, text = pending.value
+            raise error_class(name)(text)
+        if _obs.ENABLED:
+            _obs.TRACER.count("serve.pool.replica_reads")
+        return pending.value
+
+    def _fallback(self, op: str, payload,
+                  deadline: Optional[float]) -> Any:
+        """Serve a read from the primary's published snapshot — always
+        current, so correct for any ``min_version``."""
+        with self._lock:
+            self._fallback_reads += 1
+        if _obs.ENABLED:
+            _obs.TRACER.count("serve.pool.fallback_reads")
+        service = self._service
+        if op == "query":
+            return service.query(payload, deadline=deadline)
+        if op == "ask":
+            return service.ask(payload, deadline=deadline)
+        if op == "match":
+            return service.match(payload, deadline=deadline)
+        if op == "navigate":
+            return service.navigate(payload, deadline=deadline).render()
+        if op == "try":
+            return service.try_(payload, deadline=deadline)
+        if op == "probe":
+            outcome = service.probe(payload, deadline=deadline)
+            return {"succeeded": outcome.succeeded,
+                    "value": outcome.value,
+                    "waves": len(outcome.waves)}
+        if op == "stats":
+            return service.database_stats(deadline=deadline)
+        raise ReplicaError(f"unknown read operation {op!r}")
+
+    # ------------------------------------------------------------------
+    # Read API (mirrors the service; ticket= adds read-your-writes)
+    # ------------------------------------------------------------------
+    def query(self, query: str, deadline: Optional[float] = None,
+              ticket: Optional[WriteTicket] = None,
+              min_version: int = 0):
+        """Evaluate a query on a replica (set of tuples)."""
+        return self._read("query", query, deadline, ticket, min_version)
+
+    def ask(self, query: str, deadline: Optional[float] = None,
+            ticket: Optional[WriteTicket] = None,
+            min_version: int = 0) -> bool:
+        """Closed-query truth test on a replica."""
+        return self._read("ask", query, deadline, ticket, min_version)
+
+    def match(self, pattern: str, deadline: Optional[float] = None,
+              ticket: Optional[WriteTicket] = None,
+              min_version: int = 0):
+        """Template match on a replica (list of facts)."""
+        return self._read("match", pattern, deadline, ticket, min_version)
+
+    def navigate(self, pattern: str, deadline: Optional[float] = None,
+                 ticket: Optional[WriteTicket] = None,
+                 min_version: int = 0) -> str:
+        """One browsing step on a replica, as rendered text."""
+        return self._read("navigate", pattern, deadline, ticket,
+                          min_version)
+
+    def try_(self, entity: str, deadline: Optional[float] = None,
+             ticket: Optional[WriteTicket] = None,
+             min_version: int = 0):
+        """The paper's ``try`` operator on a replica."""
+        return self._read("try", entity, deadline, ticket, min_version)
+
+    def probe(self, query: str, deadline: Optional[float] = None,
+              ticket: Optional[WriteTicket] = None,
+              min_version: int = 0) -> dict:
+        """Broadened query on a replica:
+        ``{"succeeded", "value", "waves"}``."""
+        return self._read("probe", query, deadline, ticket, min_version)
+
+    def database_stats(self, deadline: Optional[float] = None,
+                       min_version: int = 0) -> dict:
+        """A replica's :meth:`~repro.db.Database.stats`."""
+        return self._read("stats", None, deadline, None, min_version)
+
+    # ------------------------------------------------------------------
+    # Introspection and control
+    # ------------------------------------------------------------------
+    def wait_ready(self, timeout: Optional[float] = 60.0) -> None:
+        """Block until every live worker finished bootstrapping."""
+        limit = (None if timeout is None
+                 else time.monotonic() + timeout)
+        with self._version_cv:
+            while True:
+                alive = [w for w in self._workers if w.alive]
+                if alive and all(w.ready for w in alive):
+                    return
+                remaining = (None if limit is None
+                             else limit - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    raise ReplicaError(
+                        "replica workers did not become ready in time")
+                self._version_cv.wait(remaining
+                                      if remaining is not None else 1.0)
+
+    def wait_for_version(self, version: int, *, all_workers: bool = False,
+                         timeout: Optional[float] = 30.0) -> None:
+        """Block until one (or every) live worker has applied
+        ``version`` — the replication-lag barrier used by tests and
+        the failover benchmark."""
+        limit = (None if timeout is None
+                 else time.monotonic() + timeout)
+        with self._version_cv:
+            while True:
+                applied = [w.applied for w in self._workers if w.alive]
+                if applied:
+                    reached = (min(applied) if all_workers
+                               else max(applied))
+                    if reached >= version:
+                        return
+                remaining = (None if limit is None
+                             else limit - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    raise DeadlineExceeded(
+                        f"replicas did not reach version {version}"
+                        f" in time (applied: {applied})")
+                self._version_cv.wait(remaining
+                                      if remaining is not None else 1.0)
+
+    def crash_worker(self, index: int) -> None:
+        """Hard-kill one worker (failover tests and benchmarks): the
+        process exits without cleanup, the pool detects the broken
+        pipe, fails inflight reads over to the primary, and respawns."""
+        with self._lock:
+            worker = self._workers[index]
+        worker.send(("crash",))
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict:
+        """Pool-level counters plus per-worker applied versions/lag."""
+        with self._lock:
+            primary = self._service.applied_seq
+            applied = [w.applied if w.alive else None
+                       for w in self._workers]
+            inflight = [len(w.pending) for w in self._workers]
+            alive = sum(1 for w in self._workers if w.alive)
+            live_applied = [v for v in applied if v is not None]
+            return {
+                "workers": len(self._workers),
+                "alive": alive,
+                "start_method": self.start_method,
+                "primary_version": primary,
+                "applied_versions": applied,
+                "max_lag": (primary - min(live_applied)
+                            if live_applied else None),
+                "inflight": inflight,
+                "reads": self._reads,
+                "fallback_reads": self._fallback_reads,
+                "deltas_shipped": self._deltas_shipped,
+                "worker_deaths": self._deaths,
+                "respawns": self._respawns,
+                "closed": self._closed,
+            }
+
+    def lag_stats(self) -> dict:
+        """Replication-lag distribution: seconds from delta emission on
+        the writer thread to a worker's applied ack."""
+        with self._lock:
+            samples = sorted(self._lag_log)
+        if not samples:
+            return {"samples": 0}
+
+        def pct(fraction: float) -> float:
+            index = min(len(samples) - 1, int(fraction * len(samples)))
+            return samples[index]
+
+        return {
+            "samples": len(samples),
+            "p50_s": pct(0.50),
+            "p95_s": pct(0.95),
+            "p99_s": pct(0.99),
+            "max_s": samples[-1],
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop every worker and detach from the delta stream."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+        self._service.unsubscribe_deltas(self._on_delta)
+        for worker in workers:
+            worker.send(("stop",))
+        deadline_at = time.monotonic() + timeout
+        for worker in workers:
+            remaining = max(0.1, deadline_at - time.monotonic())
+            worker.process.join(remaining)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            stranded = list(worker.pending.values())
+            worker.pending.clear()
+            for pending in stranded:
+                pending.fail_dead()
+
+    def __enter__(self) -> "ReplicaPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        alive = sum(1 for w in self._workers if w.alive)
+        return (f"ReplicaPool({state}, workers={len(self._workers)},"
+                f" alive={alive}, start_method={self.start_method})")

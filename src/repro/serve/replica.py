@@ -1,0 +1,278 @@
+"""Replica workers: process-local read replicas fed by a delta log.
+
+CPython's GIL caps the thread-based service at roughly one core of
+aggregate read throughput, however many reader threads connect.  This
+module is the worker half of the standard log-shipping answer: the
+primary keeps its single writer thread, and each *worker process*
+holds a full :class:`~repro.db.Database` replica that it keeps current
+by applying ordered :class:`Delta` records — coalesced net fact
+mutations plus rule/limit control operations — shipped over a pipe.
+Deltas ride the database's existing incremental maintenance
+(:meth:`repro.db.Database.apply_delta`: insertion extension and
+Delete/Rederive), so the replica hot path never recomputes the closure
+from scratch.
+
+The parent half — spawning, routing, read-your-writes, respawn — lives
+in :mod:`repro.serve.pool`.  This module is deliberately
+parent-agnostic: :func:`replica_main` speaks only the pipe protocol,
+which keeps it importable under the ``spawn`` start method and easy to
+drive from tests without any pool at all.
+
+Pipe protocol (parent → worker)::
+
+    ("delta", Delta)                     apply, then ack
+    ("read", rid, op, payload, seconds)  evaluate under a deadline
+    ("ping",)                            liveness probe
+    ("crash",)                           hard-exit (failover tests)
+    ("stop",)                            clean shutdown
+
+and worker → parent::
+
+    ("ready", version)                   bootstrap finished
+    ("applied", version)                 delta ack
+    ("result", rid, ok, value, version)  read outcome (value is the
+                                         result, or (error_name, text))
+    ("pong", version)
+
+``version`` is always the replication sequence number — the primary's
+count of published batches — never a store-internal counter, so a
+replica bootstrapped from disk and one bootstrapped from a shipped
+state agree on where they stand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import deadline as _deadline
+from ..core.errors import ReproError, ServiceError
+from ..core.facts import Fact
+from ..db import Database
+from ..rules.registry import RuleRegistry
+from ..rules.rule import Rule
+
+__all__ = [
+    "Delta", "BootstrapState", "capture_bootstrap", "build_replica",
+    "bootstrap_from_directory", "apply_delta_message", "replica_main",
+]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One published batch, as shipped to replicas.
+
+    ``adds`` and ``removes`` are the batch's *net* effect on the base
+    heap (a fact added and removed inside one batch appears in
+    neither), so applying them in any order within the record is
+    equivalent to replaying the batch.  ``controls`` carries the
+    non-fact operations in application order: ``("limit", n)``,
+    ``("include", name_or_rule)``, ``("exclude", name)``, and
+    ``("define_rule", name, text, is_constraint)``.
+    """
+
+    version: int
+    adds: Tuple[Fact, ...] = ()
+    removes: Tuple[Fact, ...] = ()
+    controls: Tuple[tuple, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.adds) + len(self.removes) + len(self.controls)
+
+
+@dataclass
+class BootstrapState:
+    """Everything a worker needs to reconstruct the primary's database.
+
+    Captured from a published (frozen) snapshot, so it is internally
+    consistent; rules ship as their parsed :class:`Rule` dataclasses
+    (plain picklable data).  ``version`` is the replication sequence
+    the state corresponds to — deltas at or below it are skipped.
+    """
+
+    facts: List[Fact] = field(default_factory=list)
+    rules: List[Rule] = field(default_factory=list)
+    enabled: Dict[str, bool] = field(default_factory=dict)
+    composition_limit: Optional[int] = 1
+    engine: str = "dispatched"
+    version: int = 0
+
+
+def capture_bootstrap(db: Database, version: int) -> BootstrapState:
+    """Snapshot a database's replicable state at replication ``version``.
+
+    ``db`` should be an immutable published snapshot (or otherwise not
+    concurrently mutated while this runs).
+    """
+    return BootstrapState(
+        facts=list(db.facts),
+        rules=db.rules.all_rules(),
+        enabled=db.rules.snapshot_state(),
+        composition_limit=db.composition_limit,
+        engine=db.engine,
+        version=version,
+    )
+
+
+def build_replica(state: BootstrapState) -> Database:
+    """A fresh mutable database equal to the captured state.
+
+    Axioms are not re-seeded — the captured fact list already contains
+    whatever the primary stored.  The replica keeps incremental
+    maintenance on (that is the whole point: deltas extend the cached
+    closure in place) and never auto-checks: integrity was the
+    primary's job at write admission.
+    """
+    db = Database(state.facts, with_axioms=False, engine=state.engine)
+    db.rules = RuleRegistry(state.rules)
+    db.rules.restore_state(state.enabled)
+    db._composition_limit = state.composition_limit  # noqa: SLF001
+    return db
+
+
+def bootstrap_from_directory(directory: str,
+                             config: BootstrapState) -> Database:
+    """Build a replica by replaying a durable directory's state.
+
+    The fact heap comes from the on-disk snapshot + journal
+    (:meth:`repro.storage.session.DurableSession.recover_state` — the
+    journal is ordered, so the replayed heap is the primary's heap as
+    of the last journaled batch), while rules, enable states, the
+    composition limit, and the engine come from ``config``: rule
+    definitions and toggles are not journaled, so the parent captures
+    them at spawn time.  Because the disk may already be *ahead* of
+    ``config.version``, the parent replays the delta suffix from that
+    version; :meth:`~repro.db.Database.apply_delta` is idempotent, so
+    the overlap is harmless.
+    """
+    from ..storage.session import DurableSession
+
+    session = DurableSession(directory)
+    try:
+        disk = session.recover_state()
+    finally:
+        session.close()
+    return build_replica(BootstrapState(
+        facts=disk.facts,
+        rules=config.rules,
+        enabled=config.enabled,
+        composition_limit=config.composition_limit,
+        engine=config.engine,
+        version=config.version,
+    ))
+
+
+def apply_delta_message(db: Database, delta: Delta) -> None:
+    """Apply one shipped delta: net fact mutations, then controls.
+
+    Fact mutations go through :meth:`~repro.db.Database.apply_delta`
+    (incremental maintenance); controls go through the same public
+    methods the primary used, so a rule toggle invalidates the
+    replica's closure exactly as it did the primary's.
+    """
+    db.apply_delta(delta.adds, delta.removes)
+    for control in delta.controls:
+        kind = control[0]
+        if kind == "limit":
+            db.limit(control[1])
+        elif kind == "include":
+            db.include(control[1])
+        elif kind == "exclude":
+            db.exclude(control[1])
+        elif kind == "define_rule":
+            _, name, text, is_constraint = control
+            db.define_rule(name, text, is_constraint=is_constraint)
+        else:  # pragma: no cover - versioned protocol guard
+            raise ServiceError(f"unknown control operation {kind!r}")
+
+
+def _probe_payload(outcome) -> dict:
+    return {"succeeded": outcome.succeeded,
+            "value": outcome.value,
+            "waves": len(outcome.waves)}
+
+
+#: Read operations a worker can serve.  ``navigate`` ships rendered
+#: text (NavigationResult holds live view references); everything else
+#: returns plain picklable data.
+READ_OPS = {
+    "query": lambda db, payload: db.query(payload),
+    "ask": lambda db, payload: db.ask(payload),
+    "match": lambda db, payload: db.match(payload),
+    "navigate": lambda db, payload: db.navigate(payload).render(),
+    "try": lambda db, payload: db.try_(payload),
+    "probe": lambda db, payload: _probe_payload(db.probe(payload)),
+    "stats": lambda db, payload: db.stats(),
+}
+
+
+def _bootstrap(payload) -> Database:
+    kind = payload[0]
+    if kind == "state":
+        return build_replica(payload[1])
+    if kind == "directory":
+        return bootstrap_from_directory(payload[1], payload[2])
+    raise ServiceError(f"unknown bootstrap payload {kind!r}")
+
+
+def replica_main(conn, payload) -> None:
+    """The worker process entry point.
+
+    ``conn`` is this end of a duplex pipe; ``payload`` is
+    ``("state", BootstrapState)`` or
+    ``("directory", path, BootstrapState)`` (the directory variant
+    reads facts from disk and takes configuration from the state).
+    Builds the replica, warms its closure, then serves the pipe until
+    ``("stop",)`` or EOF.  Requests are handled strictly in order, so
+    a read enqueued after a delta always sees that delta applied.
+
+    SIGINT is ignored: a terminal Ctrl-C signals the whole process
+    group, but shutdown is the parent's job (a ``("stop",)`` message
+    or pipe EOF) — without this, every worker would die mid-``recv``
+    with a traceback instead of exiting cleanly.
+    """
+    import os
+    import signal
+
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (OSError, ValueError):  # pragma: no cover - exotic hosts
+        pass
+    db = _bootstrap(payload)
+    version = (payload[1].version if payload[0] == "state"
+               else payload[2].version)
+    db.view()   # warm the closure before declaring readiness
+    conn.send(("ready", version))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = message[0]
+        if kind == "delta":
+            delta = message[1]
+            if delta.version > version:
+                apply_delta_message(db, delta)
+                version = delta.version
+            conn.send(("applied", version))
+        elif kind == "read":
+            rid, op, read_payload, seconds = message[1:]
+            try:
+                handler = READ_OPS.get(op)
+                if handler is None:
+                    raise ServiceError(f"unknown read operation {op!r}")
+                with _deadline.deadline_scope(seconds):
+                    value = handler(db, read_payload)
+                conn.send(("result", rid, True, value, version))
+            except (ReproError, ValueError) as error:
+                conn.send(("result", rid, False,
+                           (type(error).__name__, str(error)), version))
+            except Exception as error:  # pragma: no cover - defensive
+                conn.send(("result", rid, False,
+                           ("ReplicaError", repr(error)), version))
+        elif kind == "ping":
+            conn.send(("pong", version))
+        elif kind == "crash":
+            os._exit(3)
+        elif kind == "stop":
+            return

@@ -72,6 +72,7 @@ from ..core.errors import (
 from ..core.facts import Fact, fact as make_fact
 from ..db import Database
 from ..obs import tracer as _obs
+from .replica import Delta
 
 __all__ = ["DatabaseService", "WriteTicket"]
 
@@ -80,6 +81,28 @@ def _as_fact(value) -> Fact:
     if isinstance(value, Fact):
         return value
     return make_fact(*value)
+
+
+def _coalesce(entries) -> Tuple[Tuple[Fact, ...], Tuple[Fact, ...]]:
+    """A batch's journal entries as net ``(adds, removes)``.
+
+    Journal entries record *effective* mutations, so per fact they
+    strictly alternate add/remove: an even count cancels out (the batch
+    left that fact as it found it) and an odd count nets to the final
+    operation.  Replicas therefore apply exactly the batch's net effect
+    on the base heap — which determines the closure — without replaying
+    intermediate flips.
+    """
+    last: dict = {}
+    count: dict = {}
+    for op, f in entries:
+        last[f] = op
+        count[f] = count.get(f, 0) + 1
+    adds = tuple(f for f, op in last.items()
+                 if op == "add" and count[f] % 2 == 1)
+    removes = tuple(f for f, op in last.items()
+                    if op == "remove" and count[f] % 2 == 1)
+    return adds, removes
 
 
 class WriteTicket:
@@ -91,12 +114,13 @@ class WriteTicket:
     outcome (or re-raises the error it hit on the writer thread).
     """
 
-    __slots__ = ("_event", "_value", "_error")
+    __slots__ = ("_event", "_value", "_error", "_version")
 
     def __init__(self):
         self._event = threading.Event()
         self._value = None
         self._error: Optional[BaseException] = None
+        self._version: Optional[int] = None
 
     def _resolve(self, value) -> None:
         self._value = value
@@ -105,6 +129,15 @@ class WriteTicket:
     def _reject(self, error: BaseException) -> None:
         self._error = error
         self._event.set()
+
+    @property
+    def version(self) -> Optional[int]:
+        """The replication sequence that covers this write, once it is
+        settled (``None`` before).  A replica whose applied version is
+        at least this value has seen the write — the routing key for
+        read-your-writes across :class:`repro.serve.pool.ReplicaPool`.
+        """
+        return self._version
 
     def done(self) -> bool:
         """True once the writer has settled this operation."""
@@ -152,6 +185,14 @@ class DatabaseService:
         batch_window: seconds the writer waits after waking so
             concurrent submissions coalesce into one batch (0 batches
             only what is already queued).
+        max_batch: cap on operations per writer batch (``None`` =
+            unbounded).  An unbounded writer drains everything queued,
+            so a large backlog becomes one giant batch whose closure
+            recomputation stalls ticket resolution and stretches the
+            publish pause into a multi-millisecond read tail; the cap
+            bounds that pause while keeping coalescing (leftover
+            operations are drained immediately in follow-up batches,
+            with no extra batch window).
         default_deadline: per-request deadline in seconds applied to
             reads and write waits when the call does not pass its own.
         start: start the writer thread immediately (tests pass False
@@ -162,10 +203,13 @@ class DatabaseService:
                  session=None,
                  max_pending: int = 1024,
                  batch_window: float = 0.002,
+                 max_batch: Optional[int] = 256,
                  default_deadline: Optional[float] = None,
                  start: bool = True):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if max_batch is not None and max_batch < 1:
+            raise ValueError("max_batch must be >= 1 (or None)")
         self._db = db if db is not None else Database()
         self._session = session
         if session is not None:
@@ -174,6 +218,7 @@ class DatabaseService:
             session.detach()
         self.max_pending = max_pending
         self.batch_window = batch_window
+        self.max_batch = max_batch
         self.default_deadline = default_deadline
 
         self._lock = threading.Lock()
@@ -188,10 +233,26 @@ class DatabaseService:
         self._largest_batch = 0
         self._publishes = 0
         self._checkpoints = 0
+        self._publish_pause_last = 0.0
+        self._publish_pause_max = 0.0
+        self._publish_pause_total = 0.0
+
+        # Replication: the sequence number of the latest published
+        # batch, and the delta subscribers it is shipped to (the
+        # replica pool).  Subscribers run on the writer thread, after
+        # publication and before ticket settlement, so by the time a
+        # write call returns its delta is already in every replica's
+        # ordered pipe.
+        self._applied_seq = 0
+        self._delta_subscribers: List[Callable] = []
 
         # Initial publication happens on the constructing thread; the
         # writer has not started yet, so the master is ours to touch.
-        self._published = self._build_snapshot()
+        snap = self._build_snapshot()
+        # One attribute holding the (snapshot, sequence) pair: readers
+        # and the pool capture both atomically with a single ref grab.
+        self._published_state: Tuple[Database, int] = (snap, 0)
+        self._published = snap
         if start:
             self.start()
 
@@ -250,6 +311,7 @@ class DatabaseService:
     # Writer thread
     # ------------------------------------------------------------------
     def _writer_loop(self) -> None:
+        backlog = False
         while True:
             with self._has_work:
                 while not self._ops and not self._closed:
@@ -257,14 +319,24 @@ class DatabaseService:
                 if not self._ops and self._closed:
                     return
             # Let concurrent submitters pile on for one window, then
-            # take everything queued as a single batch.
-            if self.batch_window > 0:
+            # take what is queued as a single batch — at most
+            # ``max_batch`` operations, so one burst cannot become an
+            # arbitrarily long publish pause.  When the previous drain
+            # left a backlog there is nothing to wait for: coalescing
+            # already happened while the last batch was applying.
+            if self.batch_window > 0 and not backlog:
                 time.sleep(self.batch_window)
             with self._lock:
-                batch: List[_Op] = list(self._ops)
-                self._ops.clear()
+                if self.max_batch is None:
+                    batch: List[_Op] = list(self._ops)
+                    self._ops.clear()
+                else:
+                    batch = [self._ops.popleft()
+                             for _ in range(min(len(self._ops),
+                                                self.max_batch))]
+                backlog = bool(self._ops)
                 if _obs.ENABLED:
-                    _obs.TRACER.gauge("serve.queue_depth", 0)
+                    _obs.TRACER.gauge("serve.queue_depth", len(self._ops))
             try:
                 self._apply_batch(batch)
             except Exception as error:  # pragma: no cover - defensive
@@ -283,6 +355,7 @@ class DatabaseService:
         settled: List[Tuple[WriteTicket, Any, Optional[BaseException]]] = []
         with span:
             journal_entries: List[Tuple[str, Fact]] = []
+            controls: List[tuple] = []
             mutated = False
             checkpoint_requested = False
             for kind, payload, ticket in batch:
@@ -309,19 +382,27 @@ class DatabaseService:
                     elif kind == "limit":
                         self._db.limit(payload)
                         outcome = payload
+                        controls.append(("limit", payload))
                         mutated = True
                     elif kind == "include":
                         self._db.include(payload)
                         outcome = True
+                        # A Rule object ships whole (replicas may not
+                        # know it yet); a name ships as the name.
+                        controls.append(("include", payload))
                         mutated = True
                     elif kind == "exclude":
                         self._db.exclude(payload)
                         outcome = True
+                        controls.append(("exclude", getattr(
+                            payload, "name", payload)))
                         mutated = True
                     elif kind == "define_rule":
                         name, text, is_constraint = payload
                         outcome = self._db.define_rule(
                             name, text, is_constraint=is_constraint)
+                        controls.append(
+                            ("define_rule", name, text, is_constraint))
                         mutated = True
                     elif kind == "checkpoint":
                         checkpoint_requested = True
@@ -334,8 +415,24 @@ class DatabaseService:
                     settled.append((ticket, outcome, None))
             if journal_entries and self._session is not None:
                 self._session.record_batch(journal_entries)
+            delta = None
             if mutated:
-                self._published = self._build_snapshot()
+                publish_started = time.perf_counter()
+                snap = self._build_snapshot()
+                pause = time.perf_counter() - publish_started
+                self._publish_pause_last = pause
+                self._publish_pause_max = max(self._publish_pause_max,
+                                              pause)
+                self._publish_pause_total += pause
+                self._applied_seq += 1
+                self._published_state = (snap, self._applied_seq)
+                self._published = snap
+                adds, removes = _coalesce(journal_entries)
+                delta = Delta(version=self._applied_seq, adds=adds,
+                              removes=removes, controls=tuple(controls))
+                if _obs.ENABLED:
+                    _obs.TRACER.gauge("serve.publish_pause_seconds",
+                                      pause)
             if checkpoint_requested and self._session is not None:
                 # Readers keep hitting the published in-memory snapshot
                 # while the on-disk one is rewritten.
@@ -348,9 +445,21 @@ class DatabaseService:
                 _obs.TRACER.count("serve.batches")
                 _obs.TRACER.count("serve.ops_applied", len(batch))
                 _obs.TRACER.gauge("serve.batch_size", len(batch))
+        # Ship the delta before settling tickets: once a write call
+        # returns, its delta is already in every replica's ordered
+        # pipe, so version-routed reads can only wait, never miss.
+        if delta is not None:
+            for subscriber in tuple(self._delta_subscribers):
+                try:
+                    subscriber(delta)
+                except Exception:  # pragma: no cover - defensive
+                    if _obs.ENABLED:
+                        _obs.TRACER.count("serve.delta_subscriber_errors")
         # Settle tickets only after the snapshot swap above, so a caller
         # that waited on its ticket reads its own write.
+        version = self._applied_seq
         for ticket, value, error in settled:
+            ticket._version = version
             if error is not None:
                 ticket._reject(error)
             else:
@@ -532,6 +641,39 @@ class DatabaseService:
         return self._published
 
     # ------------------------------------------------------------------
+    # Replication (repro.serve.pool)
+    # ------------------------------------------------------------------
+    def published_state(self) -> Tuple[Database, int]:
+        """The published snapshot and its replication sequence, as one
+        atomically captured pair.
+
+        The pool bootstraps workers from this: capturing the pair with
+        a single reference grab guarantees the captured version really
+        describes the captured snapshot, however many batches publish
+        concurrently.
+        """
+        return self._published_state
+
+    @property
+    def applied_seq(self) -> int:
+        """The replication sequence: published batches so far."""
+        return self._published_state[1]
+
+    def subscribe_deltas(self, callback) -> None:
+        """Register a delta subscriber (called on the writer thread
+        with each published :class:`~repro.serve.replica.Delta`, in
+        order, after publication and before ticket settlement).
+        Callbacks must be quick and must not raise."""
+        with self._lock:
+            self._delta_subscribers.append(callback)
+
+    def unsubscribe_deltas(self, callback) -> None:
+        """Remove a previously registered delta subscriber."""
+        with self._lock:
+            if callback in self._delta_subscribers:
+                self._delta_subscribers.remove(callback)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -543,11 +685,16 @@ class DatabaseService:
             "pending_writes": pending,
             "max_pending": self.max_pending,
             "batch_window": self.batch_window,
+            "max_batch": self.max_batch,
             "batches": self._batches,
             "ops_applied": self._ops_applied,
             "largest_batch": self._largest_batch,
             "snapshot_publishes": self._publishes,
             "checkpoints": self._checkpoints,
+            "publish_pause_last_s": round(self._publish_pause_last, 6),
+            "publish_pause_max_s": round(self._publish_pause_max, 6),
+            "publish_pause_total_s": round(self._publish_pause_total, 6),
+            "applied_seq": self.applied_seq,
             "published_version": snap.facts.version,
             "base_facts": len(snap.facts),
             "durable": self._session is not None,

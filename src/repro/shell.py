@@ -491,6 +491,12 @@ def _serve_main(arguments: List[str]) -> int:
                         help="admission queue bound")
     parser.add_argument("--deadline", type=float, default=None,
                         help="default per-request deadline in seconds")
+    parser.add_argument("--max-batch", type=int, default=256,
+                        help="max queued writes applied per batch"
+                             " (bounds the publish pause; 0 = unbounded)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="replica worker processes for reads"
+                             " (0 = serve reads from the primary)")
     options = parser.parse_args(arguments)
 
     if options.target is not None:
@@ -500,17 +506,31 @@ def _serve_main(arguments: List[str]) -> int:
     service = DatabaseService(db, session=session,
                               max_pending=options.max_pending,
                               batch_window=options.batch_window,
-                              default_deadline=options.deadline)
-    server = ServiceServer(service, host=options.host, port=options.port)
+                              default_deadline=options.deadline,
+                              max_batch=options.max_batch or None)
+    pool = None
+    if options.workers > 0:
+        from .serve.pool import ReplicaPool
+
+        directory = (options.target
+                     if session is not None else None)
+        pool = ReplicaPool(service, workers=options.workers,
+                           bootstrap_directory=directory)
+    server = ServiceServer(service, host=options.host, port=options.port,
+                           pool=pool)
     host, port = server.address
+    workers_note = (f" with {options.workers} replica worker(s)"
+                    if pool is not None else "")
     print(f"serving {options.target or 'an empty database'}"
-          f" on {host}:{port} (ctrl-c stops)")
+          f" on {host}:{port}{workers_note} (ctrl-c stops)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.close()
+        if pool is not None:
+            pool.close()
         service.close()
     return 0
 

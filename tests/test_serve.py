@@ -294,6 +294,51 @@ class TestCoalescing:
         assert service.stats()["snapshot_publishes"] == before + 1
         service.close()
 
+    def test_max_batch_caps_a_drain(self):
+        """A deep backlog drains in ``max_batch``-sized stages, so no
+        single publish pause covers the whole queue."""
+        service = DatabaseService(Database(), start=False,
+                                  batch_window=0, max_batch=8)
+        tickets = [service.add_async(("E%d" % i, "R", "F"))
+                   for i in range(32)]
+        service.start()
+        for ticket in tickets:
+            assert ticket.result(10.0) is True
+        stats = service.stats()
+        assert stats["max_batch"] == 8
+        assert stats["largest_batch"] <= 8
+        assert stats["batches"] >= 4
+        service.close()
+
+    def test_max_batch_none_is_unbounded(self):
+        service = DatabaseService(Database(), start=False,
+                                  batch_window=0, max_batch=None)
+        tickets = [service.add_async(("E%d" % i, "R", "F"))
+                   for i in range(32)]
+        service.start()
+        for ticket in tickets:
+            ticket.result(10.0)
+        stats = service.stats()
+        assert stats["max_batch"] is None
+        assert stats["largest_batch"] >= 32
+        service.close()
+
+    def test_max_batch_validation(self):
+        with pytest.raises(ValueError):
+            DatabaseService(Database(), start=False, max_batch=0)
+
+    def test_publish_pause_stats(self):
+        service = DatabaseService(Database())
+        service.add("A", "R", "B")
+        stats = service.stats()
+        assert stats["publish_pause_last_s"] >= 0.0
+        assert stats["publish_pause_max_s"] >= \
+            stats["publish_pause_last_s"]
+        assert stats["publish_pause_total_s"] >= \
+            stats["publish_pause_max_s"]
+        assert stats["applied_seq"] >= 1
+        service.close()
+
 
 # ----------------------------------------------------------------------
 # The headline stress test: concurrent readers vs interleaved writer

@@ -127,6 +127,27 @@ class TestErrorPropagation:
             with pytest.raises(DeadlineExceeded):
                 client.query("(x, ∈, CLS)", deadline=-1.0)
 
+    def test_mid_flight_deadline_cancellation(self, served):
+        """A *positive* deadline that expires during evaluation: the
+        cooperative checks inside the evaluator must cancel the read
+        mid-flight (not just reject an already-expired deadline at
+        admission), and the connection must survive to serve the next
+        request."""
+        service, (host, port) = served
+        service.add_facts([(f"E{i}", "∈", f"CLS{i % 3}")
+                           for i in range(2400)])
+        with ServiceClient(host, port) as client:
+            # Warm the snapshot's closure under a different result key
+            # so the deadlined query below spends its time in row
+            # evaluation, where the cooperative checks live.
+            client.query("(E0, ∈, y)")
+            with pytest.raises(DeadlineExceeded):
+                client.query("(x, ∈, CLS1)", deadline=0.0003)
+            # Mid-flight cancellation left the connection healthy.
+            assert client.ping()["protocol"] == PROTOCOL_VERSION
+            rows = client.query("(x, ∈, CLS1)")
+            assert len(rows) == 800
+
     def test_unknown_op_is_service_error(self, served):
         _, (host, port) = served
         with ServiceClient(host, port) as client:
@@ -174,6 +195,63 @@ class TestConcurrentClients:
         for thread in threads:
             thread.join(timeout=60.0)
         assert not errors, errors[:3]
+
+
+class TestPoolBackedServer:
+    """The server with ``pool=``: reads served by replica processes,
+    read-your-writes per connection, pool stats over the wire."""
+
+    @pytest.fixture()
+    def pool_served(self):
+        from repro.serve import ReplicaPool
+
+        db = Database()
+        db.add("JOHN", "∈", "EMPLOYEE")
+        db.add("EMPLOYEE", "EARNS", "SALARY")
+        service = DatabaseService(db)
+        pool = ReplicaPool(service, workers=2, read_timeout=60.0)
+        server = ServiceServer(service, port=0, pool=pool)
+        server.start()
+        try:
+            yield service, pool, server.address
+        finally:
+            server.close()
+            pool.close()
+            service.close()
+
+    def test_reads_roundtrip_via_replicas(self, pool_served):
+        _, pool, (host, port) = pool_served
+        with ServiceClient(host, port) as client:
+            assert client.ping()["workers"] == 2
+            assert ["JOHN"] in client.query("(x, ∈, EMPLOYEE)")
+            assert client.ask("(JOHN, EARNS, SALARY)") is True
+            assert "EMPLOYEE" in client.navigate("(JOHN, *, *)")
+            outcome = client.probe("(JOHN, EARNS, y)")
+            assert outcome["succeeded"] is True
+        assert pool.stats()["reads"] >= 4
+
+    def test_read_your_writes_per_connection(self, pool_served):
+        _, _, (host, port) = pool_served
+        with ServiceClient(host, port) as client:
+            for index in range(5):
+                assert client.add(f"W{index}", "∈", "EMPLOYEE") is True
+                # Immediately read back over the same connection: the
+                # per-connection version floor must route this to a
+                # caught-up replica or fall back to the primary.
+                assert client.ask(f"(W{index}, EARNS, SALARY)") is True
+
+    def test_typed_errors_via_replicas(self, pool_served):
+        _, _, (host, port) = pool_served
+        with ServiceClient(host, port) as client:
+            with pytest.raises(ParseError):
+                client.query("(x, BOGUS")
+
+    def test_stats_include_pool(self, pool_served):
+        _, _, (host, port) = pool_served
+        with ServiceClient(host, port) as client:
+            stats = client.stats()
+            assert stats["pool"]["workers"] == 2
+            assert stats["pool"]["alive"] == 2
 
 
 class TestRemoteShell:

@@ -1,0 +1,216 @@
+"""ReplicaPool tests: replica reads, read-your-writes routing,
+primary fallback, crash/respawn failover, and directory bootstrap."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.errors import ParseError, ServiceClosed
+from repro.db import Database
+from repro.serve import DatabaseService, ReplicaPool
+
+
+def _database() -> Database:
+    db = Database()
+    db.add("JOHN", "∈", "EMPLOYEE")
+    db.add("EMPLOYEE", "EARNS", "SALARY")
+    return db
+
+
+@pytest.fixture()
+def pooled():
+    service = DatabaseService(_database())
+    pool = ReplicaPool(service, workers=2, read_timeout=60.0)
+    try:
+        yield service, pool
+    finally:
+        pool.close()
+        service.close()
+
+
+class TestReplicaReads:
+    def test_query_served_by_replica(self, pooled):
+        _, pool = pooled
+        assert ("JOHN",) in pool.query("(x, ∈, EMPLOYEE)")
+        assert pool.stats()["fallback_reads"] == 0
+
+    def test_all_read_operations(self, pooled):
+        _, pool = pooled
+        assert pool.ask("(JOHN, EARNS, SALARY)") is True
+        assert any(f[0] == "JOHN" for f in pool.match("(JOHN, *, *)"))
+        assert "EMPLOYEE" in pool.navigate("(JOHN, *, *)")
+        assert any(tuple(f) == ("JOHN", "∈", "EMPLOYEE")
+                   for f in pool.try_("JOHN"))
+        outcome = pool.probe("(JOHN, EARNS, y)")
+        assert outcome["succeeded"] is True
+        assert ("SALARY",) in outcome["value"]
+        assert pool.database_stats()["base_facts"] > 0
+
+    def test_reads_spread_across_workers(self, pooled):
+        _, pool = pooled
+        for _ in range(6):
+            pool.ask("(JOHN, ∈, EMPLOYEE)")
+        stats = pool.stats()
+        assert stats["reads"] >= 6
+        assert stats["fallback_reads"] == 0
+
+    def test_typed_errors_cross_the_pipe(self, pooled):
+        _, pool = pooled
+        with pytest.raises(ParseError):
+            pool.query("(x, BOGUS")
+
+
+class TestReadYourWrites:
+    def test_settled_ticket_routes_to_fresh_replica(self, pooled):
+        service, pool = pooled
+        ticket = service.add_async(("MARY", "∈", "EMPLOYEE"))
+        ticket.result(timeout=30.0)
+        assert ticket.version is not None
+        # Must observe the write, replica or fallback.
+        assert pool.ask("(MARY, EARNS, SALARY)", ticket=ticket)
+
+    def test_unsettled_ticket_waits_for_the_write(self, pooled):
+        service, pool = pooled
+        ticket = service.add_async(("PETE", "∈", "EMPLOYEE"))
+        # No explicit result() call: the pool settles it.
+        assert pool.ask("(PETE, ∈, EMPLOYEE)", ticket=ticket)
+
+    def test_stale_min_version_falls_back_to_primary(self, pooled):
+        service, pool = pooled
+        ticket = service.add_async(("ZOE", "∈", "EMPLOYEE"))
+        ticket.result(timeout=30.0)
+        # A floor far beyond any replica forces the primary path,
+        # which is always current.
+        before = pool.stats()["fallback_reads"]
+        assert pool.ask("(ZOE, ∈, EMPLOYEE)",
+                        min_version=ticket.version + 1000)
+        assert pool.stats()["fallback_reads"] == before + 1
+
+    def test_replicas_converge_to_primary_version(self, pooled):
+        service, pool = pooled
+        ticket = service.add_async(("ANA", "∈", "EMPLOYEE"))
+        ticket.result(timeout=30.0)
+        pool.wait_for_version(ticket.version, all_workers=True,
+                              timeout=30.0)
+        stats = pool.stats()
+        assert stats["max_lag"] == 0
+        assert all(v == stats["primary_version"]
+                   for v in stats["applied_versions"])
+
+
+class TestFailover:
+    def test_crash_respawn_and_reads_survive(self, pooled):
+        service, pool = pooled
+        ticket = service.add_async(("EVE", "∈", "EMPLOYEE"))
+        ticket.result(timeout=30.0)
+        pool.wait_for_version(ticket.version, all_workers=True,
+                              timeout=30.0)
+        pool.crash_worker(0)
+        deadline_at = time.monotonic() + 60.0
+        while time.monotonic() < deadline_at:
+            # Reads never fail during the outage window.
+            assert pool.ask("(EVE, ∈, EMPLOYEE)", ticket=ticket)
+            stats = pool.stats()
+            if (stats["alive"] == stats["workers"]
+                    and stats["respawns"] >= 1
+                    and stats["max_lag"] == 0):
+                break
+            time.sleep(0.05)
+        stats = pool.stats()
+        assert stats["worker_deaths"] == 1
+        assert stats["respawns"] == 1
+        assert stats["alive"] == stats["workers"]
+        # The respawned worker bootstrapped past the crash point and
+        # serves current data.
+        assert pool.ask("(EVE, ∈, EMPLOYEE)", ticket=ticket)
+
+    def test_no_respawn_when_disabled(self):
+        service = DatabaseService(_database())
+        pool = ReplicaPool(service, workers=1, respawn=False)
+        try:
+            pool.crash_worker(0)
+            deadline_at = time.monotonic() + 30.0
+            while time.monotonic() < deadline_at:
+                if pool.stats()["alive"] == 0:
+                    break
+                time.sleep(0.02)
+            assert pool.stats()["alive"] == 0
+            # Every read falls back to the primary; answers still flow.
+            assert pool.ask("(JOHN, ∈, EMPLOYEE)")
+            assert pool.stats()["fallback_reads"] >= 1
+        finally:
+            pool.close()
+            service.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_rejects_reads(self, pooled):
+        service, pool = pooled
+        pool.close()
+        pool.close()
+        with pytest.raises(ServiceClosed):
+            pool.query("(x, ∈, EMPLOYEE)")
+
+    def test_context_manager(self):
+        service = DatabaseService(_database())
+        with ReplicaPool(service, workers=1) as pool:
+            assert pool.ask("(JOHN, ∈, EMPLOYEE)")
+        assert pool.closed
+        service.close()
+
+    def test_stats_shape(self, pooled):
+        _, pool = pooled
+        stats = pool.stats()
+        for key in ("workers", "alive", "primary_version",
+                    "applied_versions", "max_lag", "reads",
+                    "fallback_reads", "deltas_shipped", "respawns"):
+            assert key in stats
+        assert stats["workers"] == 2
+
+    def test_lag_stats_after_writes(self, pooled):
+        service, pool = pooled
+        ticket = service.add_async(("LAG", "∈", "EMPLOYEE"))
+        ticket.result(timeout=30.0)
+        pool.wait_for_version(ticket.version, all_workers=True,
+                              timeout=30.0)
+        lag = pool.lag_stats()
+        assert lag["samples"] >= 1
+        assert lag["p50_s"] >= 0.0
+        assert lag["max_s"] >= lag["p50_s"]
+
+    def test_invalid_worker_count(self):
+        service = DatabaseService(_database())
+        try:
+            with pytest.raises(ValueError):
+                ReplicaPool(service, workers=0)
+        finally:
+            service.close()
+
+
+class TestDirectoryBootstrap:
+    def test_worker_bootstraps_from_durable_directory(self, tmp_path):
+        from repro.storage.session import open_database
+
+        directory = tmp_path / "state"
+        db, session = open_database(directory)
+        db.add("DISK", "∈", "EMPLOYEE")   # journaled via the session
+        service = DatabaseService(db, session=session)
+        pool = ReplicaPool(service, workers=1,
+                           bootstrap_directory=str(directory))
+        try:
+            assert pool.ask("(DISK, ∈, EMPLOYEE)")
+            # Deltas still flow after a disk bootstrap.
+            ticket = service.add_async(("LATER", "∈", "EMPLOYEE"))
+            ticket.result(timeout=30.0)
+            pool.wait_for_version(ticket.version, all_workers=True,
+                                  timeout=30.0)
+            before = pool.stats()["fallback_reads"]
+            assert pool.ask("(LATER, ∈, EMPLOYEE)", ticket=ticket)
+            # The replica itself served it — no primary fallback.
+            assert pool.stats()["fallback_reads"] == before
+        finally:
+            pool.close()
+            service.close()
+            session.close()
