@@ -15,10 +15,10 @@ Example::
     assert seconds > 0.0
 """
 
-from .harness import (Measurement, Sweep, host_metadata, measure, timed,
-                      write_bench_json)
+from .harness import (Measurement, Sweep, host_metadata, measure,
+                      plan_stats, timed, write_bench_json)
 from .reporting import format_sweep, format_table, format_value, print_sweep
 
 __all__ = ["Measurement", "Sweep", "measure", "timed", "write_bench_json",
-           "host_metadata",
+           "host_metadata", "plan_stats",
            "format_sweep", "format_table", "format_value", "print_sweep"]

@@ -65,6 +65,22 @@ def measure(label: str, function: Callable[[], object], repeat: int = 3,
     return Measurement(label=label, seconds=seconds, metrics=metrics)
 
 
+def plan_stats(run) -> Dict[str, object]:
+    """Per-operator plan statistics of one executed compiled query.
+
+    ``run`` is a :class:`repro.query.exec.PlanRun` (duck-typed so this
+    module stays import-light).  Returns a JSON-able block — one entry
+    per operator in plan preorder with estimated vs actual rows, plus
+    the adaptive re-order count — for embedding in ``BENCH_*.json``
+    rows, so a committed number explains *which operator* moved, not
+    just that the total did.
+    """
+    return {
+        "operators": [stats.as_dict() for stats in run.operators],
+        "replans": run.replans,
+    }
+
+
 def host_metadata() -> Dict[str, object]:
     """The host facts needed to interpret a committed benchmark number.
 

@@ -32,7 +32,7 @@ Example::
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..obs import tracer as _obs
 from .errors import FrozenStoreError
@@ -279,6 +279,36 @@ class FactStore:
         if target is not None:
             return self._by_t.get(target, ())
         return self._facts
+
+    def index_for(self, spec: str) -> Dict:
+        """Direct read handle on one positional hash index.
+
+        ``spec`` names the ground positions: ``"s"``, ``"r"``, ``"t"``,
+        ``"sr"``, ``"st"``, or ``"rt"``.  The returned mapping is the
+        live index (keys are entities or entity pairs, values are fact
+        sets) — callers must treat it as read-only and use ``.get`` so
+        the ``defaultdict`` is never grown by a miss.  The compiled
+        query executor (:mod:`repro.query.exec`) resolves the handle
+        once per join operator and then probes it once per *distinct*
+        binding instead of once per row.
+        """
+        try:
+            return {"s": self._by_s, "r": self._by_r, "t": self._by_t,
+                    "sr": self._by_sr, "st": self._by_st,
+                    "rt": self._by_rt}[spec]
+        except KeyError:
+            raise KeyError(f"no index for position spec {spec!r}") from None
+
+    def match_many(self, patterns: Sequence[Template]) -> List[List[Fact]]:
+        """Batched :meth:`match`: one result list per input pattern.
+
+        The batch surface the set-at-a-time executor builds on; the
+        store-level implementation simply loops (each pattern already
+        hits the best index), but presenting the batch at once keeps
+        the calling convention uniform with the virtual registry's
+        batched matching.
+        """
+        return [list(self.match(pattern)) for pattern in patterns]
 
     def match(self, pattern: Template,
               binding: Optional[Binding] = None) -> Iterator[Fact]:

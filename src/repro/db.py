@@ -42,6 +42,7 @@ from .operators.ops import (
 )
 from .query.ast import Query
 from .query.evaluate import Evaluator
+from .query.exec import CompiledEvaluator
 from .query.parser import parse_query, parse_template
 from .rules.composition import COMPOSITION_OFF, compose_closure
 from .rules.dispatch import dispatched_closure
@@ -88,6 +89,7 @@ class Database:
                  with_axioms: bool = True,
                  auto_check: bool = False,
                  engine: str = "dispatched",
+                 query_engine: str = "compiled",
                  incremental: bool = True,
                  trace: bool = False,
                  observe: bool = False,
@@ -103,6 +105,10 @@ class Database:
                 ``"semi-naive"`` (the interpreted delta engine), or
                 ``"naive"`` (the F2 baseline).  All three produce
                 identical closures.
+            query_engine: ``"compiled"`` (default; the set-at-a-time
+                plan executor of :mod:`repro.query.exec`) or
+                ``"reference"`` (the tuple-at-a-time backtracking
+                evaluator).  Both produce identical query values.
             incremental: maintain the cached closure in place when
                 facts are *inserted* (deletions always recompute);
                 disable to force full recomputation on every mutation
@@ -119,6 +125,8 @@ class Database:
         """
         if engine not in ("dispatched", "semi-naive", "naive"):
             raise ValueError(f"unknown engine: {engine!r}")
+        if query_engine not in ("compiled", "reference"):
+            raise ValueError(f"unknown query engine: {query_engine!r}")
         from .views import ViewCatalog
 
         self._base = FactStore()
@@ -126,6 +134,7 @@ class Database:
         self.operators = OperatorRegistry()
         self.views = ViewCatalog(self)
         self.engine = engine
+        self.query_engine = query_engine
         self.auto_check = auto_check
         self.incremental = incremental
         self.trace = trace
@@ -316,6 +325,7 @@ class Database:
         clone.views = ViewCatalog(clone)
         clone.views._definitions = dict(self.views._definitions)
         clone.engine = self.engine
+        clone.query_engine = self.query_engine
         clone.auto_check = False       # snapshots never mutate
         clone.incremental = False      # nor maintain anything in place
         clone.trace = self.trace
@@ -585,8 +595,10 @@ class Database:
     # Standard queries (§2.7)
     # ------------------------------------------------------------------
     def evaluator(self) -> Evaluator:
-        return Evaluator(self.view(), cache=self._result_cache,
-                         cache_token=self._cache_token())
+        cls = (CompiledEvaluator if self.query_engine == "compiled"
+               else Evaluator)
+        return cls(self.view(), cache=self._result_cache,
+                   cache_token=self._cache_token())
 
     def query(self, query: Union[str, Query]) -> Set[tuple]:
         """The value {Q} of a query: the set of satisfying tuples."""
@@ -599,6 +611,13 @@ class Database:
         if isinstance(query, str):
             query = parse_query(query)
         return self.evaluator().ask(query)
+
+    def succeeds(self, query: Union[str, Query]) -> bool:
+        """True if the query has a non-empty value — the §5 probe
+        predicate (a query *fails* when it succeeds for no tuple)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.evaluator().succeeds(query)
 
     def match(self, pattern: Union[str, Template]) -> List[Fact]:
         """All closure facts matching one template."""
@@ -643,16 +662,20 @@ class Database:
 
     def explain(self, query: Union[str, Query]):
         """Explain how a query will be evaluated (planner order,
-        estimates, safety)."""
+        estimates, safety; plus the compiled operator tree when the
+        compiled engine is active)."""
         from .query.explain import explain as explain_query
-        return explain_query(self.view(), query)
+        return explain_query(self.view(), query,
+                             engine=self.query_engine)
 
     def explain_analyze(self, query: Union[str, Query]):
         """Run a query under a scoped tracer and report the plan next
-        to what actually executed: per-conjunct estimated cost vs rows
-        produced, wall/CPU time, and evaluator counters."""
+        to what actually executed: per-operator (compiled) or
+        per-conjunct (reference) estimated cost vs rows produced,
+        wall/CPU time, and evaluator counters."""
         from .query.explain import explain_analyze as analyze_query
-        return analyze_query(self.view(), query)
+        return analyze_query(self.view(), query,
+                             engine=self.query_engine)
 
     def define(self, name: str, definition) -> None:
         """Define a new retrieval operator (§6)."""
@@ -680,6 +703,7 @@ class Database:
             "relationships": len(self._base.relationships()),
             "enabled_rules": self.rules.enabled_names(),
             "composition_limit": self._composition_limit,
+            "query_engine": self.query_engine,
             "iterations": closure.iterations,
             "rule_firings": dict(closure.rule_firings),
             "rule_times": dict(closure.rule_times),

@@ -31,7 +31,15 @@ from .ast import (
     forall,
 )
 from .canonical import canonical_form
+from .compile import CompiledPlan, compile_query
 from .evaluate import Evaluator, check_safety, limited_variables
+from .exec import (
+    BindingTable,
+    CompiledEvaluator,
+    OperatorStats,
+    PlanRun,
+    execute_plan,
+)
 from .explain import Explanation, PlanStep, explain
 from .parser import ALIASES, parse_formula, parse_query, parse_template
 from .planner import estimate_cost, next_conjunct, order_conjuncts
@@ -39,8 +47,10 @@ from .reference import brute_force_evaluate
 
 __all__ = [
     "And", "Atom", "Exists", "ForAll", "Formula", "Or", "Query", "atom",
-    "exists", "forall", "canonical_form", "Evaluator", "check_safety",
-    "limited_variables", "Explanation", "PlanStep", "explain", "ALIASES",
+    "exists", "forall", "canonical_form", "CompiledPlan", "compile_query",
+    "Evaluator", "check_safety", "limited_variables", "BindingTable",
+    "CompiledEvaluator", "OperatorStats", "PlanRun", "execute_plan",
+    "Explanation", "PlanStep", "explain", "ALIASES",
     "parse_formula", "parse_query", "parse_template", "estimate_cost",
     "next_conjunct", "order_conjuncts", "brute_force_evaluate",
 ]

@@ -105,10 +105,21 @@ class Evaluator:
         """True if the query has a non-empty value.
 
         Probing (§5) is built on this predicate: a query *fails* when
-        it succeeds for no tuple.
+        it succeeds for no tuple.  Cached like :meth:`evaluate` and
+        :meth:`ask` — probe-heavy browsing re-tests the same failure
+        queries wave after wave, so skipping the cache here made §5
+        retraction search re-solve them every time.
         """
+        if self.cache is not None:
+            key = ("succeeds", str(query), self.cache_token)
+            hit = self.cache.get(key, _NO_RESULT)
+            if hit is not _NO_RESULT:
+                return hit
         check_safety(query.formula)
-        return any(True for _ in self.solutions(query.formula, {}))
+        result = any(True for _ in self.solutions(query.formula, {}))
+        if self.cache is not None:
+            self.cache.put(key, result)
+        return result
 
     # ------------------------------------------------------------------
     # Formula solving

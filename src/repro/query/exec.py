@@ -1,0 +1,644 @@
+"""Set-at-a-time plan execution over binding tables.
+
+The counterpart of :mod:`repro.query.compile`: runs a
+:class:`~repro.query.compile.CompiledPlan` against a
+:class:`~repro.virtual.computed.FactView`.  Intermediate results are
+:class:`BindingTable`\\ s — a tuple of variable columns plus a list of
+entity-id row tuples, kept duplicate-free as an invariant — so one
+operator invocation does the work the reference engine spreads over
+thousands of per-binding dict allocations.
+
+Equivalence contract: :class:`CompiledEvaluator` produces *exactly* the
+answer sets of the reference :class:`~repro.query.evaluate.Evaluator`,
+and raises the same :class:`~repro.core.errors.QueryError`\\ s (same
+messages) on unsafe or range-violating formulas — including the rule
+that runtime range errors only surface when the offending operator
+actually receives rows.  The randomized equivalence suite
+(``tests/test_query_engine_equivalence.py``) holds both engines to this
+across every dataset.
+
+Batch-friendly cancellation: deadline checkpoints
+(:mod:`repro.core.deadline`) fire at operator entry, every
+:data:`CHECK_KEYS` distinct join keys, and every ``∀`` domain chunk —
+per batch, not per row — so a compiled query is cancellable without
+paying a flag test on the innermost loop.
+
+Example::
+
+    from repro import Database
+
+    db = Database()                       # compiled engine by default
+    db.add("JOHN", "∈", "EMPLOYEE")
+    db.add("JOHN", "EARNS", "$25000")
+    assert db.query("(x, ∈, EMPLOYEE) and (x, EARNS, y)") == {
+        ("JOHN", "$25000")}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core import deadline as _deadline
+from ..core.errors import QueryError
+from ..core.facts import Fact, Template, Variable
+from ..obs import tracer as _obs
+from ..virtual.computed import FactView
+from .ast import Query
+from .compile import (
+    AtomJoin,
+    CompiledPlan,
+    ForAllProbe,
+    Pipeline,
+    PlanNode,
+    SemiJoin,
+    Union,
+    compile_query,
+)
+from .evaluate import Evaluator, _NO_RESULT, check_safety
+from .planner import conjunct_rank, estimate_cost
+
+#: Distinct-key interval between deadline checkpoints inside a join.
+CHECK_KEYS = 1024
+
+#: Domain chunk size for the ``∀`` anti-probe: small enough that rows
+#: which fail early stop scanning, large enough to amortize the batch.
+FORALL_CHUNK = 256
+
+#: Fanout-vs-estimate divergence that triggers an adaptive re-order of
+#: a pipeline's remaining children (ISSUE 5: ``>10×`` either way).
+REPLAN_FACTOR = 10.0
+
+_POSITION = {"s": 0, "r": 1, "t": 2}
+
+
+class BindingTable:
+    """A columnar set of bindings: variable columns + unique row tuples.
+
+    The executor's unit of exchange.  ``rows`` holds tuples of entity
+    ids aligned with ``columns``; uniqueness over the full row is an
+    invariant every operator preserves (it is what makes "value of a
+    query is a *set*" fall out for free at the end).
+    """
+
+    __slots__ = ("columns", "index", "rows")
+
+    def __init__(self, columns: Sequence[Variable],
+                 rows: List[Tuple[str, ...]]):
+        self.columns: Tuple[Variable, ...] = tuple(columns)
+        self.index: Dict[Variable, int] = {
+            v: i for i, v in enumerate(self.columns)}
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def project_positions(self, variables: Sequence[Variable]) -> List[int]:
+        return [self.index[v] for v in variables]
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.columns)
+        return f"BindingTable([{names}], {len(self.rows)} rows)"
+
+
+def unit_table() -> BindingTable:
+    """The multiplicative identity: no columns, one empty row."""
+    return BindingTable((), [()])
+
+
+@dataclass
+class OperatorStats:
+    """Per-operator run accounting (est vs actual), the compiled
+    engine's analogue of PR 1's plan-vs-actual conjunct records."""
+
+    label: str
+    op: str
+    est: float
+    depth: int = 0
+    calls: int = 0
+    in_rows: int = 0
+    out_rows: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-able form for bench documents (``benchio``)."""
+        return {"label": self.label, "op": self.op, "depth": self.depth,
+                "est": round(self.est, 2), "calls": self.calls,
+                "in_rows": self.in_rows, "out_rows": self.out_rows}
+
+
+@dataclass
+class PlanRun:
+    """One executed plan: the per-operator stats in preorder, plus how
+    often the adaptive re-order fired."""
+
+    plan: CompiledPlan
+    operators: List[OperatorStats] = field(default_factory=list)
+    replans: int = 0
+
+    def describe(self) -> str:
+        lines = [f"executed plan: {self.plan.query}"]
+        for stats in self.operators:
+            lines.append(
+                "  " * (stats.depth + 1)
+                + f"{stats.label}   [est {stats.est:.1f};"
+                f" in {stats.in_rows}; out {stats.out_rows};"
+                f" calls {stats.calls}]")
+        if self.replans:
+            lines.append(f"adaptive re-orders: {self.replans}")
+        return "\n".join(lines)
+
+
+class _Context:
+    """Per-execution state: the view, batch probe surfaces, stats."""
+
+    __slots__ = ("view", "store", "virtual", "run", "stats")
+
+    def __init__(self, view: FactView, run: PlanRun):
+        self.view = view
+        self.store = view.store
+        self.virtual = view.virtual
+        self.run = run
+        # Stats rows are created in plan preorder so PlanRun.operators
+        # renders as the plan tree regardless of execution order.
+        self.stats: Dict[int, OperatorStats] = {}
+        for node, depth in run.plan.walk():
+            stats = OperatorStats(label=node.label, op=node.op,
+                                  est=node.est, depth=depth)
+            self.stats[id(node)] = stats
+            run.operators.append(stats)
+
+
+def execute_plan(plan: CompiledPlan, view: FactView) -> Tuple[BindingTable,
+                                                              PlanRun]:
+    """Run a compiled plan to completion; returns the final binding
+    table and the per-operator run statistics."""
+    run = PlanRun(plan=plan)
+    ctx = _Context(view, run)
+    if _obs.ENABLED:
+        _obs.TRACER.count("exec.plans")
+    table = _execute(plan.root, unit_table(), ctx)
+    return table, run
+
+
+# ----------------------------------------------------------------------
+# Operator dispatch
+# ----------------------------------------------------------------------
+def _execute(node: PlanNode, table: BindingTable,
+             ctx: _Context) -> BindingTable:
+    if _deadline.ACTIVE:
+        _deadline.check()
+    stats = ctx.stats[id(node)]
+    stats.calls += 1
+    stats.in_rows += len(table.rows)
+    if isinstance(node, AtomJoin):
+        out = _exec_atom(node, table, ctx)
+    elif isinstance(node, Pipeline):
+        out = _exec_pipeline(node, table, ctx)
+    elif isinstance(node, Union):
+        out = _exec_union(node, table, ctx)
+    elif isinstance(node, SemiJoin):
+        out = _exec_semijoin(node, table, ctx)
+    elif isinstance(node, ForAllProbe):
+        out = _exec_forall(node, table, ctx)
+    else:
+        raise QueryError(f"unknown plan node: {type(node).__name__}")
+    stats.out_rows += len(out.rows)
+    return out
+
+
+# ----------------------------------------------------------------------
+# AtomJoin
+# ----------------------------------------------------------------------
+def _exec_atom(node: AtomJoin, table: BindingTable,
+               ctx: _Context) -> BindingTable:
+    pattern = node.formula.pattern
+    pattern_vars = pattern.variables()
+    pattern_var_set = pattern.variable_set()
+    bound_vars = tuple(v for v in table.columns if v in pattern_var_set)
+    bound_set = set(bound_vars)
+    new_vars: List[Variable] = []
+    for v in pattern_vars:
+        if v not in bound_set and v not in new_vars:
+            new_vars.append(v)
+    if not table.rows:
+        return BindingTable(table.columns + tuple(new_vars), [])
+
+    # Hash-group the input rows by their key over the bound variables:
+    # one probe per distinct key, not per row.
+    key_positions = [table.index[v] for v in bound_vars]
+    groups: Dict[Tuple[str, ...], List[Tuple[str, ...]]] = {}
+    if key_positions:
+        for row in table.rows:
+            key = tuple(row[i] for i in key_positions)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [row]
+            else:
+                bucket.append(row)
+    else:
+        groups[()] = table.rows
+
+    keys = list(groups)
+    templates = [
+        pattern.substitute(dict(zip(bound_vars, key))) if key else pattern
+        for key in keys
+    ]
+    if _obs.ENABLED:
+        _obs.TRACER.count("exec.atom.keys", len(keys))
+    facts_per_key = _probe_many(ctx, pattern, bound_set, templates)
+
+    # Extraction positions: first occurrence of each new variable.
+    # Facts from the probe are guaranteed to match the template
+    # (repeated variables included), so first-occurrence is enough.
+    new_positions = [
+        next(i for i, c in enumerate(pattern) if c == v) for v in new_vars
+    ]
+    out_columns = table.columns + tuple(new_vars)
+    out_rows: List[Tuple[str, ...]] = []
+    append = out_rows.append
+    for n, key in enumerate(keys):
+        if _deadline.ACTIVE and n % CHECK_KEYS == 0:
+            _deadline.check()
+        facts = facts_per_key[n]
+        if not facts:
+            continue
+        group_rows = groups[key]
+        if new_positions:
+            extensions = [
+                tuple(f[p] for p in new_positions) for f in facts
+            ]
+            for row in group_rows:
+                for extension in extensions:
+                    append(row + extension)
+        else:
+            # Pure filter: the probe succeeded, keep the group's rows.
+            out_rows.extend(group_rows)
+    return BindingTable(out_columns, out_rows)
+
+
+def _probe_many(ctx: _Context, pattern: Template, bound_set: Set[Variable],
+                templates: List[Template]) -> List[List[Fact]]:
+    """Matches for each substituted template: stored facts from the
+    best positional index (handle resolved once per operator), merged
+    with virtual contributions.
+
+    Virtual facts are re-checked against the template before merging —
+    mirroring the reference engine, whose ``view.solutions`` re-matches
+    every fact, so a computed relation that ever yielded a non-matching
+    fact degrades identically under both engines.
+    """
+    store = ctx.store
+    index_for = getattr(store, "index_for", None)
+    repeated_unbound = [
+        c for c in pattern
+        if isinstance(c, Variable) and c not in bound_set
+    ]
+    exact = len(repeated_unbound) == len(set(repeated_unbound))
+
+    if index_for is not None and exact:
+        # Fast path: every substituted template's candidate set is
+        # exactly its stored answer set, and the ground positions are
+        # the same for every key — resolve the index handle once.
+        spec = "".join(
+            letter for letter, component in zip("srt", pattern)
+            if not isinstance(component, Variable) or component in bound_set)
+        if _obs.ENABLED:
+            _obs.TRACER.count("store.lookups", len(templates))
+        if spec == "srt":
+            stored = [
+                [f] if (f := Fact(t.source, t.relationship, t.target))
+                in store else []
+                for t in templates
+            ]
+        elif not spec:
+            stored = [list(store.match(t)) for t in templates]
+        elif len(spec) == 1:
+            handle = index_for(spec)
+            p = _POSITION[spec]
+            stored = [list(handle.get(t[p], ())) for t in templates]
+        else:
+            handle = index_for(spec)
+            p0, p1 = _POSITION[spec[0]], _POSITION[spec[1]]
+            stored = [
+                list(handle.get((t[p0], t[p1]), ())) for t in templates
+            ]
+    else:
+        # General path: the store's own batched match handles repeated
+        # variables; stores without one (the lazy engine) fall back to
+        # per-template matching with a re-check.
+        store_many = getattr(store, "match_many", None)
+        if store_many is not None:
+            stored = store_many(templates)
+        else:
+            stored = [
+                [f for f in store.match(t) if t.match(f) is not None]
+                for t in templates
+            ]
+
+    virtual_batches = ctx.virtual.match_many(templates, store)
+    results: List[List[Fact]] = []
+    for template, stored_facts, virtual_facts in zip(
+            templates, stored, virtual_batches):
+        if not virtual_facts:
+            results.append(stored_facts)
+            continue
+        seen = set(stored_facts)
+        merged = list(stored_facts)
+        for virtual_fact in virtual_facts:
+            if virtual_fact not in seen \
+                    and template.match(virtual_fact) is not None:
+                seen.add(virtual_fact)
+                merged.append(virtual_fact)
+        results.append(merged)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Pipeline (∧) with adaptive re-order
+# ----------------------------------------------------------------------
+def _exec_pipeline(node: Pipeline, table: BindingTable,
+                   ctx: _Context) -> BindingTable:
+    remaining = list(node.parts)
+    bound = set(table.columns)
+    view = ctx.view
+    while remaining:
+        child = remaining.pop(0)
+        # Per-input-row estimate at this point in the pipeline — the
+        # same quantity the reference planner computes per binding, so
+        # PR 1's plan-vs-actual records stay comparable across engines.
+        est = estimate_cost(child.formula, bound, view)
+        in_rows = len(table.rows)
+        table = _execute(child, table, ctx)
+        out_rows = len(table.rows)
+        if _obs.ENABLED:
+            _obs.TRACER.record_conjunct(str(child.formula), est, out_rows)
+        bound |= child.formula.free_variables()
+        if not out_rows:
+            # No bindings survive: the remaining conjuncts can neither
+            # produce rows nor raise (the reference engine never
+            # reaches them with zero bindings).  The column set of the
+            # empty table is irrelevant downstream.
+            break
+        if len(remaining) >= 2:
+            fanout = out_rows / max(1, in_rows)
+            if fanout > est * REPLAN_FACTOR \
+                    or (fanout + 0.1) * REPLAN_FACTOR < est:
+                # The estimate was off by more than 10× either way:
+                # re-rank what's left under what is *actually* bound.
+                # Stable sort keeps the compiled order between ties, so
+                # deferred-quantifier ordering (and therefore which
+                # range error could surface) matches the reference.
+                remaining.sort(key=lambda part: conjunct_rank(
+                    part.formula, bound, view)[0])
+                ctx.run.replans += 1
+                if _obs.ENABLED:
+                    _obs.TRACER.count("exec.replans")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Union (∨)
+# ----------------------------------------------------------------------
+def _exec_union(node: Union, table: BindingTable,
+                ctx: _Context) -> BindingTable:
+    free = node.formula.free_variables()
+    columns = set(table.columns)
+    new_vars = tuple(sorted(free - columns, key=lambda v: v.name))
+    out_columns = table.columns + new_vars
+    seen: Set[Tuple[str, ...]] = set()
+    out_rows: List[Tuple[str, ...]] = []
+    for branch in node.branches:
+        missing = free - branch.formula.free_variables() - columns
+        result = _execute(branch, table, ctx)
+        if not result.rows:
+            continue
+        if missing:
+            # Same guard, message, and rows-required behavior as the
+            # reference engine (safety checking rejects this statically
+            # for evaluate/ask; direct formula solving can reach it).
+            raise QueryError(
+                f"disjunct {branch.formula} does not bind"
+                f" {[v.name for v in missing]}")
+        positions = result.project_positions(out_columns)
+        for row in result.rows:
+            projected = tuple(row[i] for i in positions)
+            if projected not in seen:
+                seen.add(projected)
+                out_rows.append(projected)
+    return BindingTable(out_columns, out_rows)
+
+
+# ----------------------------------------------------------------------
+# SemiJoin (∃)
+# ----------------------------------------------------------------------
+def _exec_semijoin(node: SemiJoin, table: BindingTable,
+                   ctx: _Context) -> BindingTable:
+    formula = node.formula
+    outer = formula.free_variables()
+    # The distinct projection the body actually depends on.  The
+    # quantified variable is *not* projected even if bound outside:
+    # the outer binding is shadowed inside and restored in the output.
+    probe_vars = tuple(v for v in table.columns if v in outer)
+    probe_positions = [table.index[v] for v in probe_vars]
+    new_vars = tuple(sorted(outer - set(table.columns),
+                            key=lambda v: v.name))
+
+    distinct: List[Tuple[str, ...]] = []
+    seen_keys: Set[Tuple[str, ...]] = set()
+    for row in table.rows:
+        key = tuple(row[i] for i in probe_positions)
+        if key not in seen_keys:
+            seen_keys.add(key)
+            distinct.append(key)
+    if _obs.ENABLED:
+        _obs.TRACER.count("exec.exists.keys", len(distinct))
+
+    result = _execute(node.body, BindingTable(probe_vars, distinct), ctx)
+
+    if not new_vars:
+        # Pure semi-join: keep input rows whose projection succeeded.
+        if not result.rows:
+            return BindingTable(table.columns, [])
+        ok_positions = result.project_positions(probe_vars)
+        ok = {tuple(row[i] for i in ok_positions) for row in result.rows}
+        kept = [
+            row for row in table.rows
+            if tuple(row[i] for i in probe_positions) in ok
+        ]
+        return BindingTable(table.columns, kept)
+
+    out_columns = table.columns + new_vars
+    if not result.rows:
+        return BindingTable(out_columns, [])
+    key_positions = result.project_positions(probe_vars)
+    value_positions = result.project_positions(new_vars)
+    witnesses: Dict[Tuple[str, ...], List[Tuple[str, ...]]] = {}
+    witness_seen: Dict[Tuple[str, ...], Set[Tuple[str, ...]]] = {}
+    for row in result.rows:
+        key = tuple(row[i] for i in key_positions)
+        values = tuple(row[i] for i in value_positions)
+        marker = witness_seen.get(key)
+        if marker is None:
+            marker = witness_seen[key] = set()
+            witnesses[key] = []
+        if values not in marker:
+            marker.add(values)
+            witnesses[key].append(values)
+    out_rows: List[Tuple[str, ...]] = []
+    append = out_rows.append
+    empty: Tuple[Tuple[str, ...], ...] = ()
+    for row in table.rows:
+        key = tuple(row[i] for i in probe_positions)
+        for values in witnesses.get(key, empty):
+            append(row + values)
+    return BindingTable(out_columns, out_rows)
+
+
+# ----------------------------------------------------------------------
+# ForAllProbe (∀)
+# ----------------------------------------------------------------------
+def _exec_forall(node: ForAllProbe, table: BindingTable,
+                 ctx: _Context) -> BindingTable:
+    if not table.rows:
+        # The reference engine only reaches a ∀ per candidate binding;
+        # with none, it neither filters nor raises.
+        return table
+    formula = node.formula
+    free = formula.free_variables()
+    unbound = free - set(table.columns)
+    if unbound:
+        raise QueryError(
+            "∀ reached with unbound free variables"
+            f" {sorted(v.name for v in unbound)}; conjoin a"
+            " generating template for them (range restriction)")
+    probe_vars = tuple(v for v in table.columns if v in free)
+    probe_positions = [table.index[v] for v in probe_vars]
+    alive: Set[Tuple[str, ...]] = {
+        tuple(row[i] for i in probe_positions) for row in table.rows
+    }
+    domain = list(ctx.view.entities())
+    if _obs.ENABLED:
+        _obs.TRACER.count("exec.forall.keys", len(alive))
+        _obs.TRACER.gauge("query.forall.domain_size", len(domain))
+    body_columns = probe_vars + (formula.variable,)
+    for start in range(0, len(domain), FORALL_CHUNK):
+        if not alive:
+            break
+        if _deadline.ACTIVE:
+            _deadline.check()
+        chunk = domain[start:start + FORALL_CHUNK]
+        rows = [key + (entity,) for key in alive for entity in chunk]
+        result = _execute(
+            node.body, BindingTable(body_columns, rows), ctx)
+        positions = result.project_positions(body_columns)
+        satisfied: Dict[Tuple[str, ...], int] = {}
+        seen_pairs: Set[Tuple[str, ...]] = set()
+        for row in result.rows:
+            pair = tuple(row[i] for i in positions)
+            if pair not in seen_pairs:
+                seen_pairs.add(pair)
+                key = pair[:-1]
+                satisfied[key] = satisfied.get(key, 0) + 1
+        need = len(chunk)
+        # Keys that missed any entity of this chunk are dropped now,
+        # so they stop paying for the rest of the domain scan.
+        alive = {key for key in alive if satisfied.get(key, 0) == need}
+    kept = [
+        row for row in table.rows
+        if tuple(row[i] for i in probe_positions) in alive
+    ]
+    return BindingTable(table.columns, kept)
+
+
+# ----------------------------------------------------------------------
+# The compiled engine
+# ----------------------------------------------------------------------
+class CompiledEvaluator(Evaluator):
+    """The set-at-a-time engine behind ``Database(query_engine=
+    "compiled")`` (the default).
+
+    ``evaluate`` / ``ask`` / ``succeeds`` compile the query once and
+    run the plan over binding tables; everything else —
+    :meth:`~repro.query.evaluate.Evaluator.solutions` for callers that
+    stream bindings, safety checking, cache keying — is inherited from
+    the reference engine, whose results this class reproduces exactly.
+    Cache keys are shared between the engines (same answer sets, same
+    version-epoch token), so a snapshot's warm cache serves both.
+    """
+
+    def evaluate(self, query: Query) -> Set[Tuple[str, ...]]:
+        """The value {Q}, via compiled plan execution."""
+        if self.cache is not None:
+            key = ("query", str(query), self.cache_token)
+            hit = self.cache.get(key, _NO_RESULT)
+            if hit is not _NO_RESULT:
+                return set(hit)
+        check_safety(query.formula)
+        evaluate_span = (_obs.TRACER.span("query.evaluate",
+                                          query=str(query), engine="compiled")
+                         if _obs.ENABLED else _obs.NULL_SPAN)
+        with evaluate_span as span:
+            results = self._run(query)
+            span.set(rows=len(results))
+        if self.cache is not None:
+            self.cache.put(key, frozenset(results))
+        return results
+
+    def ask(self, query: Query) -> bool:
+        """Truth value of a proposition, via the compiled plan."""
+        if not query.is_proposition:
+            raise QueryError(
+                f"not a proposition — free variables:"
+                f" {[v.name for v in query.variables]}")
+        if self.cache is not None:
+            key = ("ask", str(query), self.cache_token)
+            hit = self.cache.get(key, _NO_RESULT)
+            if hit is not _NO_RESULT:
+                return hit
+        check_safety(query.formula)
+        result = bool(self._run(query))
+        if self.cache is not None:
+            self.cache.put(key, result)
+        return result
+
+    def succeeds(self, query: Query) -> bool:
+        """True if the query has a non-empty value (probe predicate)."""
+        if self.cache is not None:
+            key = ("succeeds", str(query), self.cache_token)
+            hit = self.cache.get(key, _NO_RESULT)
+            if hit is not _NO_RESULT:
+                return hit
+        check_safety(query.formula)
+        result = bool(self._run(query))
+        if self.cache is not None:
+            self.cache.put(key, result)
+        return result
+
+    def evaluate_with_stats(self, query: Query) -> Tuple[Set[Tuple[str, ...]],
+                                                         PlanRun]:
+        """Uncached evaluation that also returns the per-operator run
+        statistics — the compiled engine's EXPLAIN ANALYZE source."""
+        check_safety(query.formula)
+        plan = compile_query(query, self.view)
+        table, run = execute_plan(plan, self.view)
+        return self._project(query, table), run
+
+    # ------------------------------------------------------------------
+    def _run(self, query: Query) -> Set[Tuple[str, ...]]:
+        plan = compile_query(query, self.view)
+        table, _run = execute_plan(plan, self.view)
+        return self._project(query, table)
+
+    @staticmethod
+    def _project(query: Query,
+                 table: BindingTable) -> Set[Tuple[str, ...]]:
+        if query.is_proposition:
+            return {()} if table.rows else set()
+        if not table.rows:
+            # A pipeline that went empty mid-way stops without adding
+            # the remaining columns; there is nothing to project.
+            return set()
+        positions = table.project_positions(query.variables)
+        return {
+            tuple(row[i] for i in positions) for row in table.rows
+        }

@@ -50,6 +50,9 @@ class Explanation:
     steps: List[PlanStep]
     safe: bool
     safety_error: str = ""
+    #: Rendered compiled operator tree (set when the compiled engine
+    #: explains the query; empty under the reference engine).
+    compiled_plan: str = ""
 
     def render(self) -> str:
         lines = [f"query: {self.query}"]
@@ -60,11 +63,19 @@ class Explanation:
             lines.extend("  " + step.describe() for step in self.steps)
         else:
             lines.append("single-part formula; no join ordering needed")
+        if self.compiled_plan:
+            lines.append(self.compiled_plan)
         return "\n".join(lines)
 
 
-def explain(view: FactView, query: Union[str, Query]) -> Explanation:
-    """Explain the evaluation of ``query`` against ``view``."""
+def explain(view: FactView, query: Union[str, Query],
+            engine: str = "reference") -> Explanation:
+    """Explain the evaluation of ``query`` against ``view``.
+
+    With ``engine="compiled"``, the rendered explanation additionally
+    shows the compiled operator tree (:mod:`repro.query.compile`) with
+    each operator's compile-time row estimate.
+    """
     if isinstance(query, str):
         query = parse_query(query)
     safe, error = True, ""
@@ -88,8 +99,12 @@ def explain(view: FactView, query: Union[str, Query]) -> Explanation:
                 bound_before={v.name for v in bound},
             ))
             bound |= part.free_variables()
+    compiled_plan = ""
+    if engine == "compiled":
+        from .compile import compile_query
+        compiled_plan = compile_query(query, view).describe()
     return Explanation(query=query, steps=steps, safe=safe,
-                       safety_error=error)
+                       safety_error=error, compiled_plan=compiled_plan)
 
 
 # ----------------------------------------------------------------------
@@ -156,8 +171,8 @@ class AnalyzedExplanation:
         return "\n".join(lines)
 
 
-def explain_analyze(view: FactView,
-                    query: Union[str, Query]) -> AnalyzedExplanation:
+def explain_analyze(view: FactView, query: Union[str, Query],
+                    engine: str = "reference") -> AnalyzedExplanation:
     """Run ``query`` under a scoped tracer and report plan vs actual.
 
     The static plan (greedy initial conjunct order with estimated
@@ -165,12 +180,37 @@ def explain_analyze(view: FactView,
     evaluator, same view — inside a private tracer, and the per-conjunct
     actual row counts are joined back onto the plan steps.  Unsafe
     queries are explained but not executed.
+
+    With ``engine="compiled"``, execution goes through the
+    set-at-a-time executor and the analyzed steps are the compiled
+    plan's *operators* — estimated vs actual rows per operator, in
+    plan-tree preorder — instead of the reference engine's per-conjunct
+    records.
     """
     if isinstance(query, str):
         query = parse_query(query)
-    plan = explain(view, query)
+    plan = explain(view, query, engine=engine)
     analyzed = AnalyzedExplanation(explanation=plan)
     if not plan.safe:
+        return analyzed
+
+    if engine == "compiled":
+        from .exec import CompiledEvaluator
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("explain_analyze", query=str(query)) as root:
+                analyzed.value, run = CompiledEvaluator(
+                    view).evaluate_with_stats(query)
+        analyzed.executed = True
+        analyzed.wall_seconds = root.wall
+        analyzed.cpu_seconds = root.cpu
+        analyzed.counters = dict(tracer.counters)
+        for index, stats in enumerate(run.operators, start=1):
+            analyzed.steps.append(AnalyzedStep(
+                order=index, formula=stats.label,
+                estimated_cost=stats.est,
+                evals=stats.calls, actual_rows=stats.out_rows))
         return analyzed
 
     tracer = Tracer()

@@ -56,20 +56,54 @@ def estimate_cost(part: Formula, bound: Set[Variable],
     return OPAQUE_COST
 
 
+def is_deferred(part: Formula, bound: Set[Variable]) -> bool:
+    """True for quantified parts that should wait for their free
+    variables to be bound by some other conjunct.
+
+    A ``∀`` with unbound free variables *raises* if evaluated (it is a
+    filter); an ``∃`` with unbound free variables may contain such a
+    ``∀`` in its body and is cheaper once its context is ground either
+    way.  Deferring both fixes the planner bug where every part costs
+    :data:`OPAQUE_COST` and the tie-break picked a quantifier before
+    the generator that would have bound its variables.
+    """
+    return (isinstance(part, (Exists, ForAll))
+            and not part.free_variables() <= bound)
+
+
+def conjunct_rank(part: Formula, bound: Set[Variable],
+                  view: FactView) -> Tuple[Tuple[int, int, float], float]:
+    """Ordering rank for one conjunct: ``(rank tuple, estimated cost)``.
+
+    Ranks sort generators (and quantifiers whose free variables are
+    bound) before deferred quantifiers, deferred ``∃`` (which can still
+    generate) before deferred ``∀`` (which cannot), and by estimated
+    cost within each class.
+    """
+    cost = estimate_cost(part, bound, view)
+    if is_deferred(part, bound):
+        return (1, 1 if isinstance(part, ForAll) else 0, cost), cost
+    return (0, 0, cost), cost
+
+
 def choose_conjunct(parts: Sequence[Formula], bound: Set[Variable],
                     view: FactView) -> Tuple[int, float]:
     """The cheapest remaining conjunct: ``(index, estimated cost)``.
 
     The cost is returned alongside the index so the instrumented
     evaluator can record plan-vs-actual without re-estimating.
+    Quantified parts whose free variables are not yet bound rank after
+    every generator regardless of cost (see :func:`is_deferred`), so a
+    valid query never hits the runtime "∀ reached with unbound free
+    variables" error just because every estimate was opaque.
     """
     best_index = 0
     best_cost = float("inf")
+    best_rank = None
     for index, part in enumerate(parts):
-        cost = estimate_cost(part, bound, view)
-        # ForAll acts as a filter and must run once its free variables
-        # are bound; prefer it over nothing but after all generators.
-        if cost < best_cost:
+        rank, cost = conjunct_rank(part, bound, view)
+        if best_rank is None or rank < best_rank:
+            best_rank = rank
             best_cost = cost
             best_index = index
     return best_index, best_cost

@@ -17,6 +17,7 @@ import pytest
 from repro.core.facts import Fact
 from repro.core.store import FactStore
 from repro.datasets import paper, university
+from repro.db import Database
 from repro.datasets.synthetic import hierarchy_facts, membership_facts
 from repro.obs import (
     NULL_SPAN,
@@ -308,14 +309,34 @@ class TestQueryInstrumentation:
         assert stats.evals == 1
         assert stats.rows == 3  # JOHN, TOM, MARY
         earns = tracer.conjuncts["(?x, EARNS, ?y)"]
-        assert earns.evals == 3  # once per bound x
+        # The compiled engine evaluates each conjunct once over the
+        # whole binding table (set-at-a-time), not once per binding.
+        assert earns.evals == 1
         assert earns.rows == len(value)
         spans = tracer.spans("query.evaluate")
         assert len(spans) == 1
         assert spans[0].attributes["rows"] == len(value)
 
+    def test_conjunct_records_reference_engine(self):
+        db = paper.load(Database(query_engine="reference"))
+        db.closure()
+        with use_tracer(Tracer()) as tracer:
+            value = db.query("(x, ∈, EMPLOYEE) and (x, EARNS, y)")
+        earns = tracer.conjuncts["(?x, EARNS, ?y)"]
+        assert earns.evals == 3  # tuple-at-a-time: once per bound x
+        assert earns.rows == len(value)
+
     def test_forall_domain_gauge(self):
         db = university.load()
+        db.closure()
+        with use_tracer(Tracer()) as tracer:
+            db.query("(z, ∈, QUARTERBACK) and forall y: (z, ATTENDED, y)")
+        # One anti-probe over both quarterback bindings (JAKE, BOB).
+        assert tracer.counters["exec.forall.keys"] == 2
+        assert tracer.gauges["query.forall.domain_size"] >= 2
+
+    def test_forall_evals_reference_engine(self):
+        db = university.load(Database(query_engine="reference"))
         db.closure()
         with use_tracer(Tracer()) as tracer:
             db.query("(z, ∈, QUARTERBACK) and forall y: (z, ATTENDED, y)")
@@ -401,22 +422,43 @@ class TestExplainAnalyze:
         text = analyzed.render()
         lines = [line.rstrip() for line in text.splitlines()]
         # Everything except the (non-deterministic) timing line is
-        # golden.
+        # golden.  The default engine is compiled: the explanation
+        # carries the operator tree and the analyzed steps are the
+        # plan's operators with est vs actual rows.
         assert lines[0] == "query: Q(x, y) = ((?x, ∈, EMPLOYEE) ∧" \
             " (?x, EARNS, ?y))"
         assert lines[1] == "safety: ok"
         assert lines[2] == "initial conjunct order:"
         assert lines[3] == "  1. (?x, ∈, EMPLOYEE)   [est 3.1; bound: -]"
         assert lines[4] == "  2. (?x, EARNS, ?y)   [est 1.4; bound: x]"
+        assert lines[5] == "compiled plan: Q(x, y) = ((?x, ∈, EMPLOYEE)" \
+            " ∧ (?x, EARNS, ?y))"
+        assert lines[6] == "  pipeline (∧, 2 parts)   [est 3.1]"
+        assert lines[7] == "    atom-join (?x, ∈, EMPLOYEE)   [est 3.1]"
+        assert lines[8] == "    atom-join (?x, EARNS, ?y)   [est 1.4]"
+        assert lines[10] == "plan vs actual:"
+        assert lines[13] == \
+            "  1  pipeline (∧, 2 parts)        3.1       9            1"
+        assert lines[14] == \
+            "  2  atom-join (?x, ∈, EMPLOYEE)  3.1       3            1"
+        assert lines[15] == \
+            "  3  atom-join (?x, EARNS, ?y)    1.4       9            1"
+        assert lines[16] == "result rows: 9"
+        assert lines[17].startswith("wall: ")
+        assert analyzed.rows == 9
+        assert analyzed.value == db.query("(x, ∈, EMPLOYEE) and (x, EARNS, y)")
+
+    def test_golden_rendering_reference_engine(self):
+        db = paper.load(Database(query_engine="reference"))
+        analyzed = db.explain_analyze("(x, ∈, EMPLOYEE) and (x, EARNS, y)")
+        lines = [line.rstrip() for line in analyzed.render().splitlines()]
         assert lines[6] == "plan vs actual:"
         assert lines[7] == \
             "  #  conjunct           est cost  actual rows  evals"
         assert lines[9] == "  1  (?x, ∈, EMPLOYEE)  3.1       3            1"
         assert lines[10] == "  2  (?x, EARNS, ?y)    1.4       9            3"
         assert lines[11] == "result rows: 9"
-        assert lines[12].startswith("wall: ")
         assert analyzed.rows == 9
-        assert analyzed.value == db.query("(x, ∈, EMPLOYEE) and (x, EARNS, y)")
 
     def test_unsafe_query_not_executed(self):
         from repro.core.facts import var

@@ -138,11 +138,14 @@ class TestErrorPropagation:
                            for i in range(2400)])
         with ServiceClient(host, port) as client:
             # Warm the snapshot's closure under a different result key
-            # so the deadlined query below spends its time in row
-            # evaluation, where the cooperative checks live.
+            # so the deadlined query below spends its time in plan
+            # execution, where the cooperative checks live.  The
+            # two-conjunct self-join is far too large for the budget,
+            # so the compiled executor's batch-boundary checkpoints
+            # must cancel it between operators.
             client.query("(E0, ∈, y)")
             with pytest.raises(DeadlineExceeded):
-                client.query("(x, ∈, CLS1)", deadline=0.0003)
+                client.query("(x, ∈, c) and (y, ∈, c)", deadline=0.0003)
             # Mid-flight cancellation left the connection healthy.
             assert client.ping()["protocol"] == PROTOCOL_VERSION
             rows = client.query("(x, ∈, CLS1)")
