@@ -32,6 +32,7 @@ from repro.benchio.harness import write_bench_json
 from repro.core.facts import Fact
 from repro.datasets.synthetic import hierarchy_facts, membership_facts
 from repro.db import Database
+from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.serve import DatabaseService
 
 
@@ -256,6 +257,62 @@ def run_mixed_baseline(db: Database, queries: List[str],
 
 
 # ----------------------------------------------------------------------
+# Telemetry overhead
+# ----------------------------------------------------------------------
+def run_telemetry_passes(depth: int, fanout: int, instances: int,
+                         readers: int, ops_per_reader: int, writes: int,
+                         repeat: int = 3):
+    """The mixed workload with telemetry off and with metrics on, so
+    the committed JSON carries the instrumentation overhead next to
+    the numbers, plus the metrics snapshot from an observed pass.
+
+    The threaded mixed workload is noisy (scheduler placement moves
+    run-to-run throughput far more than a few counter increments do),
+    so each mode runs ``repeat`` times interleaved — off, on, off, on,
+    … — and the best run per mode is compared: interleaving cancels
+    machine drift, best-of cancels unlucky placements."""
+    def one_pass(telemetry: bool) -> Dict[str, object]:
+        db = build_database(depth, fanout, instances)
+        queries = query_mix(db, 48)
+        if telemetry:
+            with use_metrics(MetricsRegistry()) as registry:
+                service = DatabaseService(db, batch_window=0.002)
+                try:
+                    row = run_mixed(service, queries, readers,
+                                    ops_per_reader, writes)
+                finally:
+                    service.close()
+                row["snapshot"] = registry.snapshot()
+        else:
+            service = DatabaseService(db, batch_window=0.002)
+            try:
+                row = run_mixed(service, queries, readers,
+                                ops_per_reader, writes)
+            finally:
+                service.close()
+        return row
+
+    best: Dict[bool, Dict[str, object]] = {}
+    for _ in range(repeat):
+        for telemetry in (False, True):
+            row = one_pass(telemetry)
+            if (telemetry not in best
+                    or row["ops_per_second"]
+                    > best[telemetry]["ops_per_second"]):
+                best[telemetry] = row
+
+    snapshot = best[True].pop("snapshot")
+    best[False]["mode"] = "mixed-telemetry-off"
+    best[True]["mode"] = "mixed-telemetry-on"
+    rows = [best[False], best[True]]
+    off_rate = rows[0]["ops_per_second"]
+    on_rate = rows[1]["ops_per_second"]
+    overhead_pct = round(100.0 * (off_rate - on_rate) / max(off_rate, 1e-9),
+                         2)
+    return rows, overhead_pct, snapshot
+
+
+# ----------------------------------------------------------------------
 # Matrix
 # ----------------------------------------------------------------------
 def run_matrix(quick: bool = False):
@@ -313,6 +370,18 @@ def run_matrix(quick: bool = False):
 
     service_mixed = rows[-2]
     baseline_mixed = rows[-1]
+
+    # Telemetry overhead: the same mixed workload with metrics off and
+    # on; the observed pass also yields the snapshot stamped into the
+    # JSON document.
+    telemetry_rows, overhead_pct, snapshot = run_telemetry_passes(
+        depth, fanout, instances, mixed_readers, mixed_ops, writes,
+        repeat=1 if quick else 3)
+    rows.extend(telemetry_rows)
+    print(f"  telemetry overhead: {overhead_pct}% "
+          f"({telemetry_rows[0]['ops_per_second']} ops/s off,"
+          f" {telemetry_rows[1]['ops_per_second']} ops/s on)")
+
     summary = {
         "max_reader_threads": max(thread_counts),
         "read_only_ops_per_second": max(
@@ -324,8 +393,9 @@ def run_matrix(quick: bool = False):
         "mixed_coalescing_ratio": service_mixed["coalescing_ratio"],
         "mixed_service_p99_us": service_mixed["p99_us"],
         "mixed_baseline_p99_us": baseline_mixed["p99_us"],
+        "telemetry_overhead_pct": overhead_pct,
     }
-    return rows, summary
+    return rows, summary, snapshot
 
 
 def main(argv=None) -> int:
@@ -340,10 +410,10 @@ def main(argv=None) -> int:
                         help="where to write the JSON document")
     options = parser.parse_args(argv)
     print(f"F11 serving matrix ({'quick' if options.quick else 'full'})")
-    rows, summary = run_matrix(quick=options.quick)
+    rows, summary, snapshot = run_matrix(quick=options.quick)
     write_bench_json(
         options.output, "F11-serving", rows, summary=summary,
-        config={"quick": options.quick})
+        config={"quick": options.quick}, metrics=snapshot)
     print(f"wrote {options.output}: {len(rows)} cells;"
           f" coalescing {summary['mixed_coalescing_ratio']}x,"
           f" service p99 {summary['mixed_service_p99_us']}us vs"

@@ -34,6 +34,7 @@ from typing import Dict, List
 
 from bench_f11_serving import build_database, percentile, query_mix
 
+from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.serve import DatabaseService, ReplicaPool
 
 
@@ -204,6 +205,33 @@ def run_failover(service: DatabaseService,
 
 
 # ----------------------------------------------------------------------
+# Observed pass (metrics snapshot for the JSON artifact)
+# ----------------------------------------------------------------------
+def run_observed_pass(depth: int, fanout: int, instances: int,
+                      workers: int, reads: int,
+                      writes: int) -> Dict[str, object]:
+    """A short metrics-enabled pass through a real pool; the merged
+    primary + worker snapshot is stamped into the JSON document."""
+    with use_metrics(MetricsRegistry()):
+        db = build_database(depth, fanout, instances)
+        queries = query_mix(db, 48)
+        service = DatabaseService(db, batch_window=0.002)
+        pool = ReplicaPool(service, workers=workers)
+        try:
+            tickets = [service.add_async((f"OBS{i}", "∈", "C3"))
+                       for i in range(writes)]
+            for ticket in tickets:
+                ticket.result(60.0)
+            for index in range(reads):
+                pool.query(queries[index % len(queries)])
+            snapshot = pool.metrics(refresh=True)
+        finally:
+            pool.close()
+            service.close()
+    return snapshot
+
+
+# ----------------------------------------------------------------------
 # Matrix
 # ----------------------------------------------------------------------
 def run_matrix(quick: bool = False):
@@ -283,7 +311,14 @@ def run_matrix(quick: bool = False):
         "failover_recovery_seconds": failover_row["recovery_seconds"],
         "failover_recovered": failover_row["recovered"],
     }
-    return rows, summary
+
+    # Observed pass: short, metrics-enabled, merged across processes.
+    snapshot = run_observed_pass(
+        depth, fanout, instances, workers=min(2, max(worker_counts)),
+        reads=40 if quick else 120, writes=10 if quick else 30)
+    merged_from = len(snapshot.get("counters", {}))
+    print(f"  observed pass: {merged_from} merged counter series")
+    return rows, summary, snapshot
 
 
 def main(argv=None) -> int:
@@ -301,10 +336,10 @@ def main(argv=None) -> int:
     options = parser.parse_args(argv)
     print(f"F12 replication matrix"
           f" ({'quick' if options.quick else 'full'})")
-    rows, summary = run_matrix(quick=options.quick)
+    rows, summary, snapshot = run_matrix(quick=options.quick)
     write_bench_json(
         options.output, "F12-replication", rows, summary=summary,
-        config={"quick": options.quick})
+        config={"quick": options.quick}, metrics=snapshot)
     print(f"wrote {options.output}: {len(rows)} cells;"
           f" scaling {summary['scaling_vs_one_worker']}x"
           f" at {summary['best_workers']} workers,"

@@ -92,26 +92,42 @@ def host_metadata() -> Dict[str, object]:
     import os
     import platform
 
-    return {
+    metadata: Dict[str, object] = {
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.system(),
         "machine": platform.machine(),
     }
+    try:
+        metadata["load_avg_1m"] = round(os.getloadavg()[0], 3)
+    except (AttributeError, OSError):
+        pass
+    try:
+        pages = os.sysconf("SC_PHYS_PAGES")
+        page_size = os.sysconf("SC_PAGE_SIZE")
+        if pages > 0 and page_size > 0:
+            metadata["total_memory_bytes"] = pages * page_size
+    except (AttributeError, ValueError, OSError):
+        pass
+    return metadata
 
 
 def write_bench_json(path: str, benchmark: str,
                      rows: Sequence[Dict[str, object]],
                      summary: Optional[Dict[str, object]] = None,
-                     config: Optional[Dict[str, object]] = None) -> dict:
+                     config: Optional[Dict[str, object]] = None,
+                     metrics: Optional[Dict[str, object]] = None) -> dict:
     """Persist a benchmark result matrix as a JSON document.
 
     ``rows`` is the flat result matrix (one dict per measured cell —
     e.g. engine × dataset × limit); ``summary`` holds the headline
     numbers a trajectory tracker reads without joining the matrix;
-    ``config`` records how the run was parameterized.  Host metadata
-    (core count, Python version, platform) is stamped automatically so
+    ``config`` records how the run was parameterized; ``metrics`` is an
+    optional :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` taken
+    during an observed pass, stamped alongside the timings so committed
+    numbers carry their own telemetry.  Host metadata (core count,
+    Python version, platform, load, memory) is stamped automatically so
     committed numbers stay interpretable.  Returns the document
     written, for callers that also want to print it.
     """
@@ -122,6 +138,8 @@ def write_bench_json(path: str, benchmark: str,
     document["results"] = [dict(row) for row in rows]
     if summary:
         document["summary"] = dict(summary)
+    if metrics:
+        document["metrics"] = dict(metrics)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=False)
         handle.write("\n")

@@ -8,8 +8,10 @@ carries a monotone mutation version, a result computed against version
 embed the version and invalidation is free: stale entries are never
 *hit* again, and the LRU discipline ages them out.
 
-Hit/miss totals are exposed both as attributes (for tests that run with
-tracing off) and as the ``cache.hits`` / ``cache.misses`` obs counters.
+Hit/miss totals are exposed as attributes (for tests that run with
+tracing off), as the ``cache.hits`` / ``cache.misses`` obs counters,
+and as the same-named cross-process metrics counters when
+:mod:`repro.obs.metrics` collection is enabled.
 
 The cache is thread-safe: the serving layer (:mod:`repro.serve`) shares
 one instance across every published snapshot so warm entries survive
@@ -34,6 +36,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
+from ..obs import metrics as _metrics
 from ..obs import tracer as _obs
 
 #: Sentinel distinguishing "missing" from a cached falsy value.
@@ -73,9 +76,13 @@ class LRUCache:
         if missed:
             if _obs.ENABLED:
                 _obs.TRACER.count("cache.misses")
+            if _metrics.ENABLED:
+                _metrics.METRICS.count("cache.misses")
             return default
         if _obs.ENABLED:
             _obs.TRACER.count("cache.hits")
+        if _metrics.ENABLED:
+            _metrics.METRICS.count("cache.hits")
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -89,8 +96,11 @@ class LRUCache:
                 self._data.popitem(last=False)
                 self.evictions += 1
                 evicted += 1
-        if evicted and _obs.ENABLED:
-            _obs.TRACER.count("cache.evictions", evicted)
+        if evicted:
+            if _obs.ENABLED:
+                _obs.TRACER.count("cache.evictions", evicted)
+            if _metrics.ENABLED:
+                _metrics.METRICS.count("cache.evictions", evicted)
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""

@@ -23,9 +23,43 @@ or, scoped to one operation::
 Note this is distinct from ``Database(trace=True)``, which records
 *derivation provenance* (why a fact holds); obs tracing records
 *execution behavior* (what ran, how often, how long).
+
+Alongside the process-local tracer this package carries the
+cross-process telemetry stack: :mod:`repro.obs.metrics` (mergeable
+counter/gauge/histogram snapshots with Prometheus exposition),
+:mod:`repro.obs.context` (trace contexts whose span records ride back
+on responses so the client ends up holding the stitched tree),
+:mod:`repro.obs.slowlog` (bounded slow-query ring buffer), and
+:mod:`repro.obs.monitor` (text dashboard rendered from snapshots).
 """
 
+from .context import (
+    SpanRecord,
+    TraceContext,
+    new_span_id,
+    render_trace,
+    stitch,
+    trace_processes,
+)
 from .export import read_jsonl, summary, to_events, write_jsonl
+from .metrics import (
+    METRICS,
+    Counter,
+    GaugeAggregate,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    active_metrics,
+    disable_metrics,
+    enable_metrics,
+    merge_snapshots,
+    metrics_enabled,
+    parse_prometheus,
+    to_prometheus,
+    use_metrics,
+)
+from .monitor import dashboard_rows, render_dashboard
+from .slowlog import SlowQueryLog, build_record, plan_summary
 from .tracer import (
     NULL_SPAN,
     NULL_TRACER,
@@ -46,4 +80,13 @@ __all__ = [
     "Tracer", "active_tracer", "disable_tracing", "enable_tracing",
     "pattern_shape", "tracing_enabled", "use_tracer",
     "read_jsonl", "summary", "to_events", "write_jsonl",
+    "Counter", "GaugeAggregate", "Histogram", "METRICS",
+    "MetricsRegistry", "NullMetrics", "active_metrics",
+    "disable_metrics", "enable_metrics", "merge_snapshots",
+    "metrics_enabled", "parse_prometheus", "to_prometheus",
+    "use_metrics",
+    "SpanRecord", "TraceContext", "new_span_id", "render_trace",
+    "stitch", "trace_processes",
+    "SlowQueryLog", "build_record", "plan_summary",
+    "dashboard_rows", "render_dashboard",
 ]

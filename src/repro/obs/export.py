@@ -46,9 +46,15 @@ def to_events(tracer: Tracer) -> List[Dict[str, Any]]:
     for name in sorted(tracer.counters):
         events.append({"type": "counter", "name": name,
                        "value": tracer.counters[name]})
+    gauge_stats = getattr(tracer, "gauge_stats", {})
     for name in sorted(tracer.gauges):
-        events.append({"type": "gauge", "name": name,
-                       "value": tracer.gauges[name]})
+        event = {"type": "gauge", "name": name,
+                 "value": tracer.gauges[name]}
+        stats = gauge_stats.get(name)
+        if stats is not None and stats.count:
+            event.update(min=stats.min, max=stats.max,
+                         mean=stats.mean, count=stats.count)
+        events.append(event)
     for key in sorted(tracer.conjuncts):
         stats = tracer.conjuncts[key]
         events.append({"type": "conjunct", "key": key,
@@ -111,9 +117,19 @@ def summary(tracer: Tracer, title: str = "trace summary") -> str:
                         for name in sorted(tracer.counters)]
         sections.append(format_table(["counter", "value"], counter_rows))
     if tracer.gauges:
-        gauge_rows = [[name, tracer.gauges[name]]
-                      for name in sorted(tracer.gauges)]
-        sections.append(format_table(["gauge", "value"], gauge_rows))
+        gauge_stats = getattr(tracer, "gauge_stats", {})
+        gauge_rows = []
+        for name in sorted(tracer.gauges):
+            stats = gauge_stats.get(name)
+            if stats is not None and stats.count:
+                gauge_rows.append([name, stats.last, stats.min,
+                                   stats.max, stats.count])
+            else:
+                gauge_rows.append([name, tracer.gauges[name],
+                                   tracer.gauges[name],
+                                   tracer.gauges[name], 1])
+        sections.append(format_table(
+            ["gauge", "last", "min", "max", "count"], gauge_rows))
     if tracer.conjuncts:
         conjunct_rows = [
             [key, stats.evals, stats.estimate_mean, stats.rows]

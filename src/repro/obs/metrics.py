@@ -1,0 +1,523 @@
+"""Process-local metrics: counters, gauge aggregates, and histograms.
+
+The tracer (:mod:`repro.obs.tracer`) answers "where did the time go?"
+for one operation; this module answers "how is the *service* doing?"
+over thousands of them.  It follows the same zero-overhead-when-
+disabled discipline — every instrumented site guards itself with one
+module-attribute lookup::
+
+    from ..obs import metrics as _metrics
+    ...
+    if _metrics.ENABLED:
+        _metrics.METRICS.count("serve.requests")
+
+so that with metrics off (the default) the cost per site is a single
+attribute load and a falsy branch.
+
+Three metric kinds, all cheap enough for hot serving paths:
+
+* **counters** — monotone event counts (``serve.requests``,
+  ``exec.replans``);
+* **gauges** — last-value observations *with* a running
+  min/max/sum/count aggregate (``serve.queue_depth``), so a scrape
+  sees the envelope, not just whatever happened to be last;
+* **histograms** — fixed-bucket streaming latency distributions
+  (``serve.request_seconds.query``): p50/p95/p99 come from bucket
+  counts, no samples are stored, and merging two histograms is an
+  element-wise add — which is what lets replica worker processes ship
+  their registries to the primary and have the pool present one
+  pool-wide view (:func:`merge_snapshots`).
+
+Unlike the tracer, the registry *is* thread-safe: serving reads happen
+on many threads at once.  Each metric carries its own small lock; the
+registry-level lock is only taken to create a metric the first time
+its name appears.
+
+Example::
+
+    from repro.obs import metrics
+
+    registry = metrics.MetricsRegistry()
+    with metrics.use_metrics(registry):
+        registry.observe("request_seconds", 0.004)
+        registry.count("requests")
+    snap = registry.snapshot()
+    assert snap["counters"]["requests"] == 1
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Fast-path flag.  Instrumented call sites test this and nothing else.
+ENABLED = False
+
+#: Default histogram bounds (seconds): 50µs → 10s, roughly ×2.5 per
+#: bucket.  Wide enough for µs point reads and multi-second closures;
+#: values above the last bound land in the implicit +Inf bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotone event count."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+
+class GaugeAggregate:
+    """A last-value observation plus its running envelope.
+
+    Keeps ``last``, ``min``, ``max``, ``sum`` and ``count`` so a
+    scrape that samples once a second still sees the extremes between
+    scrapes (the flaw of the tracer's original last-value-only gauge).
+    """
+
+    __slots__ = ("last", "min", "max", "sum", "count", "_lock")
+
+    def __init__(self) -> None:
+        self.last = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.last = value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self.sum += value
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        if not self.count:
+            return {"last": 0.0, "min": 0.0, "max": 0.0,
+                    "sum": 0.0, "count": 0}
+        return {"last": self.last, "min": self.min, "max": self.max,
+                "sum": self.sum, "count": self.count}
+
+
+class Histogram:
+    """A fixed-bucket streaming distribution.
+
+    ``bounds`` are the inclusive upper edges of each bucket; one extra
+    overflow bucket catches everything above the last bound.  Only the
+    per-bucket counts (plus sum/count/min/max) are stored, so memory is
+    constant however many observations arrive, percentiles are
+    estimated from the cumulative counts, and two histograms with the
+    same bounds merge by adding counts element-wise.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count", "min", "max", "_lock")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def percentile(self, fraction: float) -> float:
+        """Estimate the ``fraction`` quantile from the bucket counts.
+
+        Linear interpolation inside the bucket that crosses the rank;
+        the overflow bucket reports the observed maximum (the upper
+        edge would be +Inf).
+        """
+        if not self.count:
+            return 0.0
+        rank = fraction * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.bounds):
+                    return self.max
+                lower = self.bounds[index - 1] if index else 0.0
+                upper = self.bounds[index]
+                fill = (rank - previous) / bucket_count
+                return lower + (upper - lower) * min(1.0, max(0.0, fill))
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """All of a process's metrics, keyed by dotted name.
+
+    The update paths (:meth:`count` / :meth:`gauge` / :meth:`observe`)
+    take the registry lock only on first use of a name; afterwards a
+    GIL-atomic dict lookup finds the metric and its own lock covers
+    the few-instruction update.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, GaugeAggregate] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Update paths
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a monotone counter."""
+        counter = self.counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self.counters.setdefault(name, Counter())
+        counter.add(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a gauge observation (last + min/max/sum/count)."""
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self.gauges.setdefault(name, GaugeAggregate())
+        gauge.set(value)
+
+    def observe(self, name: str, value: float,
+                bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        """Add one observation to a fixed-bucket histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self.histograms.setdefault(
+                    name, Histogram(bounds))
+        histogram.observe(value)
+
+    @contextmanager
+    def time(self, name: str):
+        """Observe the wall-clock duration of the body into ``name``."""
+        import time as _time
+
+        started = _time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, _time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> int:
+        counter = self.counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The registry as one JSON-able document.
+
+        The wire format for everything downstream: worker heartbeats,
+        the ``metrics`` protocol verb, Prometheus exposition, and the
+        metrics block benchmarks stamp into ``BENCH_*.json``.
+        """
+        with self._lock:
+            counters = dict(self.counters)
+            gauges = dict(self.gauges)
+            histograms = dict(self.histograms)
+        return {
+            "counters": {name: counter.value
+                         for name, counter in sorted(counters.items())},
+            "gauges": {name: gauge.as_dict()
+                       for name, gauge in sorted(gauges.items())},
+            "histograms": {name: histogram.as_dict()
+                           for name, histogram in
+                           sorted(histograms.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop every metric collected so far."""
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry({len(self.counters)} counters,"
+                f" {len(self.gauges)} gauges,"
+                f" {len(self.histograms)} histograms)")
+
+
+class NullMetrics:
+    """The disabled registry: every operation is a no-op."""
+
+    enabled = False
+
+    counters: Dict[str, Counter] = {}
+    gauges: Dict[str, GaugeAggregate] = {}
+    histograms: Dict[str, Histogram] = {}
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float, bounds=None) -> None:
+        pass
+
+    @contextmanager
+    def time(self, name: str):
+        yield
+
+    def counter_value(self, name: str) -> int:
+        return 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullMetrics()"
+
+
+NULL_METRICS = NullMetrics()
+
+#: The active registry.  :data:`NULL_METRICS` until
+#: :func:`enable_metrics`.
+METRICS = NULL_METRICS
+
+
+def enable_metrics(fresh: bool = False) -> MetricsRegistry:
+    """Turn metrics on, installing (and returning) the process
+    registry.  Re-enabling keeps previously collected data unless
+    ``fresh`` is true.  Idempotent."""
+    global METRICS, ENABLED
+    if fresh or not isinstance(METRICS, MetricsRegistry):
+        METRICS = MetricsRegistry()
+    ENABLED = True
+    return METRICS
+
+
+def disable_metrics() -> None:
+    """Turn metrics off.  Collected data stays readable on
+    :func:`active_metrics` until the next ``enable_metrics(fresh=True)``."""
+    global ENABLED
+    ENABLED = False
+
+
+def metrics_enabled() -> bool:
+    return ENABLED
+
+
+def active_metrics():
+    """The registry that collected the most recent data (may be the
+    null registry if metrics were never enabled)."""
+    return METRICS
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry):
+    """Temporarily install ``registry`` as the active registry
+    (enabled), restoring the previous registry and enablement state on
+    exit — how benchmarks collect a metrics snapshot for their JSON
+    artifact without perturbing global state."""
+    global METRICS, ENABLED
+    saved_registry, saved_enabled = METRICS, ENABLED
+    METRICS, ENABLED = registry, True
+    try:
+        yield registry
+    finally:
+        METRICS, ENABLED = saved_registry, saved_enabled
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra (cross-process aggregation)
+# ----------------------------------------------------------------------
+def _merge_gauge(into: Dict[str, float], other: Dict[str, float]) -> None:
+    if not other.get("count"):
+        return
+    if not into.get("count"):
+        into.update(other)
+        return
+    into["last"] = other["last"]
+    into["min"] = min(into["min"], other["min"])
+    into["max"] = max(into["max"], other["max"])
+    into["sum"] = into["sum"] + other["sum"]
+    into["count"] = into["count"] + other["count"]
+
+
+def _merge_histogram(into: Dict[str, Any], other: Dict[str, Any]) -> None:
+    if not other.get("count"):
+        return
+    if not into.get("count"):
+        into.update({key: (list(value) if isinstance(value, list)
+                           else value) for key, value in other.items()})
+        return
+    if list(into["bounds"]) != list(other["bounds"]):
+        # Different bucket layouts cannot be added bin-wise; keep the
+        # side with more observations rather than fabricating counts.
+        if other["count"] > into["count"]:
+            into.update({key: (list(value) if isinstance(value, list)
+                               else value)
+                         for key, value in other.items()})
+        return
+    into["counts"] = [a + b for a, b in zip(into["counts"],
+                                            other["counts"])]
+    into["sum"] += other["sum"]
+    into["count"] += other["count"]
+    into["min"] = min(into["min"], other["min"])
+    into["max"] = max(into["max"], other["max"])
+    rebuilt = Histogram(into["bounds"])
+    rebuilt.counts = list(into["counts"])
+    rebuilt.sum = into["sum"]
+    rebuilt.count = into["count"]
+    rebuilt.min = into["min"]
+    rebuilt.max = into["max"]
+    into["p50"] = rebuilt.percentile(0.50)
+    into["p95"] = rebuilt.percentile(0.95)
+    into["p99"] = rebuilt.percentile(0.99)
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold several registry snapshots into one pool-wide view.
+
+    Counters add; gauges combine min/max and add sum/count (``last``
+    is the last snapshot's last); histograms with identical bounds add
+    counts element-wise and re-derive their percentiles.  The inputs
+    are not modified.
+    """
+    merged: Dict[str, Any] = {"counters": {}, "gauges": {},
+                              "histograms": {}}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, value in snapshot.get("counters", {}).items():
+            merged["counters"][name] = (
+                merged["counters"].get(name, 0) + value)
+        for name, gauge in snapshot.get("gauges", {}).items():
+            into = merged["gauges"].setdefault(name, {"count": 0})
+            _merge_gauge(into, gauge)
+        for name, histogram in snapshot.get("histograms", {}).items():
+            into = merged["histograms"].setdefault(name, {"count": 0})
+            _merge_histogram(into, histogram)
+    merged["counters"] = dict(sorted(merged["counters"].items()))
+    merged["gauges"] = dict(sorted(merged["gauges"].items()))
+    merged["histograms"] = dict(sorted(merged["histograms"].items()))
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    flat = _PROM_NAME_RE.sub("_", name)
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _prom_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(snapshot: Dict[str, Any], prefix: str = "repro") -> str:
+    """Render a registry snapshot in the Prometheus text exposition
+    format (version 0.0.4: ``# TYPE`` lines, ``_total`` counters,
+    histogram ``_bucket{le=...}`` series).
+
+    ``snapshot`` is anything :meth:`MetricsRegistry.snapshot` or
+    :func:`merge_snapshots` produced.
+    """
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(prefix, name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, gauge in snapshot.get("gauges", {}).items():
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_number(gauge.get('last', 0.0))}")
+        for part in ("min", "max"):
+            lines.append(f"# TYPE {metric}_{part} gauge")
+            lines.append(
+                f"{metric}_{part} {_prom_number(gauge.get(part, 0.0))}")
+    for name, histogram in snapshot.get("histograms", {}).items():
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        bounds = list(histogram.get("bounds", ())) + [float("inf")]
+        for bound, count in zip(bounds, histogram.get("counts", ())):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_number(bound)}"}}'
+                f" {cumulative}")
+        lines.append(f"{metric}_sum {_prom_number(histogram.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {histogram.get('count', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse exposition text back into ``{series: value}`` (labels kept
+    verbatim in the series name).  Used by the smoke checks and tests
+    to assert the exporter emits well-formed output."""
+    series: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        series[name] = float(value)
+    return series

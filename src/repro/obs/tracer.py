@@ -19,7 +19,11 @@ Three kinds of signal are collected:
   (``closure.semi_naive`` > ``closure.round`` > …);
 * **counters** — monotone event counts (``store.adds``,
   ``browse.probe.retractions``);
-* **gauges** — last-value observations (``engine.closure_seconds``).
+* **gauges** — value observations (``engine.closure_seconds``); each
+  keeps its last value *and* a running min/max/sum/count envelope
+  (:class:`~repro.obs.metrics.GaugeAggregate`), readable via
+  :attr:`Tracer.gauge_stats` — ``Tracer.gauges`` stays the historical
+  ``{name: last_value}`` view.
 
 plus one domain-specific aggregate, **conjunct records**: per-conjunct
 (estimated cost, actual rows produced) pairs from the query evaluator,
@@ -36,6 +40,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
+
+from .metrics import GaugeAggregate
 
 #: Fast-path flag.  Instrumented call sites test this and nothing else.
 ENABLED = False
@@ -107,7 +113,7 @@ class Tracer:
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
-        self.gauges: Dict[str, float] = {}
+        self.gauge_stats: Dict[str, GaugeAggregate] = {}
         self.roots: List[Span] = []
         self.conjuncts: Dict[str, ConjunctStats] = {}
         self._stack: List[Span] = []
@@ -154,8 +160,20 @@ class Tracer:
         self.counters[name] = self.counters.get(name, 0) + n
 
     def gauge(self, name: str, value: float) -> None:
-        """Record a last-value observation."""
-        self.gauges[name] = value
+        """Record a gauge observation.  Beyond the historical
+        last-value, each gauge accumulates min/max/sum/count
+        (see :attr:`gauge_stats`)."""
+        stats = self.gauge_stats.get(name)
+        if stats is None:
+            stats = self.gauge_stats[name] = GaugeAggregate()
+        stats.set(value)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        """The historical ``{name: last_value}`` view of the gauges
+        (a fresh dict; mutate nothing through it)."""
+        return {name: stats.last
+                for name, stats in self.gauge_stats.items()}
 
     def record_conjunct(self, key: str, estimate: float, rows: int) -> None:
         """Aggregate one conjunct evaluation (planner estimate at
@@ -173,7 +191,7 @@ class Tracer:
         on the stack so an in-flight ``with tracer.span(...)`` still
         closes cleanly, but they are detached from the record."""
         self.counters.clear()
-        self.gauges.clear()
+        self.gauge_stats.clear()
         self.roots.clear()
         self.conjuncts.clear()
         for span in self._stack:
@@ -224,6 +242,7 @@ class NullTracer:
 
     counters: Dict[str, int] = {}
     gauges: Dict[str, float] = {}
+    gauge_stats: Dict[str, GaugeAggregate] = {}
     roots: List[Span] = []
     conjuncts: Dict[str, ConjunctStats] = {}
 

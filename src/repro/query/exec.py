@@ -36,12 +36,14 @@ Example::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core import deadline as _deadline
 from ..core.errors import QueryError
 from ..core.facts import Fact, Template, Variable
+from ..obs import metrics as _metrics
 from ..obs import tracer as _obs
 from ..virtual.computed import FactView
 from .ast import Query
@@ -168,6 +170,27 @@ class _Context:
             run.operators.append(stats)
 
 
+# Last completed plan run on this thread, kept only while telemetry is
+# on — how the serve path reaches est-vs-actual operator stats for the
+# slow-query log without threading a PlanRun through every return value.
+_LAST_RUN = threading.local()
+
+#: Set by consumers of :func:`last_run` that are neither the tracer nor
+#: the metrics registry (the service's slow-query log), so the hook
+#: stays populated with both of those disabled.
+KEEP_LAST_RUN = False
+
+
+def last_run() -> Optional[PlanRun]:
+    """The most recent :class:`PlanRun` completed on this thread while
+    tracing or metrics were enabled (``None`` otherwise)."""
+    return getattr(_LAST_RUN, "run", None)
+
+
+def clear_last_run() -> None:
+    _LAST_RUN.run = None
+
+
 def execute_plan(plan: CompiledPlan, view: FactView) -> Tuple[BindingTable,
                                                               PlanRun]:
     """Run a compiled plan to completion; returns the final binding
@@ -176,7 +199,11 @@ def execute_plan(plan: CompiledPlan, view: FactView) -> Tuple[BindingTable,
     ctx = _Context(view, run)
     if _obs.ENABLED:
         _obs.TRACER.count("exec.plans")
+    if _metrics.ENABLED:
+        _metrics.METRICS.count("exec.plans")
     table = _execute(plan.root, unit_table(), ctx)
+    if _obs.ENABLED or _metrics.ENABLED or KEEP_LAST_RUN:
+        _LAST_RUN.run = run
     return table, run
 
 
@@ -393,6 +420,8 @@ def _exec_pipeline(node: Pipeline, table: BindingTable,
                 ctx.run.replans += 1
                 if _obs.ENABLED:
                     _obs.TRACER.count("exec.replans")
+                if _metrics.ENABLED:
+                    _metrics.METRICS.count("exec.replans")
     return table
 
 

@@ -22,6 +22,19 @@ callers handle :class:`~repro.core.errors.Overloaded` and
 Result sets are serialised as sorted lists of lists (JSON has no sets
 or tuples); rendered operators (``navigate``, ``try``) ship their text.
 
+Protocol version 3 adds distributed tracing and telemetry verbs, all
+backward compatible (old clients simply omit the new fields):
+
+* a request may carry ``"trace": {"id": ..., "parent": ...}``; the
+  response then carries ``"trace": [span records]`` — every span this
+  server (and, through the pool, its replica workers) contributed, for
+  the client to stitch into one tree
+  (:mod:`repro.obs.context`);
+* ``{"op": "metrics"}`` returns the pool-wide merged metrics snapshot
+  (``{"format": "prometheus"}`` for text exposition,
+  ``{"refresh": true}`` to heartbeat the workers first);
+* ``{"op": "slowlog"}`` returns the service's slow-query records.
+
 Example (in-process round trip)::
 
     from repro import Database
@@ -48,12 +61,14 @@ import threading
 from typing import Any, Dict, Optional, Tuple
 
 from ..core.errors import ReproError, ServiceError, error_class
+from ..obs import metrics as _metrics
 from ..obs import tracer as _obs
+from ..obs.context import TraceContext, render_trace
 
 __all__ = ["ServiceServer", "ServiceClient", "RemoteShell",
            "PROTOCOL_VERSION"]
 
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: Read operations that a :class:`~repro.serve.pool.ReplicaPool` can
 #: serve instead of the primary.  Everything else (writes, control
@@ -72,7 +87,8 @@ def _facts(facts) -> list:
 
 
 def _dispatch_pool(pool, op: str, request: Dict[str, Any],
-                   deadline, min_version: int) -> Any:
+                   deadline, min_version: int,
+                   ctx: Optional[TraceContext] = None) -> Any:
     """Serve one of :data:`_POOL_READS` from a replica.
 
     ``min_version`` is the connection's read-your-writes floor: the
@@ -82,77 +98,93 @@ def _dispatch_pool(pool, op: str, request: Dict[str, Any],
     """
     if op == "query":
         return _rows(pool.query(request["query"], deadline=deadline,
-                                min_version=min_version))
+                                min_version=min_version, ctx=ctx))
     if op == "ask":
         return pool.ask(request["query"], deadline=deadline,
-                        min_version=min_version)
+                        min_version=min_version, ctx=ctx)
     if op == "match":
         return _facts(pool.match(request["pattern"], deadline=deadline,
-                                 min_version=min_version))
+                                 min_version=min_version, ctx=ctx))
     if op == "navigate":
         return pool.navigate(request["pattern"], deadline=deadline,
-                             min_version=min_version)
+                             min_version=min_version, ctx=ctx)
     if op == "try":
         return _facts(pool.try_(request["entity"], deadline=deadline,
-                                min_version=min_version))
+                                min_version=min_version, ctx=ctx))
     if op == "probe":
         outcome = pool.probe(request["query"], deadline=deadline,
-                             min_version=min_version)
+                             min_version=min_version, ctx=ctx)
         return {"succeeded": outcome["succeeded"],
                 "value": _rows(outcome["value"]),
                 "waves": outcome["waves"]}
     if op == "db_stats":
         return pool.database_stats(deadline=deadline,
-                                   min_version=min_version)
+                                   min_version=min_version, ctx=ctx)
     raise ServiceError(f"unknown pool operation {op!r}")
 
 
 def _dispatch(service, request: Dict[str, Any], pool=None,
-              state: Optional[Dict[str, Any]] = None) -> Any:
+              state: Optional[Dict[str, Any]] = None,
+              ctx: Optional[TraceContext] = None) -> Any:
     op = request.get("op")
     deadline = request.get("deadline")
     if pool is not None and op in _POOL_READS:
         floor = state.get("min_version", 0) if state else 0
-        return _dispatch_pool(pool, op, request, deadline, floor)
+        return _dispatch_pool(pool, op, request, deadline, floor, ctx)
     if op == "ping":
         info = service.ping()
         info["protocol"] = PROTOCOL_VERSION
         if pool is not None:
             info["workers"] = pool.workers
         return info
+    if op == "metrics":
+        if pool is not None:
+            snapshot = pool.metrics(refresh=bool(request.get("refresh")))
+        else:
+            snapshot = _metrics.active_metrics().snapshot()
+        if request.get("format") == "prometheus":
+            return _metrics.to_prometheus(snapshot)
+        return snapshot
+    if op == "slowlog":
+        return service.slow_log.snapshot(request.get("limit"))
     if op == "query":
-        return _rows(service.query(request["query"], deadline=deadline))
+        return _rows(service.query(request["query"], deadline=deadline,
+                                   ctx=ctx))
     if op == "ask":
-        return service.ask(request["query"], deadline=deadline)
+        return service.ask(request["query"], deadline=deadline, ctx=ctx)
     if op == "match":
-        return _facts(service.match(request["pattern"], deadline=deadline))
+        return _facts(service.match(request["pattern"], deadline=deadline,
+                                    ctx=ctx))
     if op == "navigate":
         return service.navigate(request["pattern"],
-                                deadline=deadline).render()
+                                deadline=deadline, ctx=ctx).render()
     if op == "try":
-        return _facts(service.try_(request["entity"], deadline=deadline))
+        return _facts(service.try_(request["entity"], deadline=deadline,
+                                   ctx=ctx))
     if op == "probe":
-        outcome = service.probe(request["query"], deadline=deadline)
+        outcome = service.probe(request["query"], deadline=deadline,
+                                ctx=ctx)
         return {"succeeded": outcome.succeeded,
                 "value": _rows(outcome.value),
                 "waves": len(outcome.waves)}
     if op == "add":
-        result = service.add(*request["fact"], deadline=deadline)
+        result = service.add(*request["fact"], deadline=deadline, ctx=ctx)
     elif op == "remove":
-        result = service.remove(*request["fact"], deadline=deadline)
+        result = service.remove(*request["fact"], deadline=deadline,
+                                ctx=ctx)
     elif op == "limit":
-        result = service.limit(request["n"], deadline=deadline)
+        result = service.limit(request["n"], deadline=deadline, ctx=ctx)
     elif op == "include":
-        service.include(request["rule"], deadline=deadline)
+        service.include(request["rule"], deadline=deadline, ctx=ctx)
         result = True
     elif op == "exclude":
-        service.exclude(request["rule"], deadline=deadline)
+        service.exclude(request["rule"], deadline=deadline, ctx=ctx)
         result = True
     elif op == "rule":
         rule = service.define_rule(
             request["name"], request["text"],
             is_constraint=bool(request.get("is_constraint", False)),
-            deadline=deadline)
+            deadline=deadline, ctx=ctx)
         result = str(rule)
     elif op == "checkpoint":
         return service.checkpoint(deadline=deadline)
@@ -218,25 +250,45 @@ class ServiceServer:
 
     def _respond(self, line: str,
                  state: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        ctx: Optional[TraceContext] = None
         try:
             request = json.loads(line)
             if not isinstance(request, dict):
                 raise ServiceError("request must be a JSON object")
-            result = _dispatch(self.service, request, self.pool, state)
+            ctx = TraceContext.from_wire(request.get("trace"))
+            if ctx is None:
+                result = _dispatch(self.service, request, self.pool, state)
+            else:
+                with ctx.span("net.dispatch", role="server",
+                              op=request.get("op", "")):
+                    result = _dispatch(self.service, request, self.pool,
+                                       state, ctx)
         except ReproError as error:
             if _obs.ENABLED:
                 _obs.TRACER.count("serve.net.errors")
-            return {"ok": False, "error": type(error).__name__,
-                    "message": str(error)}
+            if _metrics.ENABLED:
+                _metrics.METRICS.count("serve.net.errors")
+            response = {"ok": False, "error": type(error).__name__,
+                        "message": str(error)}
+            if ctx is not None:
+                response["trace"] = ctx.collect()
+            return response
         except (KeyError, TypeError, ValueError,
                 json.JSONDecodeError) as error:
             if _obs.ENABLED:
                 _obs.TRACER.count("serve.net.errors")
+            if _metrics.ENABLED:
+                _metrics.METRICS.count("serve.net.errors")
             return {"ok": False, "error": "ServiceError",
                     "message": f"bad request: {error!r}"}
         if _obs.ENABLED:
             _obs.TRACER.count("serve.net.requests")
-        return {"ok": True, "result": result}
+        if _metrics.ENABLED:
+            _metrics.METRICS.count("serve.net.requests")
+        response = {"ok": True, "result": result}
+        if ctx is not None:
+            response["trace"] = ctx.collect()
+        return response
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -277,26 +329,48 @@ class ServiceClient:
     Remote errors re-raise as their local classes, so
     ``except Overloaded:`` works the same against a socket as against
     an in-process :class:`~repro.serve.DatabaseService`.
+
+    With ``trace=True`` every call carries a fresh trace context and
+    the stitched span records — client span, server dispatch, service
+    or pool spans, replica-worker spans from other processes — land on
+    :attr:`last_trace` (render with
+    :func:`repro.obs.context.render_trace`).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7474,
-                 timeout: Optional[float] = 30.0):
+                 timeout: Optional[float] = 30.0, trace: bool = False):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._sock.makefile("r", encoding="utf-8")
         self._writer = self._sock.makefile("w", encoding="utf-8")
+        self.trace = trace
+        #: Span records of the most recent traced call (wire dicts).
+        self.last_trace: list = []
 
     def _call(self, op: str, **fields) -> Any:
         request = {"op": op}
         request.update({k: v for k, v in fields.items() if v is not None})
         return self._call_raw(request)
 
-    def _call_raw(self, request: Dict[str, Any]) -> Any:
+    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
         self._writer.write(json.dumps(request, ensure_ascii=False) + "\n")
         self._writer.flush()
         line = self._reader.readline()
         if not line:
             raise ServiceError("server closed the connection")
-        response = json.loads(line)
+        return json.loads(line)
+
+    def _call_raw(self, request: Dict[str, Any]) -> Any:
+        if not self.trace:
+            response = self._roundtrip(request)
+        else:
+            ctx = TraceContext.new()
+            with ctx.span("client.request", role="client",
+                          op=request.get("op", "")):
+                traced = dict(request)
+                traced["trace"] = ctx.wire()
+                response = self._roundtrip(traced)
+            ctx.absorb(response.get("trace") or ())
+            self.last_trace = ctx.collect()
         if response.get("ok"):
             return response.get("result")
         raise error_class(response.get("error", ""))(
@@ -367,6 +441,22 @@ class ServiceClient:
     def database_stats(self, deadline: Optional[float] = None) -> dict:
         return self._call("db_stats", deadline=deadline)
 
+    def metrics(self, format: Optional[str] = None,
+                refresh: bool = False):
+        """The server's (pool-wide, merged) metrics snapshot;
+        ``format="prometheus"`` returns exposition text instead."""
+        return self._call("metrics", format=format,
+                          refresh=refresh or None)
+
+    def slowlog(self, limit: Optional[int] = None) -> dict:
+        """The server's slow-query log:
+        ``{"total": n, "records": [...]}``."""
+        return self._call("slowlog", limit=limit)
+
+    def render_last_trace(self) -> str:
+        """The most recent traced call's span tree as text."""
+        return render_trace(self.last_trace)
+
     def close(self) -> None:
         try:
             self._reader.close()
@@ -414,7 +504,8 @@ class RemoteShell:
             return ("commands: (template) | query Q | ask Q | try ENTITY |"
                     " probe Q | add S R T | remove S R T | limit N |"
                     " rule NAME TEXT | include NAME | exclude NAME |"
-                    " stats | checkpoint | ping | quit")
+                    " stats | metrics | slowlog [N] | trace on|off|last |"
+                    " checkpoint | ping | quit")
         if command == "ping":
             info = client.ping()
             return (f"ok: version {info['version']},"
@@ -466,6 +557,42 @@ class RemoteShell:
             stats = client.stats()
             return "\n".join(f"{key}: {value}"
                              for key, value in sorted(stats.items()))
+        if command == "metrics":
+            if rest.strip() == "prometheus":
+                return client.metrics(format="prometheus").rstrip()
+            snapshot = client.metrics(refresh=True)
+            lines = [f"{name}: {value}" for name, value
+                     in sorted(snapshot.get("counters", {}).items())]
+            for name, histogram in sorted(
+                    snapshot.get("histograms", {}).items()):
+                lines.append(
+                    f"{name}: count={histogram['count']}"
+                    f" p50={histogram['p50'] * 1000:.3f}ms"
+                    f" p99={histogram['p99'] * 1000:.3f}ms")
+            return "\n".join(lines) or "(no metrics collected)"
+        if command == "slowlog":
+            limit = int(rest) if rest.strip() else 10
+            log = client.slowlog(limit=limit)
+            if not log["records"]:
+                return f"slow queries: {log['total']} total, none retained"
+            lines = [f"slow queries: {log['total']} total"]
+            for record in log["records"]:
+                lines.append(
+                    f"  [{record['source']}] {record['op']}"
+                    f" {record.get('text', '')}"
+                    f" {record['seconds'] * 1000:.1f}ms"
+                    f" (threshold {record['threshold'] * 1000:.1f}ms)")
+            return "\n".join(lines)
+        if command == "trace":
+            mode = rest.strip().lower()
+            if mode == "last":
+                if not client.last_trace:
+                    return "no traced call yet (enable with 'trace on')"
+                return client.render_last_trace().rstrip()
+            if mode not in ("on", "off"):
+                return "usage: trace on|off|last"
+            client.trace = mode == "on"
+            return f"per-request tracing {mode}"
         return f"unknown command: {command!r} (try 'help')"
 
     def run(self, stdin=None, stdout=None) -> None:

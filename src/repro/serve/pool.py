@@ -55,7 +55,9 @@ from ..core.errors import (
     ServiceClosed,
     error_class,
 )
+from ..obs import metrics as _metrics
 from ..obs import tracer as _obs
+from ..obs.context import TraceContext
 from .replica import BootstrapState, Delta, capture_bootstrap, replica_main
 from .service import DatabaseService, WriteTicket
 
@@ -65,17 +67,20 @@ __all__ = ["ReplicaPool"]
 class _Pending:
     """One inflight read: resolved by the worker's receiver thread."""
 
-    __slots__ = ("event", "ok", "value", "died")
+    __slots__ = ("event", "ok", "value", "extra", "died")
 
     def __init__(self):
         self.event = threading.Event()
         self.ok = False
         self.value: Any = None
+        self.extra: Optional[dict] = None
         self.died = False
 
-    def resolve(self, ok: bool, value: Any) -> None:
+    def resolve(self, ok: bool, value: Any,
+                extra: Optional[dict] = None) -> None:
         self.ok = ok
         self.value = value
+        self.extra = extra
         self.event.set()
 
     def fail_dead(self) -> None:
@@ -88,7 +93,7 @@ class _Worker:
 
     __slots__ = ("index", "generation", "process", "conn", "send_lock",
                  "pending", "applied", "ready", "alive", "start_seq",
-                 "receiver")
+                 "receiver", "metrics_snapshot", "metrics_seq")
 
     def __init__(self, index: int, generation: int, process, conn,
                  start_seq: int):
@@ -103,6 +108,8 @@ class _Worker:
         self.alive = True
         self.start_seq = start_seq
         self.receiver: Optional[threading.Thread] = None
+        self.metrics_snapshot: Optional[dict] = None
+        self.metrics_seq = 0       # heartbeat snapshots received
 
     def send(self, message) -> bool:
         """Serialized pipe send; False (not an exception) on a dead
@@ -138,6 +145,17 @@ class ReplicaPool:
             its replica and warmed its closure.
         lag_samples: how many per-delta replication latency samples to
             retain for :meth:`lag_stats`.
+        telemetry: worker observability config, shipped at spawn:
+            ``{"metrics": bool, "slow_query_seconds": float|None}``.
+            ``None`` derives it from the parent — metrics enabled iff
+            the parent's registry is enabled at spawn time, slow
+            threshold copied from the service.
+        heartbeat_interval: seconds between ``metrics_request``
+            heartbeats to workers (their snapshots feed
+            :meth:`metrics`).  ``None`` (default) starts a heartbeat
+            only when worker metrics are on, every 2 s; pass ``0`` to
+            disable the background heartbeat entirely
+            (:meth:`refresh_metrics` still works on demand).
     """
 
     def __init__(self, service: DatabaseService, workers: int = 2, *,
@@ -147,7 +165,9 @@ class ReplicaPool:
                  read_timeout: Optional[float] = 30.0,
                  wait_ready: bool = True,
                  ready_timeout: float = 60.0,
-                 lag_samples: int = 4096):
+                 lag_samples: int = 4096,
+                 telemetry: Optional[dict] = None,
+                 heartbeat_interval: Optional[float] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self._service = service
@@ -159,6 +179,15 @@ class ReplicaPool:
             start_method = "fork" if "fork" in available else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
+        if telemetry is None:
+            telemetry = {"metrics": _metrics.ENABLED,
+                         "slow_query_seconds": service.slow_query_seconds}
+        self._telemetry = telemetry
+        if heartbeat_interval is None:
+            heartbeat_interval = 2.0 if telemetry.get("metrics") else 0.0
+        self.heartbeat_interval = heartbeat_interval
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat: Optional[threading.Thread] = None
 
         self._lock = threading.RLock()
         self._version_cv = threading.Condition(self._lock)
@@ -187,6 +216,11 @@ class ReplicaPool:
         except BaseException:
             self.close()
             raise
+        if self.heartbeat_interval and self.heartbeat_interval > 0:
+            self._heartbeat = threading.Thread(
+                target=self._heartbeat_loop, name="repro-pool-heartbeat",
+                daemon=True)
+            self._heartbeat.start()
 
     # ------------------------------------------------------------------
     # Spawning and the delta stream
@@ -217,7 +251,8 @@ class ReplicaPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         generation = next(self._generation)
         process = self._ctx.Process(
-            target=replica_main, args=(child_conn, payload),
+            target=replica_main,
+            args=(child_conn, payload, self._telemetry),
             name=f"repro-replica-{index}-g{generation}", daemon=True)
         process.start()
         child_conn.close()
@@ -228,6 +263,8 @@ class ReplicaPool:
         worker.receiver.start()
         if _obs.ENABLED:
             _obs.TRACER.count("serve.pool.spawns")
+        if _metrics.ENABLED:
+            _metrics.METRICS.count("serve.pool.spawns")
         return worker
 
     def _on_delta(self, delta: Delta) -> None:
@@ -266,18 +303,29 @@ class ReplicaPool:
                         worker.applied = version
                     emitted = self._delta_emit_times.get(version)
                     if emitted is not None and kind == "applied":
-                        self._lag_log.append(
-                            time.perf_counter() - emitted)
+                        lag = time.perf_counter() - emitted
+                        self._lag_log.append(lag)
+                        if _metrics.ENABLED:
+                            _metrics.METRICS.observe(
+                                "serve.pool.lag_seconds", lag)
                     self._version_cv.notify_all()
             elif kind == "result":
-                rid, ok, value, version = message[1:]
+                rid, ok, value, version = message[1:5]
+                extra = message[5] if len(message) > 5 else None
                 with self._version_cv:
                     if version > worker.applied:
                         worker.applied = version
                     pending = worker.pending.pop(rid, None)
                     self._version_cv.notify_all()
                 if pending is not None:
-                    pending.resolve(ok, value)
+                    pending.resolve(ok, value, extra)
+            elif kind == "metrics":
+                with self._version_cv:
+                    if message[1] > worker.applied:
+                        worker.applied = message[1]
+                    worker.metrics_snapshot = message[2]
+                    worker.metrics_seq += 1
+                    self._version_cv.notify_all()
         self._on_worker_death(worker)
 
     def _on_worker_death(self, worker: _Worker) -> None:
@@ -292,6 +340,8 @@ class ReplicaPool:
                 self._deaths += 1
                 if _obs.ENABLED:
                     _obs.TRACER.count("serve.pool.worker_deaths")
+                if _metrics.ENABLED:
+                    _metrics.METRICS.count("serve.pool.worker_deaths")
         for pending in stranded:
             pending.fail_dead()
         try:
@@ -321,9 +371,73 @@ class ReplicaPool:
                 self._respawns += 1
                 if _obs.ENABLED:
                     _obs.TRACER.count("serve.pool.respawns")
+                if _metrics.ENABLED:
+                    _metrics.METRICS.count("serve.pool.respawns")
         except Exception:  # pragma: no cover - defensive
             if _obs.ENABLED:
                 _obs.TRACER.count("serve.pool.respawn_failures")
+
+    # ------------------------------------------------------------------
+    # Metrics heartbeat
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        """Periodically ask every live worker for a metrics snapshot.
+
+        The replies land asynchronously in the receiver threads, so a
+        heartbeat never blocks reads; :meth:`metrics` merges whatever
+        snapshots have most recently arrived.
+        """
+        while not self._heartbeat_stop.wait(self.heartbeat_interval):
+            with self._lock:
+                if self._closed:
+                    return
+                workers = [w for w in self._workers if w.alive]
+            for worker in workers:
+                worker.send(("metrics_request",))
+
+    def refresh_metrics(self, timeout: float = 2.0) -> bool:
+        """Request a fresh snapshot from every live worker and wait
+        (up to ``timeout``) for the replies — best effort: a worker
+        that dies mid-request is simply skipped.  Returns whether
+        every surviving target replied within the timeout."""
+        with self._lock:
+            targets = [(w, w.metrics_seq)
+                       for w in self._workers if w.alive]
+        for worker, _ in targets:
+            worker.send(("metrics_request",))
+        limit = time.monotonic() + timeout
+        with self._version_cv:
+            while True:
+                if all(worker.metrics_seq > seq or not worker.alive
+                       for worker, seq in targets):
+                    return True
+                remaining = limit - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._version_cv.wait(remaining)
+
+    def worker_metrics(self) -> List[dict]:
+        """Per-worker heartbeat state: index, liveness, applied
+        version, inflight count, and the latest shipped snapshot."""
+        with self._lock:
+            return [{"index": w.index, "alive": w.alive,
+                     "applied": w.applied, "inflight": len(w.pending),
+                     "metrics": w.metrics_snapshot}
+                    for w in self._workers]
+
+    def metrics(self, refresh: bool = False, timeout: float = 2.0) -> dict:
+        """The pool-wide metrics view: the primary process's registry
+        merged with every worker's latest heartbeat snapshot
+        (:func:`repro.obs.metrics.merge_snapshots`) — counters add,
+        histogram buckets add, so ``serve.request_seconds.query`` here
+        is the latency distribution across the whole pool."""
+        if refresh:
+            self.refresh_metrics(timeout)
+        snapshots = [_metrics.active_metrics().snapshot()]
+        with self._lock:
+            snapshots.extend(w.metrics_snapshot for w in self._workers
+                             if w.metrics_snapshot)
+        return _metrics.merge_snapshots(snapshots)
 
     # ------------------------------------------------------------------
     # Routing
@@ -363,10 +477,21 @@ class ReplicaPool:
 
     def _read(self, op: str, payload, deadline: Optional[float],
               ticket: Optional[WriteTicket],
-              min_version: int = 0) -> Any:
+              min_version: int = 0,
+              ctx: Optional[TraceContext] = None) -> Any:
         if self._closed:
             raise ServiceClosed("replica pool is closed")
         min_version = self._min_version(ticket, deadline, min_version)
+        if ctx is None:
+            return self._dispatch_read(op, payload, deadline,
+                                       min_version, None, None)
+        with ctx.span("pool.read", role="pool", op=op) as span:
+            return self._dispatch_read(op, payload, deadline,
+                                       min_version, ctx, span)
+
+    def _dispatch_read(self, op: str, payload, deadline: Optional[float],
+                       min_version: int, ctx: Optional[TraceContext],
+                       span) -> Any:
         with self._lock:
             self._reads += 1
             worker = self._pick(min_version)
@@ -374,52 +499,81 @@ class ReplicaPool:
                 rid = next(self._rid)
                 pending = _Pending()
                 worker.pending[rid] = pending
-        if worker is None or not worker.send(
-                ("read", rid, op, payload, deadline)):
+        if span is not None and worker is not None:
+            span.attributes["worker"] = worker.index
+        if ctx is None:
+            message = ("read", rid, op, payload, deadline) \
+                if worker is not None else None
+        else:
+            message = ("read", rid, op, payload, deadline, ctx.wire()) \
+                if worker is not None else None
+        if worker is None or not worker.send(message):
             if worker is not None:
                 with self._lock:
                     worker.pending.pop(rid, None)
-            return self._fallback(op, payload, deadline)
+            return self._fallback(op, payload, deadline, ctx)
         timeout = deadline if deadline is not None else self.read_timeout
         if not pending.event.wait(timeout):
             with self._lock:
                 worker.pending.pop(rid, None)
             if _obs.ENABLED:
                 _obs.TRACER.count("serve.pool.read_timeouts")
+            if _metrics.ENABLED:
+                _metrics.METRICS.count("serve.pool.read_timeouts")
             raise DeadlineExceeded(
                 f"replica did not answer {op!r} within {timeout}s")
         if pending.died:
             # The worker died mid-request; the primary always has the
             # answer.
-            return self._fallback(op, payload, deadline)
+            return self._fallback(op, payload, deadline, ctx)
+        self._consume_extra(pending.extra, ctx)
         if not pending.ok:
             name, text = pending.value
             raise error_class(name)(text)
         if _obs.ENABLED:
             _obs.TRACER.count("serve.pool.replica_reads")
+        if _metrics.ENABLED:
+            _metrics.METRICS.count("serve.pool.replica_reads")
         return pending.value
 
-    def _fallback(self, op: str, payload,
-                  deadline: Optional[float]) -> Any:
+    def _consume_extra(self, extra: Optional[dict],
+                       ctx: Optional[TraceContext]) -> None:
+        """Fold a result's telemetry payload into the parent side:
+        worker spans into the request's trace, worker slow-query
+        records into the primary's slow log."""
+        if not extra:
+            return
+        spans = extra.get("spans")
+        if spans and ctx is not None:
+            ctx.absorb(spans)
+        slow = extra.get("slow")
+        if slow:
+            self._service.slow_log.add(slow)
+
+    def _fallback(self, op: str, payload, deadline: Optional[float],
+                  ctx: Optional[TraceContext] = None) -> Any:
         """Serve a read from the primary's published snapshot — always
         current, so correct for any ``min_version``."""
         with self._lock:
             self._fallback_reads += 1
         if _obs.ENABLED:
             _obs.TRACER.count("serve.pool.fallback_reads")
+        if _metrics.ENABLED:
+            _metrics.METRICS.count("serve.pool.fallback_reads")
         service = self._service
         if op == "query":
-            return service.query(payload, deadline=deadline)
+            return service.query(payload, deadline=deadline, ctx=ctx)
         if op == "ask":
-            return service.ask(payload, deadline=deadline)
+            return service.ask(payload, deadline=deadline, ctx=ctx)
         if op == "match":
-            return service.match(payload, deadline=deadline)
+            return service.match(payload, deadline=deadline, ctx=ctx)
         if op == "navigate":
-            return service.navigate(payload, deadline=deadline).render()
+            return service.navigate(payload, deadline=deadline,
+                                    ctx=ctx).render()
         if op == "try":
-            return service.try_(payload, deadline=deadline)
+            return service.try_(payload, deadline=deadline, ctx=ctx)
         if op == "probe":
-            outcome = service.probe(payload, deadline=deadline)
+            outcome = service.probe(payload, deadline=deadline, ctx=ctx)
             return {"succeeded": outcome.succeeded,
                     "value": outcome.value,
                     "waves": len(outcome.waves)}
@@ -432,46 +586,58 @@ class ReplicaPool:
     # ------------------------------------------------------------------
     def query(self, query: str, deadline: Optional[float] = None,
               ticket: Optional[WriteTicket] = None,
-              min_version: int = 0):
+              min_version: int = 0,
+              ctx: Optional[TraceContext] = None):
         """Evaluate a query on a replica (set of tuples)."""
-        return self._read("query", query, deadline, ticket, min_version)
+        return self._read("query", query, deadline, ticket, min_version,
+                          ctx)
 
     def ask(self, query: str, deadline: Optional[float] = None,
             ticket: Optional[WriteTicket] = None,
-            min_version: int = 0) -> bool:
+            min_version: int = 0,
+            ctx: Optional[TraceContext] = None) -> bool:
         """Closed-query truth test on a replica."""
-        return self._read("ask", query, deadline, ticket, min_version)
+        return self._read("ask", query, deadline, ticket, min_version,
+                          ctx)
 
     def match(self, pattern: str, deadline: Optional[float] = None,
               ticket: Optional[WriteTicket] = None,
-              min_version: int = 0):
+              min_version: int = 0,
+              ctx: Optional[TraceContext] = None):
         """Template match on a replica (list of facts)."""
-        return self._read("match", pattern, deadline, ticket, min_version)
+        return self._read("match", pattern, deadline, ticket, min_version,
+                          ctx)
 
     def navigate(self, pattern: str, deadline: Optional[float] = None,
                  ticket: Optional[WriteTicket] = None,
-                 min_version: int = 0) -> str:
+                 min_version: int = 0,
+                 ctx: Optional[TraceContext] = None) -> str:
         """One browsing step on a replica, as rendered text."""
         return self._read("navigate", pattern, deadline, ticket,
-                          min_version)
+                          min_version, ctx)
 
     def try_(self, entity: str, deadline: Optional[float] = None,
              ticket: Optional[WriteTicket] = None,
-             min_version: int = 0):
+             min_version: int = 0,
+             ctx: Optional[TraceContext] = None):
         """The paper's ``try`` operator on a replica."""
-        return self._read("try", entity, deadline, ticket, min_version)
+        return self._read("try", entity, deadline, ticket, min_version,
+                          ctx)
 
     def probe(self, query: str, deadline: Optional[float] = None,
               ticket: Optional[WriteTicket] = None,
-              min_version: int = 0) -> dict:
+              min_version: int = 0,
+              ctx: Optional[TraceContext] = None) -> dict:
         """Broadened query on a replica:
         ``{"succeeded", "value", "waves"}``."""
-        return self._read("probe", query, deadline, ticket, min_version)
+        return self._read("probe", query, deadline, ticket, min_version,
+                          ctx)
 
     def database_stats(self, deadline: Optional[float] = None,
-                       min_version: int = 0) -> dict:
+                       min_version: int = 0,
+                       ctx: Optional[TraceContext] = None) -> dict:
         """A replica's :meth:`~repro.db.Database.stats`."""
-        return self._read("stats", None, deadline, None, min_version)
+        return self._read("stats", None, deadline, None, min_version, ctx)
 
     # ------------------------------------------------------------------
     # Introspection and control
@@ -556,6 +722,9 @@ class ReplicaPool:
                 "deltas_shipped": self._deltas_shipped,
                 "worker_deaths": self._deaths,
                 "respawns": self._respawns,
+                "heartbeat_interval": self.heartbeat_interval,
+                "worker_metrics_received": sum(
+                    w.metrics_seq for w in self._workers),
                 "closed": self._closed,
             }
 
@@ -589,6 +758,7 @@ class ReplicaPool:
                 return
             self._closed = True
             workers = list(self._workers)
+        self._heartbeat_stop.set()
         self._service.unsubscribe_deltas(self._on_delta)
         for worker in workers:
             worker.send(("stop",))

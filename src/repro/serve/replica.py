@@ -22,6 +22,10 @@ Pipe protocol (parent → worker)::
 
     ("delta", Delta)                     apply, then ack
     ("read", rid, op, payload, seconds)  evaluate under a deadline
+    ("read", rid, op, payload, seconds, trace)
+                                         same, traced: ``trace`` is a
+                                         TraceContext wire dict
+    ("metrics_request",)                 ship a metrics snapshot
     ("ping",)                            liveness probe
     ("crash",)                           hard-exit (failover tests)
     ("stop",)                            clean shutdown
@@ -32,23 +36,35 @@ and worker → parent::
     ("applied", version)                 delta ack
     ("result", rid, ok, value, version)  read outcome (value is the
                                          result, or (error_name, text))
+    ("result", rid, ok, value, version, extra)
+                                         same, with telemetry: ``extra``
+                                         is ``{"spans": [...]}`` and/or
+                                         ``{"slow": record}``
+    ("metrics", version, snapshot)       registry snapshot (heartbeat)
     ("pong", version)
 
-``version`` is always the replication sequence number — the primary's
-count of published batches — never a store-internal counter, so a
-replica bootstrapped from disk and one bootstrapped from a shipped
-state agree on where they stand.
+Both sides accept the shorter historical forms, so a parent and worker
+from adjacent versions interoperate.  ``version`` is always the
+replication sequence number — the primary's count of published
+batches — never a store-internal counter, so a replica bootstrapped
+from disk and one bootstrapped from a shipped state agree on where
+they stand.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core import deadline as _deadline
 from ..core.errors import ReproError, ServiceError
 from ..core.facts import Fact
 from ..db import Database
+from ..obs import metrics as _metrics
+from ..obs.context import TraceContext
+from ..obs.slowlog import build_record, plan_summary
+from ..query import exec as _qexec
 from ..rules.registry import RuleRegistry
 from ..rules.rule import Rule
 
@@ -215,7 +231,7 @@ def _bootstrap(payload) -> Database:
     raise ServiceError(f"unknown bootstrap payload {kind!r}")
 
 
-def replica_main(conn, payload) -> None:
+def replica_main(conn, payload, telemetry: Optional[dict] = None) -> None:
     """The worker process entry point.
 
     ``conn`` is this end of a duplex pipe; ``payload`` is
@@ -225,6 +241,14 @@ def replica_main(conn, payload) -> None:
     Builds the replica, warms its closure, then serves the pipe until
     ``("stop",)`` or EOF.  Requests are handled strictly in order, so
     a read enqueued after a delta always sees that delta applied.
+
+    ``telemetry`` configures this process's observability:
+    ``{"metrics": True}`` enables a fresh metrics registry (shipped
+    back on ``metrics_request`` heartbeats), and
+    ``{"slow_query_seconds": t}`` makes reads slower than ``t`` attach
+    a slow-query record (with compiled-plan stats) to their result.
+    ``None`` leaves whatever the process inherited — under ``fork``, a
+    metrics-enabled parent's child keeps collecting into its own copy.
 
     SIGINT is ignored: a terminal Ctrl-C signals the whole process
     group, but shutdown is the parent's job (a ``("stop",)`` message
@@ -238,6 +262,13 @@ def replica_main(conn, payload) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (OSError, ValueError):  # pragma: no cover - exotic hosts
         pass
+    slow_threshold: Optional[float] = None
+    if telemetry:
+        if telemetry.get("metrics"):
+            _metrics.enable_metrics(fresh=True)
+        slow_threshold = telemetry.get("slow_query_seconds")
+        if slow_threshold is not None:
+            _qexec.KEEP_LAST_RUN = True
     db = _bootstrap(payload)
     version = (payload[1].version if payload[0] == "state"
                else payload[2].version)
@@ -252,24 +283,66 @@ def replica_main(conn, payload) -> None:
         if kind == "delta":
             delta = message[1]
             if delta.version > version:
+                apply_started = time.perf_counter()
                 apply_delta_message(db, delta)
                 version = delta.version
+                if _metrics.ENABLED:
+                    _metrics.METRICS.count("replica.deltas")
+                    _metrics.METRICS.observe(
+                        "replica.apply_seconds",
+                        time.perf_counter() - apply_started)
             conn.send(("applied", version))
         elif kind == "read":
-            rid, op, read_payload, seconds = message[1:]
+            rid, op, read_payload, seconds = message[1:5]
+            ctx = (TraceContext.from_wire(message[5])
+                   if len(message) > 5 else None)
+            if slow_threshold is not None:
+                _qexec.clear_last_run()
+            started = time.perf_counter()
             try:
                 handler = READ_OPS.get(op)
                 if handler is None:
                     raise ServiceError(f"unknown read operation {op!r}")
-                with _deadline.deadline_scope(seconds):
-                    value = handler(db, read_payload)
-                conn.send(("result", rid, True, value, version))
+                if ctx is not None:
+                    with ctx.span("replica.read", role="replica", op=op):
+                        with _deadline.deadline_scope(seconds):
+                            value = handler(db, read_payload)
+                else:
+                    with _deadline.deadline_scope(seconds):
+                        value = handler(db, read_payload)
+                ok = True
             except (ReproError, ValueError) as error:
-                conn.send(("result", rid, False,
-                           (type(error).__name__, str(error)), version))
+                ok, value = False, (type(error).__name__, str(error))
             except Exception as error:  # pragma: no cover - defensive
-                conn.send(("result", rid, False,
-                           ("ReplicaError", repr(error)), version))
+                ok, value = False, ("ReplicaError", repr(error))
+            elapsed = time.perf_counter() - started
+            if _metrics.ENABLED:
+                registry = _metrics.METRICS
+                registry.count("serve.requests")
+                registry.count(f"serve.requests.{op}")
+                registry.count("replica.reads")
+                registry.observe(f"serve.request_seconds.{op}", elapsed)
+            extra: Optional[Dict[str, Any]] = None
+            if ctx is not None:
+                extra = {"spans": ctx.collect()}
+            if slow_threshold is not None and elapsed >= slow_threshold:
+                record = build_record(
+                    op, elapsed, slow_threshold,
+                    text=str(read_payload), source="replica",
+                    trace_id=ctx.trace_id if ctx is not None else None,
+                    deadline=seconds,
+                    plan=plan_summary(_qexec.last_run()))
+                extra = extra or {}
+                extra["slow"] = record
+                if _metrics.ENABLED:
+                    _metrics.METRICS.count("serve.slow_queries")
+            if extra is None:
+                conn.send(("result", rid, ok, value, version))
+            else:
+                conn.send(("result", rid, ok, value, version, extra))
+        elif kind == "metrics_request":
+            conn.send(("metrics", version,
+                       _metrics.active_metrics().snapshot()))
         elif kind == "ping":
             conn.send(("pong", version))
         elif kind == "crash":

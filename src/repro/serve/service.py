@@ -56,6 +56,7 @@ Example::
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -71,7 +72,11 @@ from ..core.errors import (
 )
 from ..core.facts import Fact, fact as make_fact
 from ..db import Database
+from ..obs import metrics as _metrics
 from ..obs import tracer as _obs
+from ..obs.context import SpanRecord, TraceContext, new_span_id
+from ..obs.slowlog import SlowQueryLog, build_record, plan_summary
+from ..query import exec as _qexec
 from .replica import Delta
 
 __all__ = ["DatabaseService", "WriteTicket"]
@@ -160,8 +165,8 @@ class WriteTicket:
         return self._value
 
 
-# One queued operation: (kind, payload, ticket).
-_Op = Tuple[str, Any, WriteTicket]
+# One queued operation: (kind, payload, ticket, trace context or None).
+_Op = Tuple[str, Any, WriteTicket, Optional[TraceContext]]
 
 _MUTATING_KINDS = frozenset(
     {"add", "add_many", "remove", "limit", "include", "exclude",
@@ -195,6 +200,11 @@ class DatabaseService:
             with no extra batch window).
         default_deadline: per-request deadline in seconds applied to
             reads and write waits when the call does not pass its own.
+        slow_query_seconds: reads slower than this land in
+            :attr:`slow_log` with their op, payload text, trace id,
+            and (for compiled queries) the plan's est-vs-actual
+            operator stats.  ``None`` (default) disables the log.
+        slow_log_size: ring-buffer capacity of :attr:`slow_log`.
         start: start the writer thread immediately (tests pass False
             to stage queue states deterministically).
     """
@@ -205,6 +215,8 @@ class DatabaseService:
                  batch_window: float = 0.002,
                  max_batch: Optional[int] = 256,
                  default_deadline: Optional[float] = None,
+                 slow_query_seconds: Optional[float] = None,
+                 slow_log_size: int = 128,
                  start: bool = True):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -220,6 +232,13 @@ class DatabaseService:
         self.batch_window = batch_window
         self.max_batch = max_batch
         self.default_deadline = default_deadline
+        self.slow_query_seconds = slow_query_seconds
+        self.slow_log = SlowQueryLog(slow_log_size)
+        if slow_query_seconds is not None:
+            # The executor keeps its last PlanRun on a thread-local
+            # only while someone can consume it; slow logging is such
+            # a consumer even with tracing/metrics off.
+            _qexec.KEEP_LAST_RUN = True
 
         self._lock = threading.Lock()
         self._has_work = threading.Condition(self._lock)
@@ -291,7 +310,7 @@ class DatabaseService:
         with self._lock:
             leftovers = list(self._ops)
             self._ops.clear()
-        for _, _, ticket in leftovers:
+        for _, _, ticket, _ in leftovers:
             ticket._reject(ServiceClosed("service closed before the"
                                          " operation was applied"))
         if self._session is not None:
@@ -337,6 +356,9 @@ class DatabaseService:
                 backlog = bool(self._ops)
                 if _obs.ENABLED:
                     _obs.TRACER.gauge("serve.queue_depth", len(self._ops))
+                if _metrics.ENABLED:
+                    _metrics.METRICS.gauge("serve.queue_depth",
+                                           len(self._ops))
             try:
                 self._apply_batch(batch)
             except Exception as error:  # pragma: no cover - defensive
@@ -345,7 +367,7 @@ class DatabaseService:
                 # previously published snapshot.
                 wrapped = ServiceError(f"writer failed: {error!r}")
                 wrapped.__cause__ = error
-                for _, _, ticket in batch:
+                for _, _, ticket, _ in batch:
                     if not ticket.done():
                         ticket._reject(wrapped)
 
@@ -353,12 +375,14 @@ class DatabaseService:
         span = (_obs.TRACER.span("serve.batch", size=len(batch))
                 if _obs.ENABLED else _obs.NULL_SPAN)
         settled: List[Tuple[WriteTicket, Any, Optional[BaseException]]] = []
+        batch_started_wall = time.time()
+        batch_started = time.perf_counter()
         with span:
             journal_entries: List[Tuple[str, Fact]] = []
             controls: List[tuple] = []
             mutated = False
             checkpoint_requested = False
-            for kind, payload, ticket in batch:
+            for kind, payload, ticket, _ctx in batch:
                 try:
                     outcome: Any
                     if kind == "add":
@@ -433,6 +457,10 @@ class DatabaseService:
                 if _obs.ENABLED:
                     _obs.TRACER.gauge("serve.publish_pause_seconds",
                                       pause)
+                if _metrics.ENABLED:
+                    _metrics.METRICS.gauge("serve.publish_pause_seconds",
+                                           pause)
+                    _metrics.METRICS.observe("serve.publish_pause", pause)
             if checkpoint_requested and self._session is not None:
                 # Readers keep hitting the published in-memory snapshot
                 # while the on-disk one is rewritten.
@@ -445,6 +473,26 @@ class DatabaseService:
                 _obs.TRACER.count("serve.batches")
                 _obs.TRACER.count("serve.ops_applied", len(batch))
                 _obs.TRACER.gauge("serve.batch_size", len(batch))
+            if _metrics.ENABLED:
+                _metrics.METRICS.count("serve.batches")
+                _metrics.METRICS.count("serve.ops_applied", len(batch))
+                _metrics.METRICS.gauge("serve.batch_size", len(batch))
+                _metrics.METRICS.observe(
+                    "serve.batch_seconds",
+                    time.perf_counter() - batch_started)
+        # Traced writes get a writer-thread span covering their batch:
+        # one record per traced op, all sharing the batch's timing, so
+        # the client's stitched tree shows where its write was applied.
+        batch_wall = time.perf_counter() - batch_started
+        for kind, _payload, _ticket, ctx in batch:
+            if ctx is not None:
+                ctx.add_record(SpanRecord(
+                    trace_id=ctx.trace_id, span_id=new_span_id(),
+                    parent_id=ctx.parent_id, name="writer.apply_batch",
+                    role="writer", pid=os.getpid(),
+                    start=batch_started_wall, wall=batch_wall,
+                    attributes={"op": kind, "batch_size": len(batch),
+                                "version": self._applied_seq}))
         # Ship the delta before settling tickets: once a write call
         # returns, its delta is already in every replica's ordered
         # pipe, so version-routed reads can only wait, never miss.
@@ -485,7 +533,8 @@ class DatabaseService:
     # ------------------------------------------------------------------
     # Write API
     # ------------------------------------------------------------------
-    def _submit(self, kind: str, payload) -> WriteTicket:
+    def _submit(self, kind: str, payload,
+                ctx: Optional[TraceContext] = None) -> WriteTicket:
         ticket = WriteTicket()
         with self._lock:
             if self._closed:
@@ -493,12 +542,16 @@ class DatabaseService:
             if len(self._ops) >= self.max_pending:
                 if _obs.ENABLED:
                     _obs.TRACER.count("serve.overloaded")
+                if _metrics.ENABLED:
+                    _metrics.METRICS.count("serve.overloaded")
                 raise Overloaded(
                     f"admission queue is full ({self.max_pending} pending"
                     f" writes); retry with backoff")
-            self._ops.append((kind, payload, ticket))
+            self._ops.append((kind, payload, ticket, ctx))
             if _obs.ENABLED:
                 _obs.TRACER.gauge("serve.queue_depth", len(self._ops))
+            if _metrics.ENABLED:
+                _metrics.METRICS.gauge("serve.queue_depth", len(self._ops))
             self._has_work.notify()
         return ticket
 
@@ -506,24 +559,29 @@ class DatabaseService:
         timeout = deadline if deadline is not None else self.default_deadline
         return ticket.result(timeout)
 
-    def add_async(self, new_fact) -> WriteTicket:
+    def add_async(self, new_fact,
+                  ctx: Optional[TraceContext] = None) -> WriteTicket:
         """Queue an insertion; returns the ticket immediately."""
-        return self._submit("add", _as_fact(new_fact))
+        return self._submit("add", _as_fact(new_fact), ctx)
 
-    def remove_async(self, old_fact) -> WriteTicket:
+    def remove_async(self, old_fact,
+                     ctx: Optional[TraceContext] = None) -> WriteTicket:
         """Queue a removal; returns the ticket immediately."""
-        return self._submit("remove", _as_fact(old_fact))
+        return self._submit("remove", _as_fact(old_fact), ctx)
 
     def add(self, source: str, relationship: str, target: str,
-            deadline: Optional[float] = None) -> bool:
+            deadline: Optional[float] = None,
+            ctx: Optional[TraceContext] = None) -> bool:
         """Insert a fact and wait until it is published."""
-        ticket = self.add_async(make_fact(source, relationship, target))
+        ticket = self.add_async(make_fact(source, relationship, target), ctx)
         return self._await(ticket, deadline)
 
     def remove(self, source: str, relationship: str, target: str,
-               deadline: Optional[float] = None) -> bool:
+               deadline: Optional[float] = None,
+               ctx: Optional[TraceContext] = None) -> bool:
         """Remove a fact and wait until the removal is published."""
-        ticket = self.remove_async(make_fact(source, relationship, target))
+        ticket = self.remove_async(
+            make_fact(source, relationship, target), ctx)
         return self._await(ticket, deadline)
 
     def add_facts_async(self, new_facts: Iterable) -> WriteTicket:
@@ -547,23 +605,28 @@ class DatabaseService:
         return self._await(self.add_facts_async(new_facts), deadline)
 
     def limit(self, n: Optional[int],
-              deadline: Optional[float] = None) -> Optional[int]:
+              deadline: Optional[float] = None,
+              ctx: Optional[TraceContext] = None) -> Optional[int]:
         """Set the composition limit (the paper's ``limit(n)``)."""
-        return self._await(self._submit("limit", n), deadline)
+        return self._await(self._submit("limit", n, ctx), deadline)
 
-    def include(self, rule, deadline: Optional[float] = None) -> bool:
+    def include(self, rule, deadline: Optional[float] = None,
+                ctx: Optional[TraceContext] = None) -> bool:
         """Enable a rule on the master database."""
-        return self._await(self._submit("include", rule), deadline)
+        return self._await(self._submit("include", rule, ctx), deadline)
 
-    def exclude(self, rule, deadline: Optional[float] = None) -> bool:
+    def exclude(self, rule, deadline: Optional[float] = None,
+                ctx: Optional[TraceContext] = None) -> bool:
         """Disable a rule on the master database."""
-        return self._await(self._submit("exclude", rule), deadline)
+        return self._await(self._submit("exclude", rule, ctx), deadline)
 
     def define_rule(self, name: str, text: str, *,
                     is_constraint: bool = False,
-                    deadline: Optional[float] = None):
+                    deadline: Optional[float] = None,
+                    ctx: Optional[TraceContext] = None):
         """Define (and enable) a rule; returns the parsed Rule."""
-        ticket = self._submit("define_rule", (name, text, is_constraint))
+        ticket = self._submit("define_rule", (name, text, is_constraint),
+                              ctx)
         return self._await(ticket, deadline)
 
     def checkpoint(self, deadline: Optional[float] = None) -> bool:
@@ -581,54 +644,93 @@ class DatabaseService:
     # Read API (lock-free, snapshot-isolated)
     # ------------------------------------------------------------------
     def _read(self, op: str, fn: Callable[[Database], Any],
-              deadline: Optional[float]) -> Any:
+              deadline: Optional[float],
+              ctx: Optional[TraceContext] = None,
+              text: str = "") -> Any:
         if self._closed:
             raise ServiceClosed("service is closed")
         snap = self._published        # atomic ref grab: our isolation
         seconds = deadline if deadline is not None else self.default_deadline
+        threshold = self.slow_query_seconds
+        if threshold is not None:
+            # Don't attribute a previous request's plan to this one.
+            _qexec.clear_last_run()
         started = time.perf_counter()
         try:
-            with _deadline.deadline_scope(seconds):
-                return fn(snap)
+            if ctx is not None:
+                with ctx.span("service.read", role="service", op=op):
+                    with _deadline.deadline_scope(seconds):
+                        return fn(snap)
+            else:
+                with _deadline.deadline_scope(seconds):
+                    return fn(snap)
         except DeadlineExceeded:
             if _obs.ENABLED:
                 _obs.TRACER.count("serve.deadline_exceeded")
+            if _metrics.ENABLED:
+                _metrics.METRICS.count("serve.deadline_exceeded")
             raise
         finally:
+            elapsed = time.perf_counter() - started
             if _obs.ENABLED:
                 _obs.TRACER.count("serve.requests")
                 _obs.TRACER.count(f"serve.requests.{op}")
-                _obs.TRACER.gauge("serve.request_seconds",
-                                  time.perf_counter() - started)
+                _obs.TRACER.gauge("serve.request_seconds", elapsed)
+            if _metrics.ENABLED:
+                registry = _metrics.METRICS
+                registry.count("serve.requests")
+                registry.count(f"serve.requests.{op}")
+                registry.observe(f"serve.request_seconds.{op}", elapsed)
+            if threshold is not None and elapsed >= threshold:
+                self.slow_log.add(build_record(
+                    op, elapsed, threshold, text=text, source="primary",
+                    trace_id=ctx.trace_id if ctx is not None else None,
+                    deadline=seconds,
+                    plan=plan_summary(_qexec.last_run())))
+                if _metrics.ENABLED:
+                    _metrics.METRICS.count("serve.slow_queries")
 
-    def query(self, query, deadline: Optional[float] = None):
+    def query(self, query, deadline: Optional[float] = None,
+              ctx: Optional[TraceContext] = None):
         """Evaluate a query against the published snapshot."""
-        return self._read("query", lambda db: db.query(query), deadline)
+        return self._read("query", lambda db: db.query(query), deadline,
+                          ctx, str(query))
 
-    def ask(self, query, deadline: Optional[float] = None) -> bool:
+    def ask(self, query, deadline: Optional[float] = None,
+            ctx: Optional[TraceContext] = None) -> bool:
         """Closed-query test against the published snapshot."""
-        return self._read("ask", lambda db: db.ask(query), deadline)
+        return self._read("ask", lambda db: db.ask(query), deadline,
+                          ctx, str(query))
 
-    def match(self, pattern, deadline: Optional[float] = None):
+    def match(self, pattern, deadline: Optional[float] = None,
+              ctx: Optional[TraceContext] = None):
         """Template match against the published snapshot."""
-        return self._read("match", lambda db: db.match(pattern), deadline)
+        return self._read("match", lambda db: db.match(pattern), deadline,
+                          ctx, str(pattern))
 
-    def navigate(self, pattern, deadline: Optional[float] = None):
+    def navigate(self, pattern, deadline: Optional[float] = None,
+                 ctx: Optional[TraceContext] = None):
         """Browse one template step against the published snapshot."""
         return self._read("navigate", lambda db: db.navigate(pattern),
-                          deadline)
+                          deadline, ctx, str(pattern))
 
-    def try_(self, entity: str, deadline: Optional[float] = None):
+    def try_(self, entity: str, deadline: Optional[float] = None,
+             ctx: Optional[TraceContext] = None):
         """The paper's ``try`` operator against the snapshot."""
-        return self._read("try", lambda db: db.try_(entity), deadline)
+        return self._read("try", lambda db: db.try_(entity), deadline,
+                          ctx, str(entity))
 
-    def probe(self, query, deadline: Optional[float] = None):
+    def probe(self, query, deadline: Optional[float] = None,
+              ctx: Optional[TraceContext] = None):
         """Broadened query (vagueness, §5) against the snapshot."""
-        return self._read("probe", lambda db: db.probe(query), deadline)
+        return self._read("probe", lambda db: db.probe(query), deadline,
+                          ctx, str(query))
 
-    def why(self, fact, deadline: Optional[float] = None):
+    def why(self, fact, deadline: Optional[float] = None,
+            ctx: Optional[TraceContext] = None):
         """Derivation tree for a fact, from the snapshot's provenance."""
-        return self._read("why", lambda db: db.why(fact), deadline)
+        return self._read("why", lambda db: db.why(fact), deadline,
+                          ctx, str(fact))
 
     def read_view(self) -> Database:
         """The currently published snapshot (frozen, safe to share).
@@ -695,6 +797,8 @@ class DatabaseService:
             "publish_pause_max_s": round(self._publish_pause_max, 6),
             "publish_pause_total_s": round(self._publish_pause_total, 6),
             "applied_seq": self.applied_seq,
+            "slow_query_seconds": self.slow_query_seconds,
+            "slow_queries": self.slow_log.total,
             "published_version": snap.facts.version,
             "base_facts": len(snap.facts),
             "durable": self._session is not None,

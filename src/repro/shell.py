@@ -10,11 +10,12 @@ suite asserts on) or interactively::
     python -m repro.shell music        # any dataset in repro.datasets
     python -m repro.shell /path/to/db  # a durable database directory
 
-Two extra modes expose the concurrent serving layer
+Three extra modes expose the concurrent serving layer
 (:mod:`repro.serve`)::
 
     python -m repro.shell serve music --port 7474   # host over TCP
     python -m repro.shell connect localhost:7474    # remote shell
+    python -m repro.shell monitor localhost:7474    # live dashboard
 
 Commands::
 
@@ -497,8 +498,18 @@ def _serve_main(arguments: List[str]) -> int:
     parser.add_argument("--workers", type=int, default=0,
                         help="replica worker processes for reads"
                              " (0 = serve reads from the primary)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect cross-process metrics (scrape with"
+                             " the 'metrics' verb or tools/prom_exporter)")
+    parser.add_argument("--slow-query", type=float, default=None,
+                        metavar="SECONDS",
+                        help="log reads slower than this many seconds")
     options = parser.parse_args(arguments)
 
+    if options.metrics:
+        from .obs import metrics as _metrics
+
+        _metrics.enable_metrics(fresh=True)
     if options.target is not None:
         db, session = _resolve(options.target)
     else:
@@ -507,7 +518,8 @@ def _serve_main(arguments: List[str]) -> int:
                               max_pending=options.max_pending,
                               batch_window=options.batch_window,
                               default_deadline=options.deadline,
-                              max_batch=options.max_batch or None)
+                              max_batch=options.max_batch or None,
+                              slow_query_seconds=options.slow_query)
     pool = None
     if options.workers > 0:
         from .serve.pool import ReplicaPool
@@ -549,15 +561,66 @@ def _connect_main(arguments: List[str]) -> int:
     return 0
 
 
+def _monitor_main(arguments: List[str]) -> int:
+    """``monitor`` mode: live dashboard over a running server."""
+    import argparse
+    import time
+
+    from .obs.monitor import render_dashboard
+    from .serve.net import ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.shell monitor",
+        description="Render a live telemetry dashboard for a server"
+                    " started with --metrics.")
+    parser.add_argument("address", help="HOST[:PORT] of a running server")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between refreshes")
+    parser.add_argument("--count", type=int, default=0,
+                        help="stop after this many frames (0 = forever)")
+    parser.add_argument("--no-clear", action="store_true",
+                        help="append frames instead of clearing the screen")
+    options = parser.parse_args(arguments)
+    host, _, port_text = options.address.partition(":")
+    port = int(port_text) if port_text else 7474
+
+    previous = None
+    frames = 0
+    with ServiceClient(host or "127.0.0.1", port) as client:
+        try:
+            while True:
+                sample = client.metrics(refresh=True)
+                title = (f"repro monitor — {host or '127.0.0.1'}:{port}"
+                         f" — frame {frames + 1}")
+                frame = render_dashboard(
+                    sample, previous,
+                    options.interval if previous is not None else 1.0,
+                    title=title)
+                if not options.no_clear:
+                    print("\033[2J\033[H", end="")
+                print(frame, flush=True)
+                previous = sample
+                frames += 1
+                if options.count and frames >= options.count:
+                    break
+                time.sleep(options.interval)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     arguments = sys.argv[1:] if argv is None else argv
     if arguments and arguments[0] == "serve":
         return _serve_main(arguments[1:])
     if arguments and arguments[0] == "connect":
         return _connect_main(arguments[1:])
+    if arguments and arguments[0] == "monitor":
+        return _monitor_main(arguments[1:])
     if len(arguments) > 1:
         print("usage: python -m repro.shell"
-              " [dataset-or-directory | serve ... | connect HOST[:PORT]]")
+              " [dataset-or-directory | serve ... | connect HOST[:PORT]"
+              " | monitor HOST[:PORT]]")
         return 2
     db = _load(arguments[0]) if arguments else Database()
     BrowserShell(db).run()

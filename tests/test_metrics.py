@@ -1,0 +1,260 @@
+"""Cross-process metrics: registries, snapshot algebra, Prometheus
+exposition, and the tracer's gauge aggregates (which share the same
+min/max/sum/count shape)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS,
+    GaugeAggregate,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    active_metrics,
+    disable_metrics,
+    enable_metrics,
+    merge_snapshots,
+    metrics_enabled,
+    parse_prometheus,
+    to_prometheus,
+    use_metrics,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+# ----------------------------------------------------------------------
+# Primitives
+# ----------------------------------------------------------------------
+class TestGaugeAggregate:
+    def test_tracks_min_max_sum_last(self):
+        gauge = GaugeAggregate()
+        for value in (3.0, 1.0, 2.0):
+            gauge.set(value)
+        stats = gauge.as_dict()
+        assert stats["last"] == 2.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["sum"] == 6.0
+        assert stats["count"] == 3
+        assert gauge.mean == pytest.approx(2.0)
+
+    def test_empty_gauge_is_zeroed(self):
+        stats = GaugeAggregate().as_dict()
+        assert stats["count"] == 0
+        assert stats["sum"] == 0.0
+
+
+class TestHistogram:
+    def test_percentiles_without_samples(self):
+        histogram = Histogram()
+        for microseconds in range(1, 101):
+            histogram.observe(microseconds * 1e-4)  # 0.1ms .. 10ms
+        # No raw samples retained — only bucket counts.
+        assert histogram.count == 100
+        assert histogram.percentile(0.50) <= histogram.percentile(0.99)
+        stats = histogram.as_dict()
+        assert stats["count"] == 100
+        assert stats["p50"] <= stats["p95"] <= stats["p99"]
+        assert stats["min"] == pytest.approx(1e-4)
+        assert stats["max"] == pytest.approx(1e-2)
+
+    def test_overflow_bucket_reports_max(self):
+        histogram = Histogram(bounds=(0.001, 0.01))
+        histogram.observe(5.0)
+        assert histogram.percentile(0.99) == pytest.approx(5.0)
+
+    def test_bucket_count_matches_bounds(self):
+        histogram = Histogram()
+        # One overflow bucket beyond the last bound.
+        assert len(histogram.counts) == len(DEFAULT_BUCKETS) + 1
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.count("requests")
+        registry.count("requests", 2)
+        registry.gauge("depth", 4.0)
+        registry.observe("latency", 0.002)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["requests"] == 3
+        assert snapshot["gauges"]["depth"]["last"] == 4.0
+        assert snapshot["histograms"]["latency"]["count"] == 1
+        assert registry.counter_value("requests") == 3
+        assert registry.counter_value("absent") == 0
+
+    def test_time_context_manager(self):
+        registry = MetricsRegistry()
+        with registry.time("op"):
+            pass
+        assert registry.snapshot()["histograms"]["op"]["count"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.count("x")
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+    def test_thread_safety(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                registry.count("n")
+                registry.observe("h", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["n"] == 4000
+        assert snapshot["histograms"]["h"]["count"] == 4000
+
+
+class TestEnablement:
+    def test_disabled_by_default_and_null_is_inert(self):
+        assert isinstance(METRICS, NullMetrics) or not metrics_enabled()
+        null = NullMetrics()
+        null.count("x")
+        null.gauge("y", 1.0)
+        null.observe("z", 0.1)
+        assert null.snapshot() == {"counters": {}, "gauges": {},
+                                   "histograms": {}}
+
+    def test_enable_disable_cycle(self):
+        registry = enable_metrics(fresh=True)
+        try:
+            assert metrics_enabled()
+            registry.count("during")
+            assert active_metrics() is registry
+        finally:
+            disable_metrics()
+        assert not metrics_enabled()
+        # Data stays readable after disable.
+        assert active_metrics().counter_value("during") == 1
+
+    def test_use_metrics_restores_state(self):
+        before = active_metrics()
+        with use_metrics(MetricsRegistry()) as registry:
+            assert metrics_enabled()
+            registry.count("scoped")
+        assert active_metrics() is before
+        assert not metrics_enabled()
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra
+# ----------------------------------------------------------------------
+class TestMergeSnapshots:
+    def _snapshot(self, requests: int, latency: float) -> dict:
+        registry = MetricsRegistry()
+        registry.count("requests", requests)
+        registry.gauge("depth", latency * 100)
+        registry.observe("latency", latency)
+        return registry.snapshot()
+
+    def test_counters_add(self):
+        merged = merge_snapshots([self._snapshot(2, 0.001),
+                                  self._snapshot(3, 0.002)])
+        assert merged["counters"]["requests"] == 5
+
+    def test_gauges_combine(self):
+        merged = merge_snapshots([self._snapshot(1, 0.001),
+                                  self._snapshot(1, 0.005)])
+        gauge = merged["gauges"]["depth"]
+        assert gauge["min"] == pytest.approx(0.1)
+        assert gauge["max"] == pytest.approx(0.5)
+        assert gauge["count"] == 2
+
+    def test_histograms_add_and_rederive(self):
+        merged = merge_snapshots([self._snapshot(1, 0.001),
+                                  self._snapshot(1, 0.002)])
+        histogram = merged["histograms"]["latency"]
+        assert histogram["count"] == 2
+        assert histogram["min"] == pytest.approx(0.001)
+        assert histogram["max"] == pytest.approx(0.002)
+
+    def test_disjoint_series_union(self):
+        left = MetricsRegistry()
+        left.count("only.left")
+        right = MetricsRegistry()
+        right.count("only.right")
+        merged = merge_snapshots([left.snapshot(), right.snapshot()])
+        assert merged["counters"] == {"only.left": 1, "only.right": 1}
+
+    def test_empty_input(self):
+        merged = merge_snapshots([])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+class TestPrometheus:
+    def test_round_trip(self):
+        registry = MetricsRegistry()
+        registry.count("serve.requests", 7)
+        registry.gauge("serve.queue_depth", 3.0)
+        registry.observe("serve.request_seconds.query", 0.002)
+        text = to_prometheus(registry.snapshot())
+        series = parse_prometheus(text)
+        assert series["repro_serve_requests_total"] == 7
+        assert series["repro_serve_queue_depth"] == 3.0
+        assert series[
+            "repro_serve_request_seconds_query_count"] == 1
+        # Cumulative bucket series present with an +Inf terminator.
+        assert any('le="+Inf"' in name for name in series)
+
+    def test_type_headers(self):
+        registry = MetricsRegistry()
+        registry.count("c")
+        registry.observe("h", 0.1)
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE repro_c_total counter" in text
+        assert "# TYPE repro_h histogram" in text
+
+    def test_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.count("serve.requests.try-hard")
+        text = to_prometheus(registry.snapshot())
+        assert "repro_serve_requests_try_hard_total" in text
+
+
+# ----------------------------------------------------------------------
+# Tracer gauge aggregates (satellite: last-value-only fix)
+# ----------------------------------------------------------------------
+class TestTracerGaugeAggregates:
+    def test_gauges_property_returns_last_values(self):
+        tracer = Tracer()
+        tracer.gauge("temp", 2.0)
+        tracer.gauge("temp", 2.5)
+        assert tracer.gauges == {"temp": 2.5}
+
+    def test_gauge_stats_fold_extremes(self):
+        tracer = Tracer()
+        for value in (5.0, 1.0, 3.0):
+            tracer.gauge("lag", value)
+        stats = tracer.gauge_stats["lag"].as_dict()
+        assert stats == {"last": 3.0, "min": 1.0, "max": 5.0,
+                         "sum": 9.0, "count": 3}
+
+    def test_null_tracer_has_empty_gauge_stats(self):
+        assert NULL_TRACER.gauges == {}
+        assert NULL_TRACER.gauge_stats == {}
+
+    def test_reset_clears_aggregates(self):
+        tracer = Tracer()
+        tracer.gauge("x", 1.0)
+        tracer.reset()
+        assert tracer.gauges == {}
+        assert tracer.gauge_stats == {}

@@ -241,3 +241,30 @@ class TestMain:
 
     def test_usage_error(self):
         assert main(["a", "b"]) == 2
+
+    def test_monitor_mode_renders_frames(self, capsys):
+        from repro.db import Database
+        from repro.obs import metrics as obs_metrics
+        from repro.serve import DatabaseService
+        from repro.serve.net import ServiceClient, ServiceServer
+
+        obs_metrics.enable_metrics(fresh=True)
+        db = Database()
+        db.add("A", "R", "B")
+        service = DatabaseService(db)
+        server = ServiceServer(service, port=0)
+        server.start()
+        host, port = server.address
+        try:
+            with ServiceClient(host, port) as client:
+                client.query("(x, R, y)")
+            assert main(["monitor", f"{host}:{port}", "--count", "2",
+                         "--interval", "0.05", "--no-clear"]) == 0
+        finally:
+            server.close()
+            service.close()
+            obs_metrics.disable_metrics()
+        output = capsys.readouterr().out
+        assert "repro monitor" in output
+        assert "frame 2" in output
+        assert "query" in output

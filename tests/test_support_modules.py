@@ -102,6 +102,55 @@ class TestBenchHarness:
         m = Measurement(label="x", seconds=1.5)
         assert m.metrics == {}
 
+    def test_host_metadata_covers_load_and_memory(self):
+        from repro.benchio.harness import host_metadata
+
+        metadata = host_metadata()
+        assert metadata["cpu_count"] >= 1
+        # Linux exposes both; the fields are optional elsewhere.
+        if "load_avg_1m" in metadata:
+            assert metadata["load_avg_1m"] >= 0.0
+        if "total_memory_bytes" in metadata:
+            assert metadata["total_memory_bytes"] > 0
+
+    def test_write_bench_json_stamps_metrics(self, tmp_path):
+        from repro.benchio.harness import write_bench_json
+
+        path = tmp_path / "bench.json"
+        document = write_bench_json(
+            str(path), "unit", [{"mode": "m", "ops_per_second": 1.0}],
+            metrics={"counters": {"serve.requests": 3}})
+        assert document["metrics"]["counters"]["serve.requests"] == 3
+        assert "host" in document
+
+    def test_bench_compare_matches_cells(self, tmp_path):
+        import io
+        import sys
+
+        from repro.benchio.harness import write_bench_json
+
+        sys.path.insert(0, "tools")
+        try:
+            from bench_compare import compare
+        finally:
+            sys.path.pop(0)
+        baseline = tmp_path / "old.json"
+        candidate = tmp_path / "new.json"
+        rows = [{"mode": "read-only", "threads": 4,
+                 "ops_per_second": 100.0, "p99_us": 50.0}]
+        write_bench_json(str(baseline), "unit", rows)
+        slower = [dict(rows[0], ops_per_second=80.0)]
+        write_bench_json(str(candidate), "unit", slower)
+        output = io.StringIO()
+        assert compare(str(baseline), str(candidate),
+                       out=output) == 0
+        assert "ops_per_second -20.0%" in output.getvalue()
+        # The guardrail trips on a 20% regression.
+        assert compare(str(baseline), str(candidate),
+                       fail_above=10.0, out=io.StringIO()) == 1
+        assert compare(str(baseline), str(candidate),
+                       fail_above=30.0, out=io.StringIO()) == 0
+
     def test_format_value(self):
         assert format_value(3) == "3"
         assert format_value(0.25) == "0.25"

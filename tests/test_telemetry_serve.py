@@ -1,0 +1,292 @@
+"""The serving telemetry surface: the ``metrics`` and ``slowlog``
+verbs, pool-wide snapshot merging, the slow-query log's plan capture,
+the monitor dashboard, the remote shell commands, and — critically —
+neutrality: telemetry off must not change any answer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.monitor import dashboard_rows, render_dashboard
+from repro.obs.slowlog import SlowQueryLog, build_record
+from repro.serve import DatabaseService, ReplicaPool
+from repro.serve.net import RemoteShell, ServiceClient, ServiceServer
+
+
+def _build_database() -> Database:
+    db = Database()
+    for index in range(4):
+        db.add(f"P{index}", "WORKS-IN", f"D{index % 2}")
+        db.add(f"D{index % 2}", "PART-OF", "ORG")
+    return db
+
+
+# ----------------------------------------------------------------------
+# Slow-query log
+# ----------------------------------------------------------------------
+class TestSlowQueryLog:
+    def test_ring_buffer_bounds_retention(self):
+        log = SlowQueryLog(size=3)
+        for index in range(5):
+            log.add(build_record("query", 0.2, 0.1, text=f"q{index}"))
+        assert log.total == 5
+        assert len(log) == 3
+        texts = [record["text"] for record in log.records()]
+        assert texts == ["q2", "q3", "q4"]
+        assert log.snapshot(limit=1)["records"][0]["text"] == "q4"
+
+    def test_service_captures_slow_reads_with_plans(self):
+        service = DatabaseService(_build_database(),
+                                  slow_query_seconds=0.0)
+        try:
+            service.query("(x, WORKS-IN, y)")
+        finally:
+            service.close()
+        records = service.slow_log.records()
+        assert records
+        record = records[-1]
+        assert record["op"] == "query"
+        assert record["source"] == "primary"
+        assert record["seconds"] >= 0.0
+        # Satellite: the compiled plan's est-vs-actual rows ride along.
+        assert record["plan"] is not None
+        assert record["plan"]["replans"] >= 0
+        operators = record["plan"]["operators"]
+        assert operators
+        assert all("est" in stats and "out_rows" in stats
+                   for stats in operators)
+
+    def test_threshold_filters(self):
+        service = DatabaseService(_build_database(),
+                                  slow_query_seconds=60.0)
+        try:
+            service.query("(x, WORKS-IN, y)")
+        finally:
+            service.close()
+        assert service.slow_log.total == 0
+
+    def test_replica_slow_records_reach_primary(self):
+        service = DatabaseService(_build_database(),
+                                  slow_query_seconds=0.0)
+        pool = ReplicaPool(service, workers=1)
+        try:
+            pool.query("(x, WORKS-IN, y)")
+            sources = {record["source"]
+                       for record in service.slow_log.records()}
+        finally:
+            pool.close()
+            service.close()
+        assert "replica" in sources
+
+
+# ----------------------------------------------------------------------
+# Metrics through the pool and the wire
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def metered_server():
+    """Metrics-enabled TCP server over a 2-worker pool."""
+    registry = obs_metrics.enable_metrics(fresh=True)
+    service = DatabaseService(_build_database(),
+                              slow_query_seconds=0.0)
+    pool = ReplicaPool(service, workers=2)
+    server = ServiceServer(service, port=0, pool=pool)
+    server.start()
+    try:
+        yield server.address, pool, registry
+    finally:
+        server.close()
+        pool.close()
+        service.close()
+        obs_metrics.disable_metrics()
+
+
+class TestMetricsSurface:
+    def test_metrics_verb_merges_worker_snapshots(self, metered_server):
+        (host, port), pool, _registry = metered_server
+        with ServiceClient(host, port) as client:
+            for _ in range(3):
+                client.query("(x, WORKS-IN, y)")
+            snapshot = client.metrics(refresh=True)
+        counters = snapshot["counters"]
+        assert counters["serve.requests"] >= 3
+        assert counters["serve.requests.query"] >= 3
+        # Replica-side series prove worker snapshots were merged in.
+        assert counters.get("replica.reads", 0) >= 3
+        # The versioned result cache dedupes repeats, so plan
+        # executions trail requests — but at least one ran.
+        assert counters.get("exec.plans", 0) >= 1
+        latency = snapshot["histograms"]["serve.request_seconds.query"]
+        assert latency["count"] >= 3
+
+    def test_prometheus_over_the_wire(self, metered_server):
+        (host, port), _pool, _registry = metered_server
+        with ServiceClient(host, port) as client:
+            client.query("(x, WORKS-IN, y)")
+            text = client.metrics(format="prometheus", refresh=True)
+        series = obs_metrics.parse_prometheus(text)
+        assert series.get("repro_serve_requests_total", 0) >= 1
+
+    def test_slowlog_verb(self, metered_server):
+        (host, port), _pool, _registry = metered_server
+        with ServiceClient(host, port) as client:
+            client.query("(x, WORKS-IN, y)")
+            log = client.slowlog(limit=5)
+        assert log["total"] >= 1
+        assert log["records"][-1]["op"] == "query"
+
+    def test_pool_worker_metrics_and_stats(self, metered_server):
+        (_host, _port), pool, _registry = metered_server
+        pool.query("(x, PART-OF, y)")
+        assert pool.refresh_metrics(timeout=10.0)
+        workers = pool.worker_metrics()
+        assert len(workers) == 2
+        assert all(worker["metrics"] is not None for worker in workers)
+        stats = pool.stats()
+        assert stats["worker_metrics_received"] >= 2
+        assert stats["heartbeat_interval"] > 0
+
+
+class TestRemoteShellTelemetry:
+    def test_metrics_slowlog_and_trace_commands(self, metered_server):
+        (host, port), _pool, _registry = metered_server
+        with ServiceClient(host, port) as client:
+            shell = RemoteShell(client)
+            shell.execute("query (x, WORKS-IN, y)")
+            metrics_text = shell.execute("metrics")
+            assert "serve.requests" in metrics_text
+            prometheus_text = shell.execute("metrics prometheus")
+            assert "repro_serve_requests_total" in prometheus_text
+            slowlog_text = shell.execute("slowlog 5")
+            assert "slow queries:" in slowlog_text
+            assert shell.execute("trace bogus").startswith("usage:")
+            assert "no traced call yet" in shell.execute("trace last")
+            assert "on" in shell.execute("trace on")
+            shell.execute("query (x, WORKS-IN, y)")
+            assert client.last_trace
+            rendered = shell.execute("trace last")
+            assert "client.request" in rendered
+            assert "net.dispatch" in rendered
+            assert "off" in shell.execute("trace off")
+
+
+# ----------------------------------------------------------------------
+# Monitor dashboard
+# ----------------------------------------------------------------------
+class TestMonitorDashboard:
+    def _snapshot(self, requests: int) -> dict:
+        registry = MetricsRegistry()
+        registry.count("serve.requests.query", requests)
+        registry.count("cache.hits", requests * 3)
+        registry.count("cache.misses", requests)
+        registry.gauge("serve.queue_depth", 2.0)
+        registry.gauge("serve.publish_pause_seconds", 0.004)
+        registry.observe("serve.publish_pause", 0.004)
+        registry.observe("serve.pool.lag_seconds", 0.001)
+        for _ in range(requests):
+            registry.observe("serve.request_seconds.query", 0.002)
+        return registry.snapshot()
+
+    def test_rows_compute_rates_from_deltas(self):
+        rows = dashboard_rows(self._snapshot(30), self._snapshot(10),
+                              interval=2.0)
+        (row,) = rows
+        assert row["class"] == "query"
+        assert row["rate"] == pytest.approx(10.0)  # (30-10)/2s
+        assert row["total"] == 30
+        assert row["p99"] is not None
+
+    def test_render_covers_the_headline_panels(self):
+        text = render_dashboard(self._snapshot(20), self._snapshot(10),
+                                interval=1.0, title="test dash")
+        assert "test dash" in text
+        assert "query" in text
+        assert "cache: 75.0% hit rate" in text
+        assert "replica lag" in text
+        assert "publish pause" in text
+        assert "write queue depth: 2" in text
+
+    def test_first_frame_without_previous(self):
+        text = render_dashboard(self._snapshot(5))
+        assert "throughput" in text
+
+    def test_live_snapshot_renders(self, metered_server):
+        (host, port), _pool, _registry = metered_server
+        with ServiceClient(host, port) as client:
+            client.query("(x, WORKS-IN, y)")
+            snapshot = client.metrics(refresh=True)
+        text = render_dashboard(snapshot)
+        assert "query" in text
+
+
+# ----------------------------------------------------------------------
+# Neutrality: telemetry off changes nothing
+# ----------------------------------------------------------------------
+class TestTelemetryNeutrality:
+    def _answers(self, client: ServiceClient) -> dict:
+        return {
+            "query": sorted(map(tuple, client.query("(x, WORKS-IN, y)"))),
+            "ask": client.ask("(P0, WORKS-IN, D0)"),
+            "try": sorted(map(tuple, client.try_("P1"))),
+            "probe": sorted(map(tuple,
+                                client.probe("(x, PART-OF, ORG)")["value"])),
+        }
+
+    def _run_stack(self, telemetry: bool) -> dict:
+        assert not obs_metrics.metrics_enabled()
+        if telemetry:
+            context = use_metrics(MetricsRegistry())
+        else:
+            context = None
+        try:
+            if context is not None:
+                context.__enter__()
+            service = DatabaseService(_build_database())
+            pool = ReplicaPool(service, workers=2)
+            server = ServiceServer(service, port=0, pool=pool)
+            server.start()
+            host, port = server.address
+            try:
+                with ServiceClient(host, port, trace=telemetry) as client:
+                    return self._answers(client)
+            finally:
+                server.close()
+                pool.close()
+                service.close()
+        finally:
+            if context is not None:
+                context.__exit__(None, None, None)
+
+    def test_answers_identical_with_and_without_telemetry(self):
+        assert self._run_stack(False) == self._run_stack(True)
+
+    def test_disabled_collects_nothing_and_ships_no_trace(self):
+        service = DatabaseService(_build_database())
+        pool = ReplicaPool(service, workers=1)
+        server = ServiceServer(service, port=0, pool=pool)
+        server.start()
+        host, port = server.address
+        try:
+            with ServiceClient(host, port) as client:
+                client.query("(x, WORKS-IN, y)")
+                response = client._roundtrip({"op": "ask",
+                                              "query": "(P0, WORKS-IN, D0)"})
+        finally:
+            server.close()
+            pool.close()
+            service.close()
+        # No trace context requested → no trace shipped back.
+        assert "trace" not in response
+        # Nothing leaked into the (disabled) global registry.
+        assert not obs_metrics.metrics_enabled()
+
+    def test_pool_heartbeat_disabled_without_metrics(self):
+        service = DatabaseService(_build_database())
+        pool = ReplicaPool(service, workers=1)
+        try:
+            assert pool.stats()["heartbeat_interval"] == 0
+        finally:
+            pool.close()
+            service.close()
