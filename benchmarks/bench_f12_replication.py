@@ -18,6 +18,14 @@ thread-based service that F11 characterized:
   until the pool is back at full strength with every replica caught
   up to the primary (reads never fail during the window — they fall
   back to the primary).
+* **bootstrap at scale** — on a bulk heap (1M+ facts full, smaller
+  with ``--quick``), pool construction wall clock and per-worker
+  memory for the two bootstrap modes: ``generation`` (workers attach
+  a shared-memory columnar generation) against ``state`` (the PR-4
+  baseline: every worker unpickles and re-indexes the full heap and
+  recomputes the closure).  Memory is attributed per worker from
+  ``/proc``: ``RssAnon`` is each worker's *private* pages — a copied
+  heap lands there once per worker, an attached generation does not.
 
 Run as a script to emit ``BENCH_replication.json``::
 
@@ -30,10 +38,14 @@ import argparse
 import sys
 import threading
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from bench_f11_serving import build_database, percentile, query_mix
 
+from repro.benchio.harness import rss_anon_mb, rss_mb
+from repro.core.facts import Fact
+from repro.datasets.synthetic import hierarchy_facts, membership_facts
+from repro.db import Database
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.serve import DatabaseService, ReplicaPool
 
@@ -205,6 +217,109 @@ def run_failover(service: DatabaseService,
 
 
 # ----------------------------------------------------------------------
+# Bootstrap at scale: attach vs copy
+# ----------------------------------------------------------------------
+def build_bulk_database(n_facts: int) -> Database:
+    """A heap dominated by flat attribute facts over a small rule-firing
+    hierarchy — closure work stays bounded while the heap (the thing
+    being shipped to or shared with workers) reaches ``n_facts``."""
+    tree, leaves = hierarchy_facts(3, 3)
+    db = Database()
+    db.add_facts(tree)
+    db.add_facts(membership_facts(leaves, 3))
+    remaining = max(0, n_facts - len(db))
+    entities = 1 + remaining // 20      # ~20 facts per source entity
+    db.add_facts(Fact(f"E{index % entities}", f"ATTR{index % 40}",
+                      f"V{index}")
+                 for index in range(remaining))
+    return db
+
+
+def run_bootstrap(db: Database, queries: List[str], bootstrap: str,
+                  workers: int, start_method: Optional[str],
+                  read_ops: int) -> Dict[str, object]:
+    """Build one pool in ``bootstrap`` mode and measure construction
+    wall clock, per-worker memory, and a short read burst."""
+    service = DatabaseService(db)
+    try:
+        parent_before = rss_mb()
+        started = time.perf_counter()
+        pool = ReplicaPool(service, workers=workers,
+                           bootstrap=bootstrap,
+                           start_method=start_method,
+                           ready_timeout=1800.0, read_timeout=300.0)
+        bootstrap_wall = time.perf_counter() - started
+        try:
+            pids = [w.process.pid for w in pool._workers]
+            worker_rss = [rss_mb(pid) for pid in pids]
+            worker_anon = [rss_anon_mb(pid) for pid in pids]
+            read_started = time.perf_counter()
+            for index in range(read_ops):
+                pool.query(queries[index % len(queries)])
+            read_wall = time.perf_counter() - read_started
+            stats = pool.stats()
+            row: Dict[str, object] = {
+                "mode": f"bootstrap-{bootstrap}",
+                "bootstrap": bootstrap,
+                "facts": len(db),
+                "workers": workers,
+                "bootstrap_seconds": round(bootstrap_wall, 3),
+                "bootstrap_seconds_per_worker": round(
+                    bootstrap_wall / workers, 3),
+                "read_ops": read_ops,
+                "ops_per_second": round(read_ops / read_wall, 1),
+                "fallback_reads": stats["fallback_reads"],
+                "parent_rss_mb": rss_mb(),
+                "parent_rss_before_mb": parent_before,
+            }
+            if all(v is not None for v in worker_rss):
+                row["worker_rss_mb"] = round(
+                    sum(worker_rss) / workers, 2)
+            if all(v is not None for v in worker_anon):
+                # Private pages per worker: the copy-vs-attach column.
+                row["worker_rss_anon_mb"] = round(
+                    sum(worker_anon) / workers, 2)
+            return row
+        finally:
+            pool.close()
+    finally:
+        service.close()
+
+
+def run_bootstrap_matrix(n_facts: int, worker_counts: List[int],
+                         start_method: Optional[str],
+                         read_ops: int) -> List[Dict[str, object]]:
+    """The attach-vs-copy sweep: one shared bulk primary, then a fresh
+    pool per (bootstrap mode × worker count) cell.
+
+    Defaults to the ``spawn`` start method: forked workers inherit the
+    parent's whole heap as copy-on-write anonymous pages, which would
+    drown the per-worker memory columns in shared baseline; spawned
+    workers start from a clean interpreter, so ``RssAnon`` is exactly
+    what bootstrapping this worker allocated.
+    """
+    if start_method is None:
+        start_method = "spawn"
+    build_started = time.perf_counter()
+    db = build_bulk_database(n_facts)
+    queries = query_mix(db, 48)
+    db.view()       # warm the closure once, outside every timed cell
+    print(f"  bulk heap: {len(db)} facts, closure warmed in"
+          f" {time.perf_counter() - build_started:.1f}s")
+    rows = []
+    for bootstrap in ("generation", "state"):
+        for workers in worker_counts:
+            row = run_bootstrap(db, queries, bootstrap, workers,
+                                start_method, read_ops)
+            rows.append(row)
+            print("  {mode} workers={workers}:"
+                  " bootstrap={bootstrap_seconds}s"
+                  " worker_anon={anon}MB {ops_per_second} ops/s".format(
+                      anon=row.get("worker_rss_anon_mb", "?"), **row))
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Observed pass (metrics snapshot for the JSON artifact)
 # ----------------------------------------------------------------------
 def run_observed_pass(depth: int, fanout: int, instances: int,
@@ -234,17 +349,23 @@ def run_observed_pass(depth: int, fanout: int, instances: int,
 # ----------------------------------------------------------------------
 # Matrix
 # ----------------------------------------------------------------------
-def run_matrix(quick: bool = False):
+def run_matrix(quick: bool = False,
+               start_method: Optional[str] = None,
+               bootstrap_facts: Optional[int] = None):
     if quick:
         depth, fanout, instances = 3, 2, 2
         worker_counts = [1, 2]
         client_threads, ops_per_thread = 4, 40
         lag_writes = 20
+        scale_facts = bootstrap_facts or 60_000
+        scale_workers, scale_reads = [2], 60
     else:
         depth, fanout, instances = 4, 3, 3
         worker_counts = [1, 2, 4]
         client_threads, ops_per_thread = 8, 200
         lag_writes = 100
+        scale_facts = bootstrap_facts or 1_000_000
+        scale_workers, scale_reads = [1, 2], 200
 
     rows: List[Dict[str, object]] = []
 
@@ -292,6 +413,10 @@ def run_matrix(quick: bool = False):
         pool.close()
         service.close()
 
+    # Attach-vs-copy bootstrap at scale.
+    rows.extend(run_bootstrap_matrix(scale_facts, scale_workers,
+                                     start_method, scale_reads))
+
     baseline = next(r for r in rows if r["mode"] == "thread-baseline")
     pool_rows = [r for r in rows if r["mode"] == "pool-read"]
     one = next((r for r in pool_rows if r["workers"] == 1), None)
@@ -312,6 +437,35 @@ def run_matrix(quick: bool = False):
         "failover_recovered": failover_row["recovered"],
     }
 
+    # Bootstrap headline: attach vs copy at the largest worker count.
+    boot_rows = [r for r in rows if str(r["mode"]).startswith("bootstrap-")]
+    if boot_rows:
+        top = max(r["workers"] for r in boot_rows)
+        gen = next(r for r in boot_rows
+                   if r["bootstrap"] == "generation"
+                   and r["workers"] == top)
+        copy = next(r for r in boot_rows
+                    if r["bootstrap"] == "state" and r["workers"] == top)
+        summary.update({
+            "bootstrap_facts": gen["facts"],
+            "bootstrap_workers": top,
+            "bootstrap_generation_seconds": gen["bootstrap_seconds"],
+            "bootstrap_state_seconds": copy["bootstrap_seconds"],
+            "bootstrap_speedup": round(
+                copy["bootstrap_seconds"]
+                / max(gen["bootstrap_seconds"], 1e-9), 2),
+        })
+        if ("worker_rss_anon_mb" in gen
+                and "worker_rss_anon_mb" in copy):
+            summary.update({
+                "worker_rss_anon_generation_mb":
+                    gen["worker_rss_anon_mb"],
+                "worker_rss_anon_state_mb": copy["worker_rss_anon_mb"],
+                "worker_rss_anon_ratio": round(
+                    copy["worker_rss_anon_mb"]
+                    / max(gen["worker_rss_anon_mb"], 1e-9), 2),
+            })
+
     # Observed pass: short, metrics-enabled, merged across processes.
     snapshot = run_observed_pass(
         depth, fanout, instances, workers=min(2, max(worker_counts)),
@@ -331,19 +485,34 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="small dataset and op counts (the CI"
                              " smoke configuration)")
+    parser.add_argument("--start-method", default=None,
+                        choices=("fork", "spawn", "forkserver"),
+                        help="multiprocessing start method for the"
+                             " bootstrap-at-scale cells (CI exercises"
+                             " spawn; default: platform default)")
+    parser.add_argument("--bootstrap-facts", type=int, default=None,
+                        help="bulk heap size for the attach-vs-copy"
+                             " cells (default: 1M full, 60k quick)")
     parser.add_argument("--output", default="BENCH_replication.json",
                         help="where to write the JSON document")
     options = parser.parse_args(argv)
     print(f"F12 replication matrix"
           f" ({'quick' if options.quick else 'full'})")
-    rows, summary, snapshot = run_matrix(quick=options.quick)
+    rows, summary, snapshot = run_matrix(
+        quick=options.quick, start_method=options.start_method,
+        bootstrap_facts=options.bootstrap_facts)
     write_bench_json(
         options.output, "F12-replication", rows, summary=summary,
-        config={"quick": options.quick}, metrics=snapshot)
+        config={"quick": options.quick,
+                "start_method": options.start_method},
+        metrics=snapshot)
     print(f"wrote {options.output}: {len(rows)} cells;"
           f" scaling {summary['scaling_vs_one_worker']}x"
           f" at {summary['best_workers']} workers,"
-          f" failover {summary['failover_recovery_seconds']}s")
+          f" failover {summary['failover_recovery_seconds']}s,"
+          f" bootstrap speedup {summary.get('bootstrap_speedup')}x,"
+          f" worker-anon ratio"
+          f" {summary.get('worker_rss_anon_ratio')}x")
     return 0
 
 

@@ -28,20 +28,25 @@ from repro.db import Database
 from repro.query import CompiledEvaluator, Evaluator, parse_query
 
 
-def _employee_view(n_employees: int, n_departments: int, seed: int = 3):
+def _employee_db(n_employees: int, n_departments: int,
+                 seed: int = 3) -> Database:
     workload = employee_workload(n_employees, n_departments, seed=seed)
     database = Database()
     database.add_facts(workload.facts)
-    return database.view()
+    return database
 
 
-#: Workload name → (view factory, {shape name: query text}).  The
+def _employee_view(n_employees: int, n_departments: int, seed: int = 3):
+    return _employee_db(n_employees, n_departments, seed=seed).view()
+
+
+#: Workload name → (database factory, {shape name: query text}).  The
 #: same-department pairs join runs on a smaller population because the
 #: reference engine allocates one binding dict per output row and the
 #: output is quadratic in department size.
 _WORKLOADS = {
     "books-e4": (
-        lambda: books.load().view(),
+        books.load,
         {
             "all-books": books.ALL_BOOKS,
             "self-citations": books.SELF_CITATIONS,
@@ -50,7 +55,7 @@ _WORKLOADS = {
         },
     ),
     "employees-1000": (
-        lambda: _employee_view(1000, 20),
+        lambda: _employee_db(1000, 20),
         {
             "join3": "(x, ∈, EMPLOYEE) and (x, WORKS-FOR, d)"
                      " and (x, EARNS, s)",
@@ -59,7 +64,7 @@ _WORKLOADS = {
         },
     ),
     "employees-400": (
-        lambda: _employee_view(400, 10, seed=5),
+        lambda: _employee_db(400, 10, seed=5),
         {
             "same-dept-pairs": "(x, ∈, EMPLOYEE) and (x, WORKS-FOR, d)"
                                " and (y, ∈, EMPLOYEE)"
@@ -71,7 +76,7 @@ _WORKLOADS = {
 _QUICK_WORKLOADS = {
     "books-e4": _WORKLOADS["books-e4"],
     "employees-200": (
-        lambda: _employee_view(200, 8),
+        lambda: _employee_db(200, 8),
         {
             "join3": "(x, ∈, EMPLOYEE) and (x, WORKS-FOR, d)"
                      " and (x, EARNS, s)",
@@ -156,7 +161,8 @@ def run_matrix(quick: bool = False, repeat: int = 3):
     rows = []
     seconds = {}
     for workload_name, (factory, shapes) in workloads.items():
-        view = factory()
+        db = factory()
+        view = db.view()
         reference = Evaluator(view)
         compiled = CompiledEvaluator(view)
         for shape, text in shapes.items():
@@ -206,6 +212,50 @@ def run_matrix(quick: bool = False, repeat: int = 3):
                 })
                 print(f"  {engine:9s} {workload_name}/probe"
                       f"                {cell_seconds:8.4f}s")
+        # The same workload on the interned columnar store
+        # (Database.compact_store()): compiled engine only — the
+        # store swap is invisible to engine semantics, so one engine
+        # suffices to price the representation.
+        db.compact_store()
+        interned = CompiledEvaluator(db.view())
+        for shape, text in shapes.items():
+            query = parse_query(text)
+            value, run = interned.evaluate_with_stats(query)
+            if value != compiled.evaluate(query):
+                raise AssertionError(
+                    f"interned store disagrees on"
+                    f" {workload_name}/{shape}")
+            cell_seconds = timed(lambda: interned.evaluate(query),
+                                 repeat=repeat)
+            seconds["compiled-interned", workload_name, shape] = \
+                cell_seconds
+            rows.append({
+                "engine": "compiled-interned",
+                "workload": workload_name,
+                "shape": shape,
+                "query": text,
+                "rows": len(value),
+                "seconds": round(cell_seconds, 6),
+                "plan": plan_stats(run),
+            })
+            print(f"  {'interned':9s} {workload_name}/{shape:20s}"
+                  f" {cell_seconds:8.4f}s  rows={len(value)}")
+        if probe_queries:
+            cell_seconds = timed(
+                lambda: _run_probes(interned, probe_queries),
+                repeat=repeat)
+            seconds["compiled-interned", workload_name, "probe"] = \
+                cell_seconds
+            rows.append({
+                "engine": "compiled-interned",
+                "workload": workload_name,
+                "shape": "probe",
+                "query": f"succeeds × {len(probe_queries)}",
+                "rows": len(probe_queries),
+                "seconds": round(cell_seconds, 6),
+            })
+            print(f"  {'interned':9s} {workload_name}/probe"
+                  f"                {cell_seconds:8.4f}s")
     workload_name, shape = headline
     before = seconds["reference", workload_name, shape]
     after = seconds["compiled", workload_name, shape]
@@ -221,6 +271,15 @@ def run_matrix(quick: bool = False, repeat: int = 3):
         "speedup": round(before / after, 2),
         "speedups": {f"{w}/{s}": value
                      for (w, s), value in sorted(speedups.items())},
+        # reference ÷ compiled-on-interned-store: how the columnar
+        # representation prices each shape relative to the same
+        # baseline the hash-store speedups use.
+        "interned_speedups": {
+            f"{w}/{s}": round(seconds["reference", w, s]
+                              / seconds["compiled-interned", w, s], 2)
+            for (engine, w, s) in sorted(seconds)
+            if engine == "compiled-interned"
+        },
     }
     return rows, summary
 

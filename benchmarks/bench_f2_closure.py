@@ -24,6 +24,7 @@ import pytest
 from repro.benchio import Sweep, print_sweep, timed
 from repro.benchio.harness import measure, write_bench_json
 from repro.core.facts import Fact
+from repro.core.interned import InternedFactStore
 from repro.core.store import FactStore
 from repro.datasets.synthetic import hierarchy_facts, membership_facts
 from repro.rules.builtin import STANDARD_RULES
@@ -186,13 +187,22 @@ _QUICK_DATASETS = ("inference-heavy-100", "layered-dag")
 _NAIVE_DATASETS = ("inference-heavy-100", "layered-dag")
 
 
-def _engine_runner(engine: str, facts, context, limit: int, compiled):
+def _engine_runner(engine: str, facts, context, limit: int, compiled,
+                   interned_base=None):
     """A zero-argument closure computing one matrix cell."""
     def run():
         if engine == "naive":
             result = naive_closure(facts, STANDARD_RULES, context)
         elif engine == "semi-naive":
             result = semi_naive_closure(facts, STANDARD_RULES, context)
+        elif engine == "dispatched-interned":
+            # Same fast path, but seeded from an interned columnar
+            # base: seed_store() shares the frozen generation instead
+            # of rebuilding hash indexes, so this cell prices the
+            # closure as a replica attached to a shared generation
+            # would pay it.
+            result = dispatched_closure(interned_base, STANDARD_RULES,
+                                        context, compiled=compiled)
         else:
             result = dispatched_closure(facts, STANDARD_RULES, context,
                                         compiled=compiled)
@@ -221,14 +231,21 @@ def run_matrix(quick: bool = False, repeat: int = 3):
         factory, limits = _DATASETS[dataset_name]
         facts = factory()
         context = _context(facts)
+        interned_base = InternedFactStore.from_facts(facts)
         sizes = {}
         for limit in limits:
-            for engine in ("naive", "semi-naive", "dispatched"):
+            for engine in ("naive", "semi-naive", "dispatched",
+                           "dispatched-interned"):
                 if engine == "naive" \
                         and dataset_name not in _NAIVE_DATASETS:
                     continue
+                # The interned axis prices the base representation;
+                # composition never touches it, so one limit suffices.
+                if engine == "dispatched-interned" and limit != 1:
+                    continue
                 runner = _engine_runner(engine, facts, context, limit,
-                                        compiled)
+                                        compiled,
+                                        interned_base=interned_base)
                 m = measure(f"{engine}/{dataset_name}/limit={limit}",
                             runner, repeat=repeat,
                             counter_prefixes=("store.lookups",
@@ -261,11 +278,16 @@ def run_matrix(quick: bool = False, repeat: int = 3):
         key=lambda name: int(name.rsplit("-", 1)[1]))
     before = seconds["semi-naive", largest, 1]
     after = seconds["dispatched", largest, 1]
+    interned = seconds["dispatched-interned", largest, 1]
     summary = {
         "largest_dataset": largest,
         "semi_naive_seconds": round(before, 6),
         "dispatched_seconds": round(after, 6),
         "speedup": round(before / after, 2),
+        # Dispatched closure seeded from an interned columnar base —
+        # the cost a shared-generation replica pays to warm its closure.
+        "dispatched_interned_seconds": round(interned, 6),
+        "interned_speedup": round(before / interned, 2),
     }
     return rows, summary
 

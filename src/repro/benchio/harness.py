@@ -81,6 +81,61 @@ def plan_stats(run) -> Dict[str, object]:
     }
 
 
+def rss_mb(pid: Optional[int] = None) -> Optional[float]:
+    """Resident set size of a process in MiB, or ``None`` off-Linux.
+
+    Reads ``/proc/<pid>/status`` so it works for *other* processes —
+    the replica benchmarks sample their worker PIDs to attribute
+    memory per process.  For the calling process, falls back to
+    ``resource.getrusage`` where procfs is unavailable.
+    """
+    import os
+
+    target = os.getpid() if pid is None else pid
+    value = _proc_status_kb(target, "VmRSS")
+    if value is not None:
+        return round(value / 1024.0, 2)
+    if pid is None or pid == os.getpid():
+        try:
+            import resource
+
+            usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # Linux reports KiB, macOS bytes; procfs already covered
+            # Linux, so bytes it is.
+            return round(usage / (1024.0 * 1024.0), 2)
+        except (ImportError, ValueError, OSError):
+            return None
+    return None
+
+
+def rss_anon_mb(pid: Optional[int] = None) -> Optional[float]:
+    """Anonymous (private, non-shared) resident memory in MiB.
+
+    This is the column that distinguishes a replica that *copied* the
+    fact heap (the copy is anonymous memory, counted here per process)
+    from one that *attached* a shared-memory generation (the columns
+    are ``RssShmem`` — one set of physical pages no matter how many
+    workers map them).  ``None`` when the kernel does not break RSS
+    down (pre-4.5 Linux, non-Linux).
+    """
+    import os
+
+    value = _proc_status_kb(os.getpid() if pid is None else pid,
+                            "RssAnon")
+    return None if value is None else round(value / 1024.0, 2)
+
+
+def _proc_status_kb(pid: int, key: str) -> Optional[int]:
+    try:
+        with open(f"/proc/{pid}/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith(key + ":"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
 def host_metadata() -> Dict[str, object]:
     """The host facts needed to interpret a committed benchmark number.
 
@@ -103,6 +158,9 @@ def host_metadata() -> Dict[str, object]:
         metadata["load_avg_1m"] = round(os.getloadavg()[0], 3)
     except (AttributeError, OSError):
         pass
+    sampled = rss_mb()
+    if sampled is not None:
+        metadata["rss_mb"] = sampled
     try:
         pages = os.sysconf("SC_PHYS_PAGES")
         page_size = os.sysconf("SC_PAGE_SIZE")

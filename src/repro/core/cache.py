@@ -13,6 +13,15 @@ tracing off), as the ``cache.hits`` / ``cache.misses`` obs counters,
 and as the same-named cross-process metrics counters when
 :mod:`repro.obs.metrics` collection is enabled.
 
+Version keys survive storage changes, not just snapshots.  Interned
+columnar stores (:mod:`repro.core.interned`) preserve the version of
+whatever they were compacted from — ``Database.compact_store()`` and
+replica generation attach both carry the source store's version — so a
+result computed before compaction is still *hit* after it: the
+representation changed, the state (and therefore the key) did not.
+Replicas continue the same version line through delta replay, which is
+what lets the pool share one warm cache discipline across processes.
+
 The cache is thread-safe: the serving layer (:mod:`repro.serve`) shares
 one instance across every published snapshot so warm entries survive
 snapshot publication (an unchanged version means unchanged keys), and

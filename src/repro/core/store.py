@@ -39,6 +39,20 @@ from .errors import FrozenStoreError
 from .facts import Binding, Fact, Template, Variable
 
 
+def seed_store(base: Iterable["Fact"]) -> "FactStore":
+    """The mutable store a closure engine grows from ``base``.
+
+    Type-preserving: seeding from an existing store — hash or interned
+    columnar — duplicates it through its own :meth:`FactStore.copy`,
+    which for an interned base shares the frozen generation instead of
+    materializing one ``Fact`` object per row.  Arbitrary iterables
+    still build a hash store.
+    """
+    if isinstance(base, FactStore):
+        return base.copy()
+    return FactStore(base)
+
+
 class FactStore:
     """A mutable, fully indexed heap of facts.
 

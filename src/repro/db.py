@@ -364,6 +364,61 @@ class Database:
                         if result.provenance is not None else None),
         )
 
+    def compact_store(self, closure: bool = True) -> "Database":
+        """Re-found this database's heap on interned columnar storage.
+
+        The base heap (and, with ``closure=True``, any cached closure
+        store) is rebuilt as an
+        :class:`~repro.core.interned.InternedFactStore`: one frozen
+        columnar generation of interned-id arrays with CSR indexes,
+        plus an empty mutable overlay.  Store versions are preserved,
+        so every entry in the versioned result cache stays valid — the
+        representation changes, the database state does not.
+
+        Compaction pays one O(n log n) rebuild to make everything
+        after it cheaper: template matching becomes integer probes,
+        :meth:`~repro.core.store.FactStore.copy` (snapshot publication,
+        closure seeding) shares the generation instead of duplicating
+        index dicts, and :meth:`ColumnarGeneration.share
+        <repro.core.interned.ColumnarGeneration.share>` can place the
+        generation in shared memory for the replica pool.  Mutations
+        accumulate in the overlay; call again when
+        ``facts.overlay_size`` grows large.  Returns ``self``.
+        """
+        from .core.interned import InternedFactStore
+
+        base = self._base
+        if not isinstance(base, InternedFactStore) \
+                or base.overlay_size:
+            compacted = InternedFactStore.from_facts(
+                base, version=base.version)
+            if base.frozen:
+                compacted.freeze()
+            self._base = compacted
+        if closure:
+            for attr in ("_standard_result", "_full_result"):
+                result = getattr(self, attr)
+                if result is None:
+                    continue
+                if attr == "_full_result" \
+                        and result is self._standard_result:
+                    continue      # same object: store already swapped
+                store = result.store
+                if isinstance(store, InternedFactStore) \
+                        and not store.overlay_size:
+                    continue
+                interned = InternedFactStore.from_facts(
+                    store, version=store.version)
+                if store.frozen:
+                    interned.freeze()
+                result.store = interned
+            # Lazy caches hold references to the old stores; let them
+            # rebuild over the interned ones on next use.
+            self._view = None
+            self._lazy_engine = None
+            self._hierarchy = None
+        return self
+
     # ------------------------------------------------------------------
     # Relationship classification (§2.2)
     # ------------------------------------------------------------------

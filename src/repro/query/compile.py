@@ -90,7 +90,18 @@ class AtomJoin(PlanNode):
 
     formula: Atom
     est: float
+    #: Set at lowering time when the view has exact counts and this
+    #: template provably matches nothing — zero stored facts and no
+    #: virtual relation handles it.  Substitution only restricts a
+    #: match set, so the hint holds for every runtime key and the
+    #: executor emits the empty table without probing.
+    empty_hint: bool = False
     op = "atom-join"
+
+    @property
+    def label(self) -> str:
+        suffix = "   [provably empty]" if self.empty_hint else ""
+        return f"{self.op} {self.formula}{suffix}"
 
 
 @dataclass
@@ -216,7 +227,10 @@ def _lower(formula: Formula, bound: Set[Variable],
     """Recursively lower one formula, given the variables the enclosing
     context will have bound when this node runs."""
     if isinstance(formula, Atom):
-        return AtomJoin(formula, est=estimate_cost(formula, bound, view))
+        hint = bool(getattr(view, "exact_counts", False)) \
+            and view.count_estimate(formula.pattern) == 0
+        return AtomJoin(formula, est=estimate_cost(formula, bound, view),
+                        empty_hint=hint)
     if isinstance(formula, And):
         remaining = list(formula.parts)
         b = set(bound)

@@ -247,7 +247,9 @@ def _exec_atom(node: AtomJoin, table: BindingTable,
     for v in pattern_vars:
         if v not in bound_set and v not in new_vars:
             new_vars.append(v)
-    if not table.rows:
+    if not table.rows or node.empty_hint:
+        # empty_hint: compile time proved (exact counts, no virtual
+        # handler) that this template matches nothing for any key.
         return BindingTable(table.columns + tuple(new_vars), [])
 
     # Hash-group the input rows by their key over the bound variables:
@@ -331,7 +333,15 @@ def _probe_many(ctx: _Context, pattern: Template, bound_set: Set[Variable],
             if not isinstance(component, Variable) or component in bound_set)
         if _obs.ENABLED:
             _obs.TRACER.count("store.lookups", len(templates))
-        if spec == "srt":
+        if spec and getattr(store, "interned", False):
+            # Interned columnar store: one batched integer-domain call.
+            # Constants are interned once per template, the CSR index
+            # is picked once for the whole batch, and each key costs an
+            # offset-range probe — facts decode only at emission.
+            # (lookup_many does not count store.lookups itself; the
+            # batch was counted above.)
+            stored = store.lookup_many(spec, templates)
+        elif spec == "srt":
             stored = [
                 [f] if (f := Fact(t.source, t.relationship, t.target))
                 in store else []

@@ -40,9 +40,21 @@ def estimate_cost(part: Formula, bound: Set[Variable],
             1 for c in probe if isinstance(c, Variable))
         if free_positions == 0:
             return 0.5  # membership test: cheapest possible
+        if not sentinel and getattr(view, "exact_counts", False):
+            # Interned columnar stores answer count_estimate exactly
+            # (CSR index length lookups), so when no position is a
+            # bound-variable sentinel the estimate *is* the result
+            # size — rank on it directly, no fudge factors.  An exact
+            # zero deliberately ranks before the 0.5 membership test:
+            # starting from a provably empty conjunct prunes the whole
+            # conjunction immediately.
+            return float(view.count_estimate(pattern))
         # The sentinel never occurs in the store, which would make the
         # index estimate 0 and hide the true per-binding fanout; use
         # the un-substituted estimate scaled down per bound variable.
+        # (Sampling fallback: also the exact-count path's behavior for
+        # patterns with bound variables, where the true per-binding
+        # fanout is unknowable from global index lengths alone.)
         raw = view.count_estimate(pattern)
         return raw / (10.0 ** len(sentinel)) + free_positions * 0.1
     if isinstance(part, And):

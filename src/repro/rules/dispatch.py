@@ -58,7 +58,7 @@ from typing import (
 from ..core import deadline as _deadline
 from ..core.entities import is_special_relationship
 from ..core.facts import Binding, Fact, Template, Variable
-from ..core.store import FactStore
+from ..core.store import FactStore, seed_store
 from ..obs import tracer as _obs
 from .rule import (
     ANY_RELATIONSHIP,
@@ -647,7 +647,7 @@ def dispatched_closure(base: Iterable[Fact], rules: Sequence[Rule],
                                      strata=len(compiled.strata))
                     if observing else _obs.NULL_SPAN)
     with closure_span as span:
-        store = FactStore(base)
+        store = seed_store(base)
         base_count = len(store)
         firings: Dict[str, int] = {rule.name: 0 for rule in rules}
         rule_times: Dict[str, float] = {}

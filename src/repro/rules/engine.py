@@ -35,7 +35,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from ..core import deadline as _deadline
 from ..core.facts import Binding, Fact, Template, Variable
-from ..core.store import FactStore
+from ..core.store import FactStore, seed_store
 from ..obs import tracer as _obs
 from .rule import Condition, Rule, RuleContext
 
@@ -141,7 +141,7 @@ def naive_closure(base: Iterable[Fact], rules: Sequence[Rule],
     closure_span = (_obs.TRACER.span("closure.naive", rules=len(rules))
                     if observing else _obs.NULL_SPAN)
     with closure_span as span:
-        store = FactStore(base)
+        store = seed_store(base)
         base_count = len(store)
         firings: Dict[str, int] = {rule.name: 0 for rule in rules}
         rule_times: Dict[str, float] = {}
@@ -215,7 +215,7 @@ def semi_naive_closure(base: Iterable[Fact], rules: Sequence[Rule],
     closure_span = (_obs.TRACER.span("closure.semi_naive", rules=len(rules))
                     if observing else _obs.NULL_SPAN)
     with closure_span as span:
-        store = FactStore(base)
+        store = seed_store(base)
         base_count = len(store)
         firings: Dict[str, int] = {rule.name: 0 for rule in rules}
         rule_times: Dict[str, float] = {}

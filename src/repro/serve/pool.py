@@ -58,10 +58,60 @@ from ..core.errors import (
 from ..obs import metrics as _metrics
 from ..obs import tracer as _obs
 from ..obs.context import TraceContext
-from .replica import BootstrapState, Delta, capture_bootstrap, replica_main
+from .replica import (
+    BootstrapState,
+    Delta,
+    GenerationBootstrap,
+    capture_bootstrap,
+    replica_main,
+)
 from .service import DatabaseService, WriteTicket
 
 __all__ = ["ReplicaPool"]
+
+#: Maximum deltas buffered for generation-bootstrap replay.  Past this,
+#: a respawning worker would spend longer replaying than attaching —
+#: the pool marks the generation stale and rebuilds it at next spawn.
+GENERATION_LOG_CAP = 512
+
+
+class _SharedGenerations:
+    """One published pair of shared columnar generations (base heap +
+    standard closure) and everything needed to ship or retire them.
+
+    Owned by the pool (the creating process): workers only ever attach.
+    ``seq`` is the replication sequence the generations reflect.
+    """
+
+    __slots__ = ("base_gen", "base_handle", "closure_gen",
+                 "closure_handle", "closure_stats", "seq",
+                 "store_version", "closure_version")
+
+    def __init__(self, base_gen, base_handle, closure_gen,
+                 closure_handle, closure_stats, seq,
+                 store_version, closure_version):
+        self.base_gen = base_gen
+        self.base_handle = base_handle
+        self.closure_gen = closure_gen
+        self.closure_handle = closure_handle
+        self.closure_stats = closure_stats
+        self.seq = seq
+        self.store_version = store_version
+        self.closure_version = closure_version
+
+    def segment_names(self) -> List[str]:
+        names = [self.base_handle.name]
+        if self.closure_handle is not None:
+            names.append(self.closure_handle.name)
+        return names
+
+    def release(self) -> None:
+        """Unmap the pool's own views of the segments.  Built-then-shared
+        generations keep their process-local arrays, so a generation
+        borrowed from a live snapshot store stays usable after this."""
+        self.base_gen.close()
+        if self.closure_gen is not None:
+            self.closure_gen.close()
 
 
 class _Pending:
@@ -93,7 +143,8 @@ class _Worker:
 
     __slots__ = ("index", "generation", "process", "conn", "send_lock",
                  "pending", "applied", "ready", "alive", "start_seq",
-                 "receiver", "metrics_snapshot", "metrics_seq")
+                 "receiver", "metrics_snapshot", "metrics_seq",
+                 "gen_acks")
 
     def __init__(self, index: int, generation: int, process, conn,
                  start_seq: int):
@@ -110,6 +161,7 @@ class _Worker:
         self.receiver: Optional[threading.Thread] = None
         self.metrics_snapshot: Optional[dict] = None
         self.metrics_seq = 0       # heartbeat snapshots received
+        self.gen_acks = 0          # generation re-attach acks received
 
     def send(self, message) -> bool:
         """Serialized pipe send; False (not an exception) on a dead
@@ -132,6 +184,19 @@ class ReplicaPool:
         start_method: ``multiprocessing`` start method; default picks
             ``fork`` where available (fast spawn/respawn) and falls
             back to ``spawn``.
+        bootstrap: how workers receive the primary's state.
+            ``"generation"`` (the default) builds one shared-memory
+            columnar generation pair — base heap plus computed standard
+            closure (:mod:`repro.core.interned`) — and ships each
+            worker a *handle* (segment name + layout) to attach, plus
+            the delta suffix published since the generation was built;
+            bootstrap cost and per-worker memory are then independent
+            of heap size.  ``"state"`` ships a pickled
+            :class:`BootstrapState` (the PR-4 behavior; every worker
+            copies and re-indexes the full heap and recomputes the
+            closure).  ``"directory"`` replays the durable directory —
+            selected automatically when ``bootstrap_directory`` is
+            given.
         bootstrap_directory: when the service is durable, workers can
             bootstrap by replaying the directory's snapshot + journal
             themselves instead of receiving the fact heap over the
@@ -160,6 +225,7 @@ class ReplicaPool:
 
     def __init__(self, service: DatabaseService, workers: int = 2, *,
                  start_method: Optional[str] = None,
+                 bootstrap: Optional[str] = None,
                  bootstrap_directory: Optional[str] = None,
                  respawn: bool = True,
                  read_timeout: Optional[float] = 30.0,
@@ -172,6 +238,23 @@ class ReplicaPool:
             raise ValueError("workers must be >= 1")
         self._service = service
         self._bootstrap_directory = bootstrap_directory
+        if bootstrap is None:
+            bootstrap = ("directory" if bootstrap_directory is not None
+                         else "generation")
+        if bootstrap not in ("generation", "state", "directory"):
+            raise ValueError(f"unknown bootstrap mode: {bootstrap!r}")
+        if bootstrap == "directory" and bootstrap_directory is None:
+            raise ValueError(
+                "bootstrap='directory' requires bootstrap_directory")
+        self.bootstrap = bootstrap
+        # Shared-generation state (all under self._lock): the current
+        # generation pair, the delta suffix published since it was
+        # built (replayed by attaching workers), and segment names
+        # retired by compaction but not yet safe to unlink.
+        self._gen: Optional[_SharedGenerations] = None
+        self._gen_log: List[Delta] = []
+        self._gen_stale = False
+        self._retired_segments: List[str] = []
         self._respawn = respawn
         self.read_timeout = read_timeout
         if start_method is None:
@@ -234,6 +317,12 @@ class ReplicaPool:
         sequence and the first forwarded record; the worker-side
         ``version > bootstrapped`` guard drops any overlap.
         """
+        if self.bootstrap == "generation":
+            state = self._generation_bootstrap()
+            seq = (state.deltas[-1].version if state.deltas
+                   else state.version)
+            payload = ("generation", state)
+            return self._start_worker(index, payload, seq)
         snap, seq = self._service.published_state()
         config = capture_bootstrap(snap, version=seq)
         if self._bootstrap_directory is not None:
@@ -248,6 +337,9 @@ class ReplicaPool:
                                       version=seq))
         else:
             payload = ("state", config)
+        return self._start_worker(index, payload, seq)
+
+    def _start_worker(self, index: int, payload, seq: int) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         generation = next(self._generation)
         process = self._ctx.Process(
@@ -267,12 +359,112 @@ class ReplicaPool:
             _metrics.METRICS.count("serve.pool.spawns")
         return worker
 
+    def _build_generations(self) -> _SharedGenerations:
+        """Build and share a fresh generation pair from the current
+        published snapshot (caller holds the pool lock).
+
+        When the primary's heap is already interned with an empty
+        overlay (``Database.compact_store()``), its existing generation
+        is shared directly — no rebuild; otherwise the snapshot's facts
+        are interned and indexed here, once, for every worker that will
+        ever attach.  The closure generation ships whenever the
+        snapshot has a computed standard closure (the service warms it
+        before publishing), letting workers skip closure recomputation.
+        """
+        from ..core.interned import ColumnarGeneration, InternedFactStore
+
+        snap, seq = self._service.published_state()
+        base_store = snap.facts
+        base_gen = None
+        if isinstance(base_store, InternedFactStore) \
+                and not base_store.overlay_size \
+                and base_store.generation is not None \
+                and base_store.generation.shared_name is None:
+            base_gen = base_store.generation
+        if base_gen is None:
+            base_gen = ColumnarGeneration.build(
+                base_store, version=base_store.version)
+        base_handle = base_gen.share()
+        closure_gen = closure_handle = closure_stats = None
+        closure_version = None
+        result = snap._standard_result  # noqa: SLF001 - frozen snapshot
+        if result is not None:
+            closure_store = result.store
+            if isinstance(closure_store, InternedFactStore) \
+                    and not closure_store.overlay_size \
+                    and closure_store.generation is not None \
+                    and closure_store.generation.shared_name is None:
+                closure_gen = closure_store.generation
+            else:
+                closure_gen = ColumnarGeneration.build(
+                    closure_store, version=closure_store.version)
+            closure_handle = closure_gen.share()
+            closure_version = closure_store.version
+            closure_stats = {
+                "base_count": result.base_count,
+                "derived_count": result.derived_count,
+                "iterations": result.iterations,
+                "rule_firings": dict(result.rule_firings),
+                "rule_times": dict(result.rule_times),
+            }
+        if _obs.ENABLED:
+            _obs.TRACER.count("serve.pool.generation_builds")
+        if _metrics.ENABLED:
+            _metrics.METRICS.count("serve.pool.generation_builds")
+        return _SharedGenerations(
+            base_gen, base_handle, closure_gen, closure_handle,
+            closure_stats, seq, base_store.version, closure_version)
+
+    def _generation_bootstrap(self) -> GenerationBootstrap:
+        """The bootstrap payload for one attaching worker (caller holds
+        the pool lock): current generation handles plus the delta
+        suffix published since the generation was built."""
+        if self._gen is None or self._gen_stale:
+            if self._gen is not None:
+                # Too many buffered deltas: retire the old pair.  Live
+                # workers may still be attached, so the segments are
+                # only unlinked once every worker has re-attached
+                # (compact_generation) or at close().
+                self._retired_segments.extend(self._gen.segment_names())
+                self._gen.release()
+            self._gen = self._build_generations()
+            self._gen_log = []
+            self._gen_stale = False
+        gen = self._gen
+        # Configuration only — never the fact list (that is the point).
+        snap, _seq = self._service.published_state()
+        return GenerationBootstrap(
+            base_handle=gen.base_handle,
+            closure_handle=gen.closure_handle,
+            closure_stats=gen.closure_stats,
+            rules=snap.rules.all_rules(),
+            enabled=snap.rules.snapshot_state(),
+            composition_limit=snap.composition_limit,
+            engine=snap.engine,
+            version=gen.seq,
+            deltas=tuple(self._gen_log),
+            store_version=gen.store_version,
+            closure_version=gen.closure_version,
+        )
+
     def _on_delta(self, delta: Delta) -> None:
         """Writer-thread subscriber: forward to every live worker."""
         with self._lock:
             if self._closed:
                 return
             self._deltas_shipped += 1
+            if self._gen is not None and not self._gen_stale \
+                    and delta.version > self._gen.seq:
+                # Buffer for future attachers.  The service updates its
+                # published state before invoking subscribers, so every
+                # delta above the generation's sequence lands here
+                # before any spawn could need it.
+                self._gen_log.append(delta)
+                if len(self._gen_log) > GENERATION_LOG_CAP:
+                    # Replay would cost more than a rebuild: rebuild at
+                    # the next spawn (or compact_generation) instead.
+                    self._gen_log = []
+                    self._gen_stale = True
             self._delta_emit_times[delta.version] = time.perf_counter()
             if len(self._delta_emit_times) > 2 * self._lag_log.maxlen:
                 oldest = min(self._delta_emit_times)
@@ -295,6 +487,12 @@ class ReplicaPool:
                 with self._version_cv:
                     worker.applied = message[1]
                     worker.ready = True
+                    self._version_cv.notify_all()
+            elif kind == "reattached":
+                with self._version_cv:
+                    if message[1] > worker.applied:
+                        worker.applied = message[1]
+                    worker.gen_acks += 1
                     self._version_cv.notify_all()
             elif kind in ("applied", "pong"):
                 version = message[1]
@@ -683,6 +881,68 @@ class ReplicaPool:
                 self._version_cv.wait(remaining
                                       if remaining is not None else 1.0)
 
+    def compact_generation(self, timeout: float = 60.0) -> int:
+        """Rebuild the shared generation pair from the current
+        published snapshot and re-attach every live worker to it.
+
+        This is the writer-driven compaction of the generation
+        lifecycle: worker overlays (facts accumulated through delta
+        replay since bootstrap) fold back into a fresh frozen
+        generation, the delta-replay buffer resets, and future
+        respawns attach the new pair.  The old segments are unlinked
+        once every live worker acks the re-attach (or dies trying);
+        on timeout they are parked and unlinked at :meth:`close`.
+
+        Only meaningful under ``bootstrap="generation"``.  Returns the
+        new generation's replication sequence.
+        """
+        if self.bootstrap != "generation":
+            raise ValueError(
+                "compact_generation requires bootstrap='generation'")
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("replica pool is closed")
+            old = self._gen
+            if old is not None:
+                self._retired_segments.extend(old.segment_names())
+                old.release()
+            self._gen = self._build_generations()
+            self._gen_log = []
+            self._gen_stale = False
+            state = self._generation_bootstrap()
+            targets = [(w, w.gen_acks) for w in self._workers if w.alive]
+            target_seq = state.version
+        for worker, _ in targets:
+            worker.send(("generation", state))
+        limit = time.monotonic() + timeout
+        acked = True
+        with self._version_cv:
+            while True:
+                if all(worker.gen_acks > acks or not worker.alive
+                       for worker, acks in targets):
+                    break
+                remaining = limit - time.monotonic()
+                if remaining <= 0:
+                    acked = False
+                    break
+                self._version_cv.wait(remaining)
+        if acked:
+            self._unlink_retired()
+        return target_seq
+
+    def _unlink_retired(self) -> None:
+        """Unlink every retired generation segment (idempotent; missing
+        segments are fine — another path may have won the race)."""
+        from ..core.interned import unlink_generation
+
+        with self._lock:
+            names, self._retired_segments = self._retired_segments, []
+        for name in names:
+            try:
+                unlink_generation(name)
+            except OSError:  # pragma: no cover - defensive
+                pass
+
     def crash_worker(self, index: int) -> None:
         """Hard-kill one worker (failover tests and benchmarks): the
         process exits without cleanup, the pool detects the broken
@@ -726,6 +986,12 @@ class ReplicaPool:
                 "worker_metrics_received": sum(
                     w.metrics_seq for w in self._workers),
                 "closed": self._closed,
+                "bootstrap": self.bootstrap,
+                "generation_seq": (self._gen.seq
+                                   if self._gen is not None else None),
+                "generation_log": len(self._gen_log),
+                "generation_stale": self._gen_stale,
+                "retired_segments": len(self._retired_segments),
             }
 
     def lag_stats(self) -> dict:
@@ -777,6 +1043,20 @@ class ReplicaPool:
             worker.pending.clear()
             for pending in stranded:
                 pending.fail_dead()
+        # Workers are gone: the shared generation segments (current pair
+        # plus anything parked by compaction or rebuild) have no readers
+        # left and must be unlinked here, or they outlive the pool in
+        # /dev/shm.
+        with self._lock:
+            if self._gen is not None:
+                self._retired_segments.extend(self._gen.segment_names())
+                self._gen.release()
+                self._gen = None
+        self._unlink_retired()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Alias for :meth:`close` (service-style naming)."""
+        self.close(timeout=timeout)
 
     def __enter__(self) -> "ReplicaPool":
         return self

@@ -21,6 +21,9 @@ drive from tests without any pool at all.
 Pipe protocol (parent → worker)::
 
     ("delta", Delta)                     apply, then ack
+    ("generation", GenerationBootstrap)  re-attach to a newly compacted
+                                         shared generation, then ack
+                                         ("applied", version)
     ("read", rid, op, payload, seconds)  evaluate under a deadline
     ("read", rid, op, payload, seconds, trace)
                                          same, traced: ``trace`` is a
@@ -34,6 +37,8 @@ and worker → parent::
 
     ("ready", version)                   bootstrap finished
     ("applied", version)                 delta ack
+    ("reattached", version)              generation re-attach ack (the
+                                         old segments are now unmapped)
     ("result", rid, ok, value, version)  read outcome (value is the
                                          result, or (error_name, text))
     ("result", rid, ok, value, version, extra)
@@ -69,8 +74,10 @@ from ..rules.registry import RuleRegistry
 from ..rules.rule import Rule
 
 __all__ = [
-    "Delta", "BootstrapState", "capture_bootstrap", "build_replica",
-    "bootstrap_from_directory", "apply_delta_message", "replica_main",
+    "Delta", "BootstrapState", "GenerationBootstrap",
+    "capture_bootstrap", "build_replica",
+    "build_replica_from_generation", "bootstrap_from_directory",
+    "apply_delta_message", "replica_main",
 ]
 
 
@@ -114,6 +121,41 @@ class BootstrapState:
     version: int = 0
 
 
+@dataclass
+class GenerationBootstrap:
+    """Bootstrap by *attaching*, not copying: shared-memory handles.
+
+    Instead of a pickled fact list, the worker receives the names and
+    layouts of the shared-memory segments holding the primary's base
+    heap — and, when available, its computed standard closure — as
+    frozen columnar generations (:mod:`repro.core.interned`).  The
+    worker maps the segments read-only-by-convention and layers its own
+    small mutable overlay on top, so per-worker incremental memory is
+    the overlay plus decode memo, not a full database copy; with the
+    closure shipped too, the worker skips recomputing it entirely.
+
+    ``version`` is the replication sequence the generations correspond
+    to; ``deltas`` is the suffix published after the generations were
+    built, replayed by the worker before it declares readiness (the
+    parent captures it under the same lock that orders delta fan-out,
+    so the sequence seam is exact).  ``store_version`` /
+    ``closure_version`` restore the exact store mutation counters, so
+    version-keyed result caches stay continuous across attach.
+    """
+
+    base_handle: Any                      # core.interned.GenerationHandle
+    closure_handle: Optional[Any] = None
+    closure_stats: Optional[dict] = None  # ClosureResult scalars
+    rules: List[Rule] = field(default_factory=list)
+    enabled: Dict[str, bool] = field(default_factory=dict)
+    composition_limit: Optional[int] = 1
+    engine: str = "dispatched"
+    version: int = 0
+    deltas: Tuple[Delta, ...] = ()
+    store_version: Optional[int] = None
+    closure_version: Optional[int] = None
+
+
 def capture_bootstrap(db: Database, version: int) -> BootstrapState:
     """Snapshot a database's replicable state at replication ``version``.
 
@@ -144,6 +186,66 @@ def build_replica(state: BootstrapState) -> Database:
     db.rules.restore_state(state.enabled)
     db._composition_limit = state.composition_limit  # noqa: SLF001
     return db
+
+
+def build_replica_from_generation(state: GenerationBootstrap) -> Database:
+    """A replica database attached to shared columnar generations.
+
+    The base heap (and the standard closure, when its handle shipped)
+    is an :class:`~repro.core.interned.InternedFactStore` over the
+    parent-owned shared segment: zero fact copying at bootstrap, and
+    the worker's incremental memory is its overlay plus whatever facts
+    its reads decode.  Deltas in ``state.deltas`` are **not** applied
+    here — the caller replays them so it can track the resulting
+    version (see :func:`replica_main`).
+    """
+    from ..core.interned import InternedFactStore
+    from ..rules.engine import ClosureResult
+
+    db = Database(with_axioms=False, engine=state.engine)
+    base = InternedFactStore.attach(state.base_handle)
+    if state.store_version is not None:
+        base._version = state.store_version  # noqa: SLF001
+    db._base = base  # noqa: SLF001
+    db.rules = RuleRegistry(state.rules)
+    db.rules.restore_state(state.enabled)
+    db._composition_limit = state.composition_limit  # noqa: SLF001
+    if state.closure_handle is not None:
+        closure_store = InternedFactStore.attach(state.closure_handle)
+        if state.closure_version is not None:
+            closure_store._version = state.closure_version  # noqa: SLF001
+        stats = state.closure_stats or {}
+        db._standard_result = ClosureResult(  # noqa: SLF001
+            store=closure_store,
+            base_count=stats.get("base_count", len(base)),
+            derived_count=stats.get(
+                "derived_count", len(closure_store) - len(base)),
+            iterations=stats.get("iterations", 0),
+            rule_firings=dict(stats.get("rule_firings", {})),
+            rule_times=dict(stats.get("rule_times", {})),
+            provenance=None,
+        )
+    return db
+
+
+def release_attached_stores(db: Database) -> None:
+    """Release a replica's shared-memory mappings (base + closure).
+
+    Called when a worker swaps to a newly compacted generation; process
+    exit would release them anyway, but an explicit close keeps the old
+    segment's pages reclaimable as soon as the writer unlinks it.
+    """
+    for store in (db.facts,
+                  getattr(db._standard_result, "store", None)  # noqa: SLF001
+                  if db._standard_result is not None else None,  # noqa: SLF001
+                  getattr(db._full_result, "store", None)  # noqa: SLF001
+                  if db._full_result is not None else None):  # noqa: SLF001
+        close = getattr(store, "close", None)
+        if close is not None:
+            try:
+                close()
+            except Exception:  # pragma: no cover - defensive
+                pass
 
 
 def bootstrap_from_directory(directory: str,
@@ -222,12 +324,28 @@ READ_OPS = {
 }
 
 
-def _bootstrap(payload) -> Database:
+def _bootstrap(payload) -> Tuple[Database, int]:
+    """Build the replica database for one bootstrap payload.
+
+    Returns ``(db, version)`` where ``version`` is the replication
+    sequence the database now reflects — for generation payloads that
+    includes the shipped delta suffix, replayed here.
+    """
     kind = payload[0]
     if kind == "state":
-        return build_replica(payload[1])
+        return build_replica(payload[1]), payload[1].version
     if kind == "directory":
-        return bootstrap_from_directory(payload[1], payload[2])
+        return (bootstrap_from_directory(payload[1], payload[2]),
+                payload[2].version)
+    if kind == "generation":
+        state: GenerationBootstrap = payload[1]
+        db = build_replica_from_generation(state)
+        version = state.version
+        for delta in state.deltas:
+            if delta.version > version:
+                apply_delta_message(db, delta)
+                version = delta.version
+        return db, version
     raise ServiceError(f"unknown bootstrap payload {kind!r}")
 
 
@@ -235,7 +353,9 @@ def replica_main(conn, payload, telemetry: Optional[dict] = None) -> None:
     """The worker process entry point.
 
     ``conn`` is this end of a duplex pipe; ``payload`` is
-    ``("state", BootstrapState)`` or
+    ``("state", BootstrapState)``,
+    ``("generation", GenerationBootstrap)`` (attach to shared-memory
+    columnar generations and replay the shipped delta suffix), or
     ``("directory", path, BootstrapState)`` (the directory variant
     reads facts from disk and takes configuration from the state).
     Builds the replica, warms its closure, then serves the pipe until
@@ -269,9 +389,7 @@ def replica_main(conn, payload, telemetry: Optional[dict] = None) -> None:
         slow_threshold = telemetry.get("slow_query_seconds")
         if slow_threshold is not None:
             _qexec.KEEP_LAST_RUN = True
-    db = _bootstrap(payload)
-    version = (payload[1].version if payload[0] == "state"
-               else payload[2].version)
+    db, version = _bootstrap(payload)
     db.view()   # warm the closure before declaring readiness
     conn.send(("ready", version))
     while True:
@@ -292,6 +410,27 @@ def replica_main(conn, payload, telemetry: Optional[dict] = None) -> None:
                         "replica.apply_seconds",
                         time.perf_counter() - apply_started)
             conn.send(("applied", version))
+        elif kind == "generation":
+            # The writer compacted a new shared generation: re-attach.
+            # The new generations already contain every delta at or
+            # below their version, so jumping forward is safe; any
+            # already-queued delta at or below it is dropped by the
+            # ``version >`` guard above.  An older-than-current
+            # generation (cannot happen under one writer, but guard
+            # anyway) is ignored.
+            state = message[1]
+            target = state.version
+            for delta in state.deltas:
+                target = max(target, delta.version)
+            if target >= version:
+                old = db
+                db, version = _bootstrap(("generation", state))
+                db.view()
+                release_attached_stores(old)
+            # Distinct ack type: the parent must know the worker is
+            # done with the *old* segments (a plain delta ack could
+            # predate the re-attach), so it can unlink them safely.
+            conn.send(("reattached", version))
         elif kind == "read":
             rid, op, read_payload, seconds = message[1:5]
             ctx = (TraceContext.from_wire(message[5])
@@ -348,4 +487,9 @@ def replica_main(conn, payload, telemetry: Optional[dict] = None) -> None:
         elif kind == "crash":
             os._exit(3)
         elif kind == "stop":
+            # Release attached shared-memory views before interpreter
+            # teardown: GC order is arbitrary there, and closing a
+            # segment while typed views still reference its buffer
+            # raises BufferError noise on the way out.
+            release_attached_stores(db)
             return

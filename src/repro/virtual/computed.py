@@ -213,6 +213,15 @@ class FactView:
     def __iter__(self) -> Iterator[Fact]:
         return iter(self.store)
 
+    @property
+    def exact_counts(self) -> bool:
+        """True when the underlying store's ``count_estimate`` returns
+        exact cardinalities (interned columnar stores: index length
+        lookups) rather than candidate-set upper bounds.  The planner
+        trusts exact counts directly instead of applying its sampling
+        fudge factors."""
+        return bool(getattr(self.store, "count_estimate_exact", False))
+
     def count_estimate(self, pattern: Template,
                        binding: Optional[Binding] = None) -> int:
         """Planner estimate: stored candidates + virtual contributions."""

@@ -1,0 +1,246 @@
+"""Randomized interned-vs-hash store equivalence suite.
+
+:class:`~repro.core.interned.InternedFactStore` replaces the hash
+store's dict-of-sets indexes with interned-id columns and CSR offset
+maps, and feeds the planner exact counts — an entirely different
+retrieval machine that must be *observationally identical*.  This
+suite drives both stores over seeded random templates, queries,
+closures, and provenance across every worked dataset plus random
+heaps, asserting bit-identical results:
+
+* store probes — ``match`` / ``match_many`` / ``solutions`` /
+  ``facts_mentioning`` / ``count_estimate`` agree fact-for-fact;
+* full query evaluation — a compacted database answers random
+  formulas exactly like its hash-store twin, under both query
+  engines;
+* closure — all three rule engines produce the same closure (and the
+  same provenance reachability) whether seeded from a hash or an
+  interned base;
+* provenance — ``why`` renders identical derivation trees after
+  :meth:`~repro.db.Database.compact_store`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.facts import Fact, Template, Variable
+from repro.core.interned import InternedFactStore
+from repro.core.store import FactStore
+from repro.db import Database
+from repro.datasets import books, movies, music, paper, university
+from repro.datasets.synthetic import random_heap
+from repro.query.ast import Query
+
+from .test_engine_equivalence import _context, _random_database
+from .test_query_engine_equivalence import _outcome, _random_formula
+
+SEEDS = range(12)
+TEMPLATES_PER_CASE = 25
+QUERIES_PER_CASE = 5
+
+X, Y = Variable("x"), Variable("y")
+
+
+def _heap_database(database: Database = None) -> Database:
+    if database is None:
+        database = Database()
+    for heap_fact in random_heap(40, 12, 5, seed=7):
+        database.add_fact(heap_fact)
+    database.add("E0", "∈", "C0")
+    database.add("E1", "∈", "C0")
+    database.add("C0", "≺", "C1")
+    return database
+
+
+_DATASETS = {
+    "books": books.load,
+    "music": music.load,
+    "paper": paper.load,
+    "university": university.load,
+    "movies": movies.load,
+    "heap": _heap_database,
+}
+
+_PAIR_CACHE = {}
+
+
+def _pair(name):
+    """(hash-store db, interned twin, entities, relationships)."""
+    if name not in _PAIR_CACHE:
+        hash_db = _DATASETS[name]()
+        interned_db = _DATASETS[name]().compact_store()
+        entities, relationships = set(), set()
+        for heap_fact in hash_db.facts:
+            entities.add(heap_fact.source)
+            entities.add(heap_fact.target)
+            relationships.add(heap_fact.relationship)
+        _PAIR_CACHE[name] = (hash_db, interned_db,
+                             sorted(entities), sorted(relationships))
+    return _PAIR_CACHE[name]
+
+
+def _random_template(rng, entities, relationships) -> Template:
+    """A random probe: each position is a constant or a variable, with
+    repeated variables included (the paper's ``(x, CITES, x)``)."""
+    def term(pool):
+        roll = rng.random()
+        if roll < 0.40:
+            return rng.choice((X, Y))
+        if roll < 0.55:
+            return X           # bias toward repeats
+        return rng.choice(pool)
+
+    return Template(term(entities), term(relationships), term(entities))
+
+
+def _binding_set(solutions):
+    return {frozenset(b.items()) for b in solutions}
+
+
+# ----------------------------------------------------------------------
+# Store probes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dataset", sorted(_DATASETS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_store_probes_identical(dataset, seed):
+    hash_db, _interned_db, entities, relationships = _pair(dataset)
+    reference = hash_db.facts
+    interned = InternedFactStore.from_facts(reference)
+    assert len(interned) == len(reference)
+    rng = random.Random(f"{dataset}-{seed}")
+    for _ in range(TEMPLATES_PER_CASE):
+        probe = _random_template(rng, entities, relationships)
+        expected = sorted(map(tuple, reference.match(probe)))
+        assert sorted(map(tuple, interned.match(probe))) == expected, \
+            f"match diverged on {probe!r}"
+        assert (_binding_set(interned.solutions(probe))
+                == _binding_set(reference.solutions(probe))), \
+            f"solutions diverged on {probe!r}"
+        # Exact counts: the interned store's estimate IS the answer
+        # for single-variable-occurrence probes; repeated variables
+        # filter below the per-position index count.
+        count = interned.count_estimate(probe)
+        if len(probe.variable_set()) == len(probe.variables()):
+            assert count == len(expected), \
+                f"count_estimate inexact on {probe!r}"
+        else:
+            assert count >= len(expected)
+    batch = [_random_template(rng, entities, relationships)
+             for _ in range(8)]
+    assert ([sorted(map(tuple, group))
+             for group in interned.match_many(batch)]
+            == [sorted(map(tuple, group))
+                for group in reference.match_many(batch)])
+    for entity in rng.sample(entities, min(6, len(entities))):
+        assert (interned.facts_mentioning(entity)
+                == reference.facts_mentioning(entity))
+
+
+# ----------------------------------------------------------------------
+# Full query evaluation on a compacted database
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dataset", sorted(_DATASETS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_compacted_database_answers_identically(dataset, seed):
+    hash_db, interned_db, entities, relationships = _pair(dataset)
+    assert getattr(interned_db.facts, "interned", False)
+    assert interned_db.view().exact_counts
+    rng = random.Random(f"{dataset}-interned-{seed}")
+    for _ in range(QUERIES_PER_CASE):
+        formula = _random_formula(rng, entities, relationships)
+        query = Query.of(formula)
+        expected = _outcome(hash_db.evaluator(), query)
+        assert _outcome(interned_db.evaluator(), query) == expected, \
+            f"seed {seed}, dataset {dataset}: {query}"
+
+
+@pytest.mark.parametrize("dataset", sorted(_DATASETS))
+def test_compacted_database_api_surface(dataset):
+    """match / navigate / try agree after compaction, and reference
+    vs compiled query engines agree *on* the interned store."""
+    hash_db, interned_db, entities, _relationships = _pair(dataset)
+    sample = sorted(entities)[:8]
+    for entity in sample:
+        pattern = f"({entity}, *, *)"
+        assert (sorted(map(tuple, interned_db.match(pattern)))
+                == sorted(map(tuple, hash_db.match(pattern))))
+        assert (sorted(map(tuple, interned_db.try_(entity)))
+                == sorted(map(tuple, hash_db.try_(entity))))
+        assert (interned_db.navigate(pattern).entities()
+                == hash_db.navigate(pattern).entities())
+    compiled = interned_db.query("(x, ≺, y)")
+    reference_db = _DATASETS[dataset]().compact_store()
+    reference_db.query_engine = "reference"
+    assert reference_db.query("(x, ≺, y)") == compiled
+
+
+# ----------------------------------------------------------------------
+# Closure engines seeded from an interned base
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_closure_engines_agree_across_stores(seed):
+    from repro.rules.builtin import STANDARD_RULES
+    from repro.rules.dispatch import dispatched_closure
+    from repro.rules.engine import naive_closure, semi_naive_closure
+
+    facts = _random_database(seed)
+    context = _context(facts)
+    engines = (naive_closure, semi_naive_closure, dispatched_closure)
+    results = []
+    for engine in engines:
+        for base in (FactStore(facts),
+                     InternedFactStore.from_facts(facts)):
+            results.append(engine(base, STANDARD_RULES, context,
+                                  trace=True))
+    baseline = set(results[0].store)
+    for result in results[1:]:
+        assert set(result.store) == baseline
+        assert result.base_count == results[0].base_count
+        assert (set(result.provenance or ())
+                == set(results[0].provenance or ()))
+
+
+@pytest.mark.parametrize("dataset", sorted(_DATASETS))
+def test_provenance_renders_identically(dataset):
+    """``why`` derivation trees survive compaction verbatim."""
+    hash_db = _DATASETS[dataset](Database(trace=True))
+    interned_db = _DATASETS[dataset](Database(trace=True)).compact_store()
+    base = set(hash_db.facts)
+    derived = sorted(f for f in hash_db.view().store
+                     if f not in base)[:5]
+    for derived_fact in derived:
+        assert (str(interned_db.why(derived_fact))
+                == str(hash_db.why(derived_fact)))
+
+
+def test_attach_preserves_store_equivalence():
+    """Shared-memory attach is one more representation change that
+    must not change a single answer (single-process check; the
+    cross-process version lives in the pool suite)."""
+    hash_db, _interned_db, entities, relationships = _pair("movies")
+    reference = hash_db.facts
+    source = InternedFactStore.from_facts(reference)
+    handle = source.generation.share()
+    try:
+        attached = InternedFactStore.attach(handle)
+        try:
+            rng = random.Random("attach-equivalence")
+            for _ in range(TEMPLATES_PER_CASE):
+                probe = _random_template(rng, entities, relationships)
+                assert (sorted(map(tuple, attached.match(probe)))
+                        == sorted(map(tuple, reference.match(probe))))
+            # Attached stores stay mutable through their overlay.
+            extra = Fact("ATTACHED", "∈", "PROBE")
+            attached.add(extra)
+            assert extra in attached
+            assert extra not in reference
+        finally:
+            attached.close()
+    finally:
+        from repro.core.interned import unlink_generation
+
+        source.close()
+        unlink_generation(handle.name)

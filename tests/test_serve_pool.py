@@ -214,3 +214,175 @@ class TestDirectoryBootstrap:
             pool.close()
             service.close()
             session.close()
+
+
+def _gen_segments():
+    import os
+    if not os.path.isdir("/dev/shm"):
+        return None
+    return sorted(p for p in os.listdir("/dev/shm")
+                  if p.startswith("repro-gen-"))
+
+
+class TestGenerationBootstrap:
+    """Shared-memory generation attach: the default bootstrap mode."""
+
+    def test_default_mode_and_stats(self, pooled):
+        _, pool = pooled
+        assert pool.bootstrap == "generation"
+        stats = pool.stats()
+        assert stats["bootstrap"] == "generation"
+        assert stats["generation_seq"] is not None
+        assert stats["generation_stale"] is False
+
+    def test_attach_matches_copied_state(self):
+        """Satellite: attach-vs-copy consistency across a 2-worker
+        pool — generation-attached replicas answer exactly like
+        replicas that copied the pickled heap."""
+        service = DatabaseService(_database())
+        shapes = ["(x, ∈, EMPLOYEE)", "(JOHN, r, y)", "(x, r, SALARY)",
+                  "(x, ≺, y)"]
+        try:
+            with ReplicaPool(service, workers=2,
+                             bootstrap="generation") as gen_pool, \
+                 ReplicaPool(service, workers=2,
+                             bootstrap="state") as copy_pool:
+                for shape in shapes:
+                    assert gen_pool.query(shape) == copy_pool.query(shape)
+                assert (sorted(map(tuple, gen_pool.match("(JOHN, *, *)")))
+                        == sorted(map(tuple,
+                                      copy_pool.match("(JOHN, *, *)"))))
+                assert (gen_pool.navigate("(JOHN, *, *)")
+                        == copy_pool.navigate("(JOHN, *, *)"))
+                assert gen_pool.stats()["fallback_reads"] == 0
+        finally:
+            service.close()
+
+    def test_deltas_flow_after_attach(self, pooled):
+        service, pool = pooled
+        ticket = service.add_async(("GEN", "∈", "EMPLOYEE"))
+        ticket.result(timeout=30.0)
+        pool.wait_for_version(ticket.version, all_workers=True,
+                              timeout=30.0)
+        before = pool.stats()["fallback_reads"]
+        assert pool.ask("(GEN, EARNS, SALARY)", ticket=ticket)
+        assert pool.stats()["fallback_reads"] == before
+
+    def test_respawn_replays_delta_suffix(self, pooled):
+        """A worker spawned after writes attaches the original
+        generation and replays the buffered suffix."""
+        service, pool = pooled
+        ticket = service.add_async(("SUFFIX", "∈", "EMPLOYEE"))
+        ticket.result(timeout=30.0)
+        pool.wait_for_version(ticket.version, all_workers=True,
+                              timeout=30.0)
+        assert pool.stats()["generation_log"] >= 1
+        pool.crash_worker(0)
+        deadline_at = time.monotonic() + 60.0
+        while time.monotonic() < deadline_at:
+            stats = pool.stats()
+            if stats["alive"] == stats["workers"] and stats["respawns"]:
+                break
+            time.sleep(0.05)
+        pool.wait_for_version(ticket.version, all_workers=True,
+                              timeout=30.0)
+        before = pool.stats()["fallback_reads"]
+        assert pool.ask("(SUFFIX, EARNS, SALARY)", ticket=ticket)
+        assert pool.stats()["fallback_reads"] == before
+
+    def test_log_overflow_marks_stale_and_rebuilds(self, monkeypatch):
+        import repro.serve.pool as pool_mod
+        monkeypatch.setattr(pool_mod, "GENERATION_LOG_CAP", 2)
+        service = DatabaseService(_database())
+        pool = ReplicaPool(service, workers=1)
+        try:
+            ticket = None
+            for i in range(4):
+                # Settle each write so the batch window cannot coalesce
+                # them into a single delta.
+                ticket = service.add_async((f"BULK{i}", "∈", "EMPLOYEE"))
+                ticket.result(timeout=30.0)
+            assert pool.stats()["generation_stale"] is True
+            # A respawn rebuilds the generation pair from the current
+            # snapshot; the stale flag clears and reads stay exact.
+            pool.crash_worker(0)
+            deadline_at = time.monotonic() + 60.0
+            while time.monotonic() < deadline_at:
+                stats = pool.stats()
+                if stats["alive"] == stats["workers"] and stats["respawns"]:
+                    break
+                time.sleep(0.05)
+            assert pool.stats()["generation_stale"] is False
+            assert pool.ask("(BULK3, ∈, EMPLOYEE)", ticket=ticket)
+        finally:
+            pool.close()
+            service.close()
+
+    def test_compact_generation_reattaches_live_workers(self, pooled):
+        service, pool = pooled
+        ticket = service.add_async(("COMPACT", "∈", "EMPLOYEE"))
+        ticket.result(timeout=30.0)
+        pool.wait_for_version(ticket.version, all_workers=True,
+                              timeout=30.0)
+        old_seq = pool.stats()["generation_seq"]
+        new_seq = pool.compact_generation(timeout=60.0)
+        assert new_seq >= old_seq
+        stats = pool.stats()
+        assert stats["generation_seq"] == new_seq
+        assert stats["generation_log"] == 0
+        # Old segments were unlinked once every worker re-attached.
+        assert stats["retired_segments"] == 0
+        assert stats["alive"] == stats["workers"]
+        before = stats["fallback_reads"]
+        assert pool.ask("(COMPACT, EARNS, SALARY)", ticket=ticket)
+        assert pool.stats()["fallback_reads"] == before
+
+    def test_compact_requires_generation_mode(self):
+        service = DatabaseService(_database())
+        try:
+            with ReplicaPool(service, workers=1,
+                             bootstrap="state") as pool:
+                with pytest.raises(ValueError):
+                    pool.compact_generation()
+        finally:
+            service.close()
+
+    def test_close_unlinks_all_segments(self):
+        segments_before = _gen_segments()
+        if segments_before is None:
+            pytest.skip("no /dev/shm on this platform")
+        service = DatabaseService(_database())
+        pool = ReplicaPool(service, workers=2)
+        try:
+            assert pool.ask("(JOHN, ∈, EMPLOYEE)")
+            during = _gen_segments()
+            assert len(during) > len(segments_before)
+        finally:
+            pool.shutdown()
+            service.close()
+        assert _gen_segments() == segments_before
+
+    def test_spawn_start_method(self):
+        import multiprocessing
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn start method unavailable")
+        service = DatabaseService(_database())
+        pool = ReplicaPool(service, workers=1, start_method="spawn",
+                           ready_timeout=120.0)
+        try:
+            assert pool.bootstrap == "generation"
+            assert pool.ask("(JOHN, ∈, EMPLOYEE)")
+            assert pool.stats()["fallback_reads"] == 0
+        finally:
+            pool.close()
+            service.close()
+
+    def test_invalid_bootstrap_mode(self):
+        service = DatabaseService(_database())
+        try:
+            with pytest.raises(ValueError):
+                ReplicaPool(service, workers=1, bootstrap="bogus")
+            with pytest.raises(ValueError):
+                ReplicaPool(service, workers=1, bootstrap="directory")
+        finally:
+            service.close()

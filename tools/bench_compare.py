@@ -4,8 +4,10 @@
 Joins the result matrices of a baseline and a candidate document on
 their identifying columns (``mode`` plus whichever of ``threads`` /
 ``workers`` / ``client_threads`` the row carries), then reports the
-relative change in throughput (``ops_per_second``) and tail latency
-(``p50_us`` / ``p95_us`` / ``p99_us``) per matched cell.
+relative change in throughput (``ops_per_second``), tail latency
+(``p50_us`` / ``p95_us`` / ``p99_us``), and memory
+(``worker_rss_mb`` / ``worker_rss_anon_mb`` / ``bootstrap_seconds``)
+per matched cell.
 
     python tools/bench_compare.py BENCH_serving.json /tmp/new.json
     python tools/bench_compare.py old.json new.json --fail-above 10
@@ -23,7 +25,9 @@ import sys
 from typing import Dict, List, Optional, Tuple
 
 #: Row fields that identify a cell (as opposed to measuring it).
-KEY_FIELDS = ("mode", "threads", "workers", "client_threads", "writes")
+KEY_FIELDS = ("mode", "threads", "workers", "client_threads", "writes",
+              "bootstrap", "facts", "engine", "workload", "shape",
+              "dataset", "limit")
 
 #: Measured fields worth diffing, with their improvement direction.
 METRIC_FIELDS = (
@@ -31,6 +35,10 @@ METRIC_FIELDS = (
     ("p50_us", "lower"),
     ("p95_us", "lower"),
     ("p99_us", "lower"),
+    ("bootstrap_seconds", "lower"),
+    ("worker_rss_mb", "lower"),
+    ("worker_rss_anon_mb", "lower"),
+    ("seconds", "lower"),
 )
 
 

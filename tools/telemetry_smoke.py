@@ -36,6 +36,9 @@ def build_database() -> Database:
     for index in range(6):
         db.add(f"P{index}", "WORKS-IN", f"D{index % 2}")
         db.add(f"D{index % 2}", "PART-OF", "ORG")
+    # Serve from the interned columnar store so the smoke covers the
+    # shared-memory generation bootstrap path end to end.
+    db.compact_store()
     return db
 
 
@@ -48,11 +51,15 @@ def main() -> int:
     obs_metrics.enable_metrics(fresh=True)
     service = DatabaseService(build_database(),
                               slow_query_seconds=0.0)  # log every read
-    pool = ReplicaPool(service, workers=2)
+    pool = ReplicaPool(service, workers=2, bootstrap="generation")
     server = ServiceServer(service, port=0, pool=pool)
     server.start()
     host, port = server.address
     try:
+        if pool.stats()["bootstrap"] != "generation":
+            return fail("pool is not using generation bootstrap")
+        if pool.stats()["generation_seq"] is None:
+            return fail("pool has no published shared-memory generation")
         with ServiceClient(host, port, trace=True) as client:
             for _ in range(3):
                 client.query("(x, WORKS-IN, y)")
