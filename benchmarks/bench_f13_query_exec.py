@@ -3,10 +3,17 @@
 The compiled executor (:mod:`repro.query.compile` +
 :mod:`repro.query.exec`) replaces the reference engine's per-binding
 dict allocations with batch operators over binding tables.  This bench
-runs both engines — uncached, same view — over the E4 paper queries on
-the book world, multi-conjunct joins on the employee workload,
+runs both engines — same view, no result cache, each with its own
+:class:`~repro.query.plancache.PlanCache` — over the E4 paper queries
+on the book world, multi-conjunct joins on the employee workload,
 navigation-star shapes, and a probe (``succeeds``) workload, verifying
 answer-for-answer agreement while timing the difference.
+
+Methodology: queries are passed as *text*, the production entry point.
+Parse + plan costs are paid once into the warm plan cache (every cell
+is preceded by a correctness check, which warms it), so the timed path
+is exactly what a browsing loop pays per repeated query — for
+single-atom shapes that is the pre-bound point-read fast path.
 
 Run as a script to emit ``BENCH_queries.json`` (the engine × workload
 × shape matrix, with the compiled engine's per-operator plan stats —
@@ -25,7 +32,7 @@ from repro.benchio.harness import plan_stats, write_bench_json
 from repro.datasets import books
 from repro.datasets.synthetic import employee_workload
 from repro.db import Database
-from repro.query import CompiledEvaluator, Evaluator, parse_query
+from repro.query import CompiledEvaluator, Evaluator, PlanCache, parse_query
 
 
 def _employee_db(n_employees: int, n_departments: int,
@@ -91,11 +98,15 @@ _QUICK_HEADLINE = ("employees-200", "join3")
 
 
 def _probe_queries(view, count: int = 60):
-    """A browsing-probe workload: half succeeding, half failing."""
+    """A browsing-probe workload: half succeeding, half failing.
+
+    Query *text*, as the browsing layer issues it — the plan cache
+    (not the caller) is responsible for parsing each at most once.
+    """
     queries = []
     for index in range(count // 2):
-        queries.append(parse_query(f"(EMP{index}, EARNS, s)"))
-        queries.append(parse_query(f"(EMP{index}, MANAGES, y)"))
+        queries.append(f"(EMP{index}, EARNS, s)")
+        queries.append(f"(EMP{index}, MANAGES, y)")
     return queries
 
 
@@ -110,8 +121,8 @@ def test_f13_engines_agree_and_compiled_wins(benchmark):
     sweep = Sweep(name="F13: compiled vs reference query engine",
                   parameter="shape")
     view = _employee_view(400, 10, seed=5)
-    reference = Evaluator(view)
-    compiled = CompiledEvaluator(view)
+    reference = Evaluator(view, plans=PlanCache())
+    compiled = CompiledEvaluator(view, plans=PlanCache())
     speedups = {}
     shapes = {
         "join3": "(x, ∈, EMPLOYEE) and (x, WORKS-FOR, d)"
@@ -119,10 +130,9 @@ def test_f13_engines_agree_and_compiled_wins(benchmark):
         "navigation-star": "(EMP0, r, t)",
     }
     for shape, text in shapes.items():
-        query = parse_query(text)
-        assert compiled.evaluate(query) == reference.evaluate(query)
-        reference_s = timed(lambda: reference.evaluate(query), repeat=3)
-        compiled_s = timed(lambda: compiled.evaluate(query), repeat=3)
+        assert compiled.evaluate(text) == reference.evaluate(text)
+        reference_s = timed(lambda: reference.evaluate(text), repeat=3)
+        compiled_s = timed(lambda: compiled.evaluate(text), repeat=3)
         speedups[shape] = reference_s / compiled_s
         sweep.add(shape, reference_s=reference_s, compiled_s=compiled_s,
                   speedup=round(speedups[shape], 2))
@@ -130,15 +140,14 @@ def test_f13_engines_agree_and_compiled_wins(benchmark):
     # Shape, not a tight bound: the committed matrix carries the real
     # numbers; here we only require the batch engine to actually win.
     assert speedups["join3"] > 1.5
-    query = parse_query(shapes["join3"])
-    benchmark(compiled.evaluate, query)
+    benchmark(compiled.evaluate, shapes["join3"])
 
 
 def test_f13_probe_workload(benchmark):
     view = _employee_view(200, 8)
     queries = _probe_queries(view, count=40)
-    reference = Evaluator(view)
-    compiled = CompiledEvaluator(view)
+    reference = Evaluator(view, plans=PlanCache())
+    compiled = CompiledEvaluator(view, plans=PlanCache())
     assert _run_probes(compiled, queries) == _run_probes(reference,
                                                          queries)
     benchmark(_run_probes, compiled, queries)
@@ -163,18 +172,18 @@ def run_matrix(quick: bool = False, repeat: int = 3):
     for workload_name, (factory, shapes) in workloads.items():
         db = factory()
         view = db.view()
-        reference = Evaluator(view)
-        compiled = CompiledEvaluator(view)
+        reference = Evaluator(view, plans=PlanCache())
+        compiled = CompiledEvaluator(view, plans=PlanCache())
         for shape, text in shapes.items():
-            query = parse_query(text)
-            reference_value = reference.evaluate(query)
-            compiled_value, run = compiled.evaluate_with_stats(query)
+            reference_value = reference.evaluate(text)
+            compiled_value, run = compiled.evaluate_with_stats(text)
+            compiled.evaluate(text)       # warm the plan-cache entry
             if compiled_value != reference_value:
                 raise AssertionError(
                     f"engines disagree on {workload_name}/{shape}")
             for engine, evaluator in (("reference", reference),
                                       ("compiled", compiled)):
-                cell_seconds = timed(lambda: evaluator.evaluate(query),
+                cell_seconds = timed(lambda: evaluator.evaluate(text),
                                      repeat=repeat)
                 seconds[engine, workload_name, shape] = cell_seconds
                 row = {
@@ -184,6 +193,7 @@ def run_matrix(quick: bool = False, repeat: int = 3):
                     "query": text,
                     "rows": len(compiled_value),
                     "seconds": round(cell_seconds, 6),
+                    "ops_per_second": round(1.0 / cell_seconds, 1),
                 }
                 if engine == "compiled":
                     row["plan"] = plan_stats(run)
@@ -198,6 +208,7 @@ def run_matrix(quick: bool = False, repeat: int = 3):
         if probe_queries:
             for engine, evaluator in (("reference", reference),
                                       ("compiled", compiled)):
+                _run_probes(evaluator, probe_queries)  # warm plan cache
                 cell_seconds = timed(
                     lambda: _run_probes(evaluator, probe_queries),
                     repeat=repeat)
@@ -209,6 +220,8 @@ def run_matrix(quick: bool = False, repeat: int = 3):
                     "query": f"succeeds × {len(probe_queries)}",
                     "rows": len(probe_queries),
                     "seconds": round(cell_seconds, 6),
+                    "ops_per_second": round(
+                        len(probe_queries) / cell_seconds, 1),
                 })
                 print(f"  {engine:9s} {workload_name}/probe"
                       f"                {cell_seconds:8.4f}s")
@@ -217,15 +230,15 @@ def run_matrix(quick: bool = False, repeat: int = 3):
         # store swap is invisible to engine semantics, so one engine
         # suffices to price the representation.
         db.compact_store()
-        interned = CompiledEvaluator(db.view())
+        interned = CompiledEvaluator(db.view(), plans=PlanCache())
         for shape, text in shapes.items():
-            query = parse_query(text)
-            value, run = interned.evaluate_with_stats(query)
-            if value != compiled.evaluate(query):
+            value, run = interned.evaluate_with_stats(text)
+            if value != compiled.evaluate(text):
                 raise AssertionError(
                     f"interned store disagrees on"
                     f" {workload_name}/{shape}")
-            cell_seconds = timed(lambda: interned.evaluate(query),
+            interned.evaluate(text)       # warm the plan-cache entry
+            cell_seconds = timed(lambda: interned.evaluate(text),
                                  repeat=repeat)
             seconds["compiled-interned", workload_name, shape] = \
                 cell_seconds
@@ -236,11 +249,13 @@ def run_matrix(quick: bool = False, repeat: int = 3):
                 "query": text,
                 "rows": len(value),
                 "seconds": round(cell_seconds, 6),
+                "ops_per_second": round(1.0 / cell_seconds, 1),
                 "plan": plan_stats(run),
             })
             print(f"  {'interned':9s} {workload_name}/{shape:20s}"
                   f" {cell_seconds:8.4f}s  rows={len(value)}")
         if probe_queries:
+            _run_probes(interned, probe_queries)  # warm plan cache
             cell_seconds = timed(
                 lambda: _run_probes(interned, probe_queries),
                 repeat=repeat)
@@ -253,6 +268,8 @@ def run_matrix(quick: bool = False, repeat: int = 3):
                 "query": f"succeeds × {len(probe_queries)}",
                 "rows": len(probe_queries),
                 "seconds": round(cell_seconds, 6),
+                "ops_per_second": round(
+                    len(probe_queries) / cell_seconds, 1),
             })
             print(f"  {'interned':9s} {workload_name}/probe"
                   f"                {cell_seconds:8.4f}s")

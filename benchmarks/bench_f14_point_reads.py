@@ -1,0 +1,270 @@
+"""F14 — point reads through the service layer: the plan-cache payoff.
+
+A browsing session is mostly *point reads*: fully-ground ``ask``
+probes ("does EMP7 work for DEPT3?") and single-atom navigation stars
+("what does EMP7 earn?").  PR 8's plan-time shape classifier routes
+both straight to the store's indexes through a pre-bound
+:class:`~repro.query.plancache.FastProbe`, skipping parse, compile,
+and operator dispatch on every repeat.  This harness prices that path
+end-to-end — client call → :class:`~repro.serve.DatabaseService`
+snapshot read → plan cache → fast probe — under three locality
+regimes:
+
+* **hot** — a small working set (~64 distinct texts) cycling, the
+  navigation pattern of a user stepping around a neighbourhood.  Both
+  the plan cache and the versioned result cache converge to ~100%
+  hits; this is the headline ops/s number.
+* **uniform** — a working set sized between the result cache (512
+  entries) and the plan cache (1024): cycling 768 distinct texts
+  thrashes result reuse while every plan stays cached — the cost of a
+  cached-plan fast probe that must actually touch the store.
+* **cold** — every op a never-seen text: the full parse → classify →
+  compile → bind miss path.  The floor, for contrast.
+
+Each cell reports throughput, latency percentiles, and the plan-cache
+hit rate observed by the service's published snapshot (snapshots share
+the primary's plan cache, so the rate accumulates across cells of one
+service).
+
+Run as a script to emit ``BENCH_point_reads.json``::
+
+    PYTHONPATH=src python benchmarks/bench_f14_point_reads.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from typing import Dict, List
+
+from repro.benchio.harness import write_bench_json
+from repro.datasets.synthetic import employee_workload
+from repro.db import Database
+from repro.serve import DatabaseService
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+def build_database(n_employees: int, n_departments: int,
+                   interned: bool = True) -> Database:
+    db = Database()
+    db.add_facts(employee_workload(n_employees, n_departments,
+                                   seed=11).facts)
+    if interned:
+        db.compact_store()
+    return db
+
+
+def point_queries(count: int) -> List[tuple]:
+    """``count`` distinct ``(verb, text)`` ops: fully-ground ``ask``
+    probes (point shape, mixing hits and misses) plus one-ground
+    navigation stars through ``query`` every 4th op — the paper's
+    browsing mix of membership probes and neighbourhood steps."""
+    ops = []
+    for index in range(count):
+        emp = f"EMP{index % 997}"
+        kind = index % 4
+        if kind == 0:
+            ops.append(("ask", f"({emp}, ∈, EMPLOYEE)"))    # point, hit
+        elif kind == 1:
+            ops.append(("ask", f"({emp}, WORKS-FOR, DEPT{index % 5})"))
+        elif kind == 2:
+            ops.append(("ask", f"({emp}, ∈, CONTRACTOR{index})"))  # miss
+        else:
+            ops.append(("query", f"({emp}, EARNS, s)"))     # star
+    return ops
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _plan_cache_stats(service: DatabaseService) -> Dict[str, object]:
+    return service.read_view().stats()["plan_cache"]
+
+
+def _hit_rate(stats: Dict[str, object]) -> float:
+    lookups = stats["hits"] + stats["misses"]
+    return round(stats["hits"] / lookups, 4) if lookups else 0.0
+
+
+# ----------------------------------------------------------------------
+# One cell
+# ----------------------------------------------------------------------
+def run_cell(service: DatabaseService, mode: str, ops: List[tuple],
+             threads: int, ops_per_thread: int,
+             cold: bool = False) -> Dict[str, object]:
+    """Drive ``threads`` readers issuing point reads against the
+    service.  ``cold`` invents a never-seen text per op so each one
+    takes the full plan-cache miss path."""
+    calls = [(service.ask if verb == "ask" else service.query, text)
+             for verb, text in ops]
+    for fn, text in calls:             # warm: plans compiled and bound
+        fn(text)
+    before = dict(_plan_cache_stats(service))
+    latencies: List[List[float]] = [[] for _ in range(threads)]
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(threads + 1)
+
+    def reader(slot: int) -> None:
+        try:
+            barrier.wait()
+            mine = latencies[slot]
+            ask = service.ask
+            for index in range(ops_per_thread):
+                offset = slot * ops_per_thread + index
+                if cold:
+                    started = time.perf_counter()
+                    ask(f"(NOBODY{slot}X{index}, ∈, EMPLOYEE)")
+                else:
+                    fn, text = calls[offset % len(calls)]
+                    started = time.perf_counter()
+                    fn(text)
+                mine.append(time.perf_counter() - started)
+        except BaseException as error:  # noqa: BLE001 - recorded
+            errors.append(error)
+
+    workers = [threading.Thread(target=reader, args=(slot,))
+               for slot in range(threads)]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    after = _plan_cache_stats(service)
+    window = {
+        "hits": after["hits"] - before["hits"],
+        "misses": after["misses"] - before["misses"],
+    }
+    flat = [sample for series in latencies for sample in series]
+    total = threads * ops_per_thread
+    return {
+        "mode": mode,
+        "threads": threads,
+        "distinct_texts": len(calls) if not cold else total,
+        "total_ops": total,
+        "wall_seconds": round(wall, 6),
+        "ops_per_second": round(total / wall, 1),
+        "p50_us": round(percentile(flat, 0.50) * 1e6, 1),
+        "p95_us": round(percentile(flat, 0.95) * 1e6, 1),
+        "p99_us": round(percentile(flat, 0.99) * 1e6, 1),
+        "plancache_hit_rate": _hit_rate(window),
+        "plancache_entries": after["entries"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Matrix
+# ----------------------------------------------------------------------
+def run_matrix(quick: bool = False):
+    if quick:
+        n_employees, n_departments = 200, 8
+        hot_set, uniform_set = 64, 768
+        ops_per_thread, thread_counts = 2_000, [1]
+        cold_ops = 300
+    else:
+        n_employees, n_departments = 1000, 20
+        hot_set, uniform_set = 64, 768
+        ops_per_thread, thread_counts = 20_000, [1, 4]
+        cold_ops = 2_000
+
+    rows: List[Dict[str, object]] = []
+    db = build_database(n_employees, n_departments)
+    service = DatabaseService(db)
+    try:
+        for threads in thread_counts:
+            for mode, count in (("hot", hot_set), ("uniform", uniform_set)):
+                rows.append(run_cell(service, mode, point_queries(count),
+                                     threads, ops_per_thread))
+                print("  {mode} threads={threads}:"
+                      " {ops_per_second} ops/s p50={p50_us}us"
+                      " p99={p99_us}us plan-cache"
+                      " {plancache_hit_rate:.0%}".format(**rows[-1]))
+        rows.append(run_cell(service, "cold", [], 1, cold_ops, cold=True))
+        print("  {mode} threads={threads}: {ops_per_second} ops/s"
+              " p50={p50_us}us (plan-cache miss path)".format(**rows[-1]))
+        lifetime = _plan_cache_stats(service)
+    finally:
+        service.close()
+
+    hot_single = max(
+        (row for row in rows
+         if row["mode"] == "hot" and row["threads"] == 1),
+        key=lambda row: row["ops_per_second"])
+    cold_row = next(row for row in rows if row["mode"] == "cold")
+    summary = {
+        "hot_ops_per_second": hot_single["ops_per_second"],
+        "hot_p99_us": hot_single["p99_us"],
+        "uniform_ops_per_second": max(
+            row["ops_per_second"] for row in rows
+            if row["mode"] == "uniform"),
+        "cold_ops_per_second": cold_row["ops_per_second"],
+        "hot_over_cold": round(hot_single["ops_per_second"]
+                               / max(cold_row["ops_per_second"], 1e-9), 2),
+        "plancache_lifetime_hit_rate": _hit_rate(lifetime),
+        "plancache_entries": lifetime["entries"],
+    }
+    return rows, summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="F14 point-read benchmark: plan-cached ask/star"
+                    " probes through DatabaseService →"
+                    " BENCH_point_reads.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="small dataset and op counts (the CI"
+                             " smoke configuration)")
+    parser.add_argument("--fail-below", type=float, default=None,
+                        metavar="OPS",
+                        help="exit non-zero unless the hot"
+                             " single-thread cell sustains at least"
+                             " OPS ops/s")
+    parser.add_argument("--output", default="BENCH_point_reads.json",
+                        help="where to write the JSON document")
+    options = parser.parse_args(argv)
+    print(f"F14 point reads ({'quick' if options.quick else 'full'})")
+    rows, summary = run_matrix(quick=options.quick)
+    write_bench_json(options.output, "F14-point-reads", rows,
+                     summary=summary, config={"quick": options.quick})
+    print(f"wrote {options.output}: {len(rows)} cells;"
+          f" hot {summary['hot_ops_per_second']} ops/s"
+          f" (p99 {summary['hot_p99_us']}us,"
+          f" {summary['hot_over_cold']}x over cold),"
+          f" plan-cache hit rate"
+          f" {summary['plancache_lifetime_hit_rate']:.1%}")
+    if (options.fail_below is not None
+            and summary["hot_ops_per_second"] < options.fail_below):
+        print(f"FAIL: hot ops/s {summary['hot_ops_per_second']}"
+              f" < floor {options.fail_below}")
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry: the fast path holds up through the service layer
+# ----------------------------------------------------------------------
+def test_f14_point_reads_hit_plan_cache():
+    db = build_database(100, 5)
+    service = DatabaseService(db)
+    try:
+        row = run_cell(service, "hot", point_queries(32), 1, 500)
+    finally:
+        service.close()
+    assert row["plancache_hit_rate"] > 0.99
+    assert row["ops_per_second"] > 1_000   # sanity floor, not a target
+
+
+if __name__ == "__main__":
+    sys.exit(main())

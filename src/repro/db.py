@@ -44,6 +44,7 @@ from .query.ast import Query
 from .query.evaluate import Evaluator
 from .query.exec import CompiledEvaluator
 from .query.parser import parse_query, parse_template
+from .query.plancache import PlanCache
 from .rules.composition import COMPOSITION_OFF, compose_closure
 from .rules.dispatch import dispatched_closure
 from .rules.engine import (
@@ -155,6 +156,10 @@ class Database:
         # the base version moves or the configuration epoch bumps.
         self._result_cache = LRUCache()
         self._cache_epoch = 0
+        # Parse + compiled-plan cache, keyed on canonical query text
+        # and the configuration epoch; shared with snapshots so plans
+        # stay warm across publications (repro.query.plancache).
+        self._plan_cache = PlanCache()
         self._on_mutation = None  # set by storage.DurableSession.attach
         if observe:
             from .obs import enable_tracing
@@ -340,6 +345,7 @@ class Database:
         clone._view = None
         clone._hierarchy = None
         clone._result_cache = self._result_cache   # shared (thread-safe)
+        clone._plan_cache = self._plan_cache       # shared (thread-safe)
         clone._cache_epoch = self._cache_epoch
         clone._on_mutation = None
         return clone
@@ -653,25 +659,28 @@ class Database:
         cls = (CompiledEvaluator if self.query_engine == "compiled"
                else Evaluator)
         return cls(self.view(), cache=self._result_cache,
-                   cache_token=self._cache_token())
+                   cache_token=self._cache_token(),
+                   plans=self._plan_cache,
+                   plan_epoch=(self._cache_epoch,
+                               self._composition_limit))
 
     def query(self, query: Union[str, Query]) -> Set[tuple]:
-        """The value {Q} of a query: the set of satisfying tuples."""
-        if isinstance(query, str):
-            query = parse_query(query)
+        """The value {Q} of a query: the set of satisfying tuples.
+
+        Text goes straight to the evaluator: the plan cache parses and
+        compiles it at most once per canonical spelling (per
+        configuration epoch) — :meth:`ask` and :meth:`succeeds` share
+        the same entries.
+        """
         return self.evaluator().evaluate(query)
 
     def ask(self, query: Union[str, Query]) -> bool:
         """Truth value of a proposition (closed formula)."""
-        if isinstance(query, str):
-            query = parse_query(query)
         return self.evaluator().ask(query)
 
     def succeeds(self, query: Union[str, Query]) -> bool:
         """True if the query has a non-empty value — the §5 probe
         predicate (a query *fails* when it succeeds for no tuple)."""
-        if isinstance(query, str):
-            query = parse_query(query)
         return self.evaluator().succeeds(query)
 
     def match(self, pattern: Union[str, Template]) -> List[Fact]:
@@ -763,6 +772,7 @@ class Database:
             "rule_firings": dict(closure.rule_firings),
             "rule_times": dict(closure.rule_times),
             "result_cache": self._result_cache.stats(),
+            "plan_cache": self._plan_cache.stats(),
         }
 
     def __repr__(self) -> str:

@@ -30,9 +30,10 @@ from .ast import (
     exists,
     forall,
 )
-from .canonical import canonical_form
+from .canonical import canonical_form, canonical_text
 from .compile import CompiledPlan, compile_query
 from .evaluate import Evaluator, check_safety, limited_variables
+from .plancache import FastProbe, PlanCache, PlanEntry, classify
 from .exec import (
     BindingTable,
     CompiledEvaluator,
@@ -47,7 +48,9 @@ from .reference import brute_force_evaluate
 
 __all__ = [
     "And", "Atom", "Exists", "ForAll", "Formula", "Or", "Query", "atom",
-    "exists", "forall", "canonical_form", "CompiledPlan", "compile_query",
+    "exists", "forall", "canonical_form", "canonical_text",
+    "CompiledPlan", "compile_query",
+    "FastProbe", "PlanCache", "PlanEntry", "classify",
     "Evaluator", "check_safety", "limited_variables", "BindingTable",
     "CompiledEvaluator", "OperatorStats", "PlanRun", "execute_plan",
     "Explanation", "PlanStep", "explain", "ALIASES",

@@ -26,6 +26,12 @@ Quantifier deferral (satellite of the same planner) applies identically:
 a part whose free variables are not yet generated sorts after every
 generator.
 
+Compilation itself runs at most once per query text per schema epoch:
+:class:`~repro.query.plancache.PlanCache` memoizes parse + safety +
+lowering, and single-atom plans additionally get a pre-bound
+:class:`~repro.query.plancache.FastProbe` that answers repeats
+straight from the store's indexes without executing the plan.
+
 Example::
 
     from repro import Database

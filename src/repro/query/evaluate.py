@@ -21,7 +21,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterator, Optional, Set, Tuple
+from typing import FrozenSet, Iterator, Optional, Set, Tuple, Union
 
 from ..core import deadline as _deadline
 from ..core.errors import QueryError
@@ -29,6 +29,7 @@ from ..core.facts import Binding, Variable
 from ..obs import tracer as _obs
 from ..virtual.computed import FactView
 from .ast import And, Atom, Exists, ForAll, Formula, Or, Query
+from .parser import parse_query
 from .planner import choose_conjunct
 
 #: Sentinel distinguishing a cache miss from a cached falsy value.
@@ -45,24 +46,48 @@ class Evaluator:
     :class:`~repro.db.Database` embeds its store version and
     configuration epoch), so stale entries are never hit and no
     explicit invalidation is needed.
+
+    Queries may be passed as text or as parsed :class:`Query` objects.
+    With ``plans`` (a :class:`~repro.query.plancache.PlanCache`) set,
+    text is parsed at most once per canonical spelling; without one it
+    is parsed per call, as before.
     """
 
-    def __init__(self, view: FactView, cache=None, cache_token=None):
+    def __init__(self, view: FactView, cache=None, cache_token=None,
+                 plans=None, plan_epoch=None):
         self.view = view
         self.cache = cache
         self.cache_token = cache_token
+        self.plans = plans
+        self.plan_epoch = plan_epoch
+
+    def _resolve(self, query: Union[str, Query]
+                 ) -> Tuple[Query, Optional[str]]:
+        """``(parsed query, result-cache key text)`` for either input
+        form.  Text resolves through the plan cache's parse memo when
+        one is attached and keys on its canonical form; parsed queries
+        return ``None`` and key on ``str(query)``, computed lazily only
+        when a result cache is attached (exactly as before)."""
+        if isinstance(query, str):
+            if self.plans is not None:
+                key, parsed = self.plans.parsed(query)
+                return parsed, key
+            parsed = parse_query(query)
+            return parsed, str(parsed)
+        return query, None
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def evaluate(self, query: Query) -> Set[Tuple[str, ...]]:
+    def evaluate(self, query: Union[str, Query]) -> Set[Tuple[str, ...]]:
         """The value {Q}: all tuples of entities satisfying the query.
 
         For a proposition (closed formula) the value is ``{()}`` if it
         is true and ``set()`` otherwise; use :meth:`ask` for a bool.
         """
+        query, key_text = self._resolve(query)
         if self.cache is not None:
-            key = ("query", str(query), self.cache_token)
+            key = ("query", key_text or str(query), self.cache_token)
             hit = self.cache.get(key, _NO_RESULT)
             if hit is not _NO_RESULT:
                 # Stored frozen; hand out a fresh mutable set each time.
@@ -84,14 +109,15 @@ class Evaluator:
             self.cache.put(key, frozenset(results))
         return results
 
-    def ask(self, query: Query) -> bool:
+    def ask(self, query: Union[str, Query]) -> bool:
         """Truth value of a proposition (§2.7)."""
+        query, key_text = self._resolve(query)
         if not query.is_proposition:
             raise QueryError(
                 f"not a proposition — free variables:"
                 f" {[v.name for v in query.variables]}")
         if self.cache is not None:
-            key = ("ask", str(query), self.cache_token)
+            key = ("ask", key_text or str(query), self.cache_token)
             hit = self.cache.get(key, _NO_RESULT)
             if hit is not _NO_RESULT:
                 return hit
@@ -101,7 +127,7 @@ class Evaluator:
             self.cache.put(key, result)
         return result
 
-    def succeeds(self, query: Query) -> bool:
+    def succeeds(self, query: Union[str, Query]) -> bool:
         """True if the query has a non-empty value.
 
         Probing (§5) is built on this predicate: a query *fails* when
@@ -110,8 +136,9 @@ class Evaluator:
         queries wave after wave, so skipping the cache here made §5
         retraction search re-solve them every time.
         """
+        query, key_text = self._resolve(query)
         if self.cache is not None:
-            key = ("succeeds", str(query), self.cache_token)
+            key = ("succeeds", key_text or str(query), self.cache_token)
             hit = self.cache.get(key, _NO_RESULT)
             if hit is not _NO_RESULT:
                 return hit

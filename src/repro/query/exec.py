@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core import deadline as _deadline
 from ..core.errors import QueryError
@@ -58,6 +58,7 @@ from .compile import (
     compile_query,
 )
 from .evaluate import Evaluator, _NO_RESULT, check_safety
+from . import plancache as _plancache
 from .planner import conjunct_rank, estimate_cost
 
 #: Distinct-key interval between deadline checkpoints inside a join.
@@ -151,23 +152,31 @@ class PlanRun:
 
 
 class _Context:
-    """Per-execution state: the view, batch probe surfaces, stats."""
+    """Per-execution state: the view, batch probe surfaces, stats.
 
-    __slots__ = ("view", "store", "virtual", "run", "stats")
+    With ``collect`` off (the evaluator's hot path when telemetry is
+    disabled) no :class:`OperatorStats` rows are built or updated —
+    per-operator accounting only exists for a consumer.
+    """
 
-    def __init__(self, view: FactView, run: PlanRun):
+    __slots__ = ("view", "store", "virtual", "run", "stats", "collect")
+
+    def __init__(self, view: FactView, run: PlanRun,
+                 collect: bool = True):
         self.view = view
         self.store = view.store
         self.virtual = view.virtual
         self.run = run
+        self.collect = collect
         # Stats rows are created in plan preorder so PlanRun.operators
         # renders as the plan tree regardless of execution order.
         self.stats: Dict[int, OperatorStats] = {}
-        for node, depth in run.plan.walk():
-            stats = OperatorStats(label=node.label, op=node.op,
-                                  est=node.est, depth=depth)
-            self.stats[id(node)] = stats
-            run.operators.append(stats)
+        if collect:
+            for node, depth in run.plan.walk():
+                stats = OperatorStats(label=node.label, op=node.op,
+                                      est=node.est, depth=depth)
+                self.stats[id(node)] = stats
+                run.operators.append(stats)
 
 
 # Last completed plan run on this thread, kept only while telemetry is
@@ -191,12 +200,19 @@ def clear_last_run() -> None:
     _LAST_RUN.run = None
 
 
-def execute_plan(plan: CompiledPlan, view: FactView) -> Tuple[BindingTable,
-                                                              PlanRun]:
+def execute_plan(plan: CompiledPlan, view: FactView,
+                 collect: bool = True) -> Tuple[BindingTable, PlanRun]:
     """Run a compiled plan to completion; returns the final binding
-    table and the per-operator run statistics."""
+    table and the per-operator run statistics.
+
+    ``collect=False`` skips building and updating the per-operator
+    stats (``run.operators`` stays empty) — the evaluator passes it
+    when no telemetry consumer exists, removing the accounting from
+    the hot path.  Direct callers (EXPLAIN ANALYZE, tests) keep the
+    default and always get full stats.
+    """
     run = PlanRun(plan=plan)
-    ctx = _Context(view, run)
+    ctx = _Context(view, run, collect)
     if _obs.ENABLED:
         _obs.TRACER.count("exec.plans")
     if _metrics.ENABLED:
@@ -214,9 +230,10 @@ def _execute(node: PlanNode, table: BindingTable,
              ctx: _Context) -> BindingTable:
     if _deadline.ACTIVE:
         _deadline.check()
-    stats = ctx.stats[id(node)]
-    stats.calls += 1
-    stats.in_rows += len(table.rows)
+    if ctx.collect:
+        stats = ctx.stats[id(node)]
+        stats.calls += 1
+        stats.in_rows += len(table.rows)
     if isinstance(node, AtomJoin):
         out = _exec_atom(node, table, ctx)
     elif isinstance(node, Pipeline):
@@ -229,7 +246,8 @@ def _execute(node: PlanNode, table: BindingTable,
         out = _exec_forall(node, table, ctx)
     else:
         raise QueryError(f"unknown plan node: {type(node).__name__}")
-    stats.out_rows += len(out.rows)
+    if ctx.collect:
+        stats.out_rows += len(out.rows)
     return out
 
 
@@ -403,7 +421,12 @@ def _exec_pipeline(node: Pipeline, table: BindingTable,
         # Per-input-row estimate at this point in the pipeline — the
         # same quantity the reference planner computes per binding, so
         # PR 1's plan-vs-actual records stay comparable across engines.
-        est = estimate_cost(child.formula, bound, view)
+        # The estimate only exists for a consumer: the conjunct trace,
+        # or the adaptive re-order (which needs ≥2 conjuncts left).
+        if _obs.ENABLED or len(remaining) >= 2:
+            est = estimate_cost(child.formula, bound, view)
+        else:
+            est = 0.0
         in_rows = len(table.rows)
         table = _execute(child, table, ctx)
         out_rows = len(table.rows)
@@ -603,69 +626,154 @@ class CompiledEvaluator(Evaluator):
     the reference engine, whose results this class reproduces exactly.
     Cache keys are shared between the engines (same answer sets, same
     version-epoch token), so a snapshot's warm cache serves both.
+
+    With ``plans`` (a :class:`~repro.query.plancache.PlanCache`) set,
+    parse + safety + compile are cached per canonical form and
+    configuration epoch, and single-atom plans route to the pre-bound
+    :class:`~repro.query.plancache.FastProbe` instead of binding-table
+    execution (same answers, same errors — held by the fast-path
+    equivalence suite).
     """
 
-    def evaluate(self, query: Query) -> Set[Tuple[str, ...]]:
+    def _plan_token(self):
+        """The answer-version token plans validate against: the result
+        cache's token when one is attached (any base mutation moves
+        it), else the view store's own version (standalone evaluators
+        over a fixed store, e.g. benchmark harnesses)."""
+        if self.cache_token is not None:
+            return self.cache_token
+        return self.view.store.version
+
+    def _entry(self, query: Union[str, Query]):
+        """The plan-cache entry for ``query`` (requires ``plans``)."""
+        return self.plans.entry(query, self.view, self.plan_epoch,
+                                self._plan_token())
+
+    def _fast_result(self, entry, rows) -> None:
+        """Fast-path bookkeeping: the ``exec.fast_path`` counter and a
+        one-operator :class:`PlanRun` for the slow-query autopsy."""
+        if _obs.ENABLED:
+            _obs.TRACER.count("exec.fast_path")
+        if _metrics.ENABLED:
+            _metrics.METRICS.count("exec.fast_path")
+        run = PlanRun(plan=entry.plan)
+        run.operators.append(OperatorStats(
+            label=f"fast-probe {entry.plan.root.formula}",
+            op="fast-probe", est=entry.plan.root.est, calls=1,
+            in_rows=1, out_rows=rows))
+        _LAST_RUN.run = run
+
+    def evaluate(self, query: Union[str, Query]) -> Set[Tuple[str, ...]]:
         """The value {Q}, via compiled plan execution."""
+        if self.plans is not None:
+            entry = self._entry(query)
+            if entry.error is not None:
+                raise QueryError(entry.error)
+            query = entry.query
+            key_text = entry.key
+        else:
+            entry = None
+            query, key_text = self._resolve(query)
+            check_safety(query.formula)
         if self.cache is not None:
-            key = ("query", str(query), self.cache_token)
+            key = ("query", key_text or str(query), self.cache_token)
             hit = self.cache.get(key, _NO_RESULT)
             if hit is not _NO_RESULT:
                 return set(hit)
-        check_safety(query.formula)
-        evaluate_span = (_obs.TRACER.span("query.evaluate",
-                                          query=str(query), engine="compiled")
-                         if _obs.ENABLED else _obs.NULL_SPAN)
-        with evaluate_span as span:
-            results = self._run(query)
-            span.set(rows=len(results))
+        if entry is not None and entry.fast is not None \
+                and _plancache.FAST_PATH:
+            if _obs.ENABLED:
+                with _obs.TRACER.span(
+                        "query.evaluate", query=key_text,
+                        engine="compiled", fast_path=True) as span:
+                    results = entry.fast.evaluate(self.view)
+                    span.set(rows=len(results))
+                self._fast_result(entry, len(results))
+            else:
+                results = entry.fast.evaluate(self.view)
+                if _metrics.ENABLED or KEEP_LAST_RUN:
+                    self._fast_result(entry, len(results))
+        else:
+            evaluate_span = (
+                _obs.TRACER.span("query.evaluate", query=str(query),
+                                 engine="compiled")
+                if _obs.ENABLED else _obs.NULL_SPAN)
+            with evaluate_span as span:
+                results = self._run(query, entry)
+                span.set(rows=len(results))
         if self.cache is not None:
             self.cache.put(key, frozenset(results))
         return results
 
-    def ask(self, query: Query) -> bool:
+    def ask(self, query: Union[str, Query]) -> bool:
         """Truth value of a proposition, via the compiled plan."""
-        if not query.is_proposition:
-            raise QueryError(
-                f"not a proposition — free variables:"
-                f" {[v.name for v in query.variables]}")
-        if self.cache is not None:
-            key = ("ask", str(query), self.cache_token)
-            hit = self.cache.get(key, _NO_RESULT)
-            if hit is not _NO_RESULT:
-                return hit
-        check_safety(query.formula)
-        result = bool(self._run(query))
-        if self.cache is not None:
-            self.cache.put(key, result)
-        return result
+        return self._truth("ask", query, proposition=True)
 
-    def succeeds(self, query: Query) -> bool:
+    def succeeds(self, query: Union[str, Query]) -> bool:
         """True if the query has a non-empty value (probe predicate)."""
+        return self._truth("succeeds", query, proposition=False)
+
+    def _truth(self, kind: str, query: Union[str, Query],
+               proposition: bool) -> bool:
+        """Shared ``ask``/``succeeds`` path: same plan cache, same
+        result cache, same fast-path routing — only the proposition
+        requirement differs."""
+        if self.plans is not None:
+            entry = self._entry(query)
+            query = entry.query
+            key_text = entry.key
+            if proposition and not query.is_proposition:
+                raise QueryError(
+                    f"not a proposition — free variables:"
+                    f" {[v.name for v in query.variables]}")
+            if entry.error is not None:
+                raise QueryError(entry.error)
+        else:
+            entry = None
+            query, key_text = self._resolve(query)
+            if proposition and not query.is_proposition:
+                raise QueryError(
+                    f"not a proposition — free variables:"
+                    f" {[v.name for v in query.variables]}")
+            check_safety(query.formula)
         if self.cache is not None:
-            key = ("succeeds", str(query), self.cache_token)
+            key = (kind, key_text or str(query), self.cache_token)
             hit = self.cache.get(key, _NO_RESULT)
             if hit is not _NO_RESULT:
                 return hit
-        check_safety(query.formula)
-        result = bool(self._run(query))
+        if entry is not None and entry.fast is not None \
+                and _plancache.FAST_PATH:
+            result = entry.fast.any(self.view)
+            if _obs.ENABLED or _metrics.ENABLED or KEEP_LAST_RUN:
+                self._fast_result(entry, int(result))
+        else:
+            result = bool(self._run(query, entry))
         if self.cache is not None:
             self.cache.put(key, result)
         return result
 
-    def evaluate_with_stats(self, query: Query) -> Tuple[Set[Tuple[str, ...]],
-                                                         PlanRun]:
+    def evaluate_with_stats(self, query: Union[str, Query]
+                            ) -> Tuple[Set[Tuple[str, ...]], PlanRun]:
         """Uncached evaluation that also returns the per-operator run
-        statistics — the compiled engine's EXPLAIN ANALYZE source."""
+        statistics — the compiled engine's EXPLAIN ANALYZE source.
+        Always executes the full compiled plan (never the fast path)
+        with stats collection on."""
+        query, _key = self._resolve(query)
         check_safety(query.formula)
         plan = compile_query(query, self.view)
         table, run = execute_plan(plan, self.view)
         return self._project(query, table), run
 
     # ------------------------------------------------------------------
-    def _run(self, query: Query) -> Set[Tuple[str, ...]]:
-        plan = compile_query(query, self.view)
-        table, _run = execute_plan(plan, self.view)
+    def _run(self, query: Query,
+             entry=None) -> Set[Tuple[str, ...]]:
+        if entry is not None:
+            plan = self.plans.plan_for(entry, self.view,
+                                       self._plan_token())
+        else:
+            plan = compile_query(query, self.view)
+        collect = _obs.ENABLED or _metrics.ENABLED or KEEP_LAST_RUN
+        table, _run = execute_plan(plan, self.view, collect=collect)
         return self._project(query, table)
 
     @staticmethod

@@ -202,8 +202,8 @@ class BrowserShell:
         text = " ".join(arguments)
         if not text:
             return "usage: query FORMULA"
-        query = parse_query(text)
-        value = self.db.query(query)
+        query = parse_query(text)          # for the variables header
+        value = self.db.query(text)        # text path: plan-cached
         if not value:
             return "(empty)"
         header = ", ".join(v.name for v in query.variables) or "(true)"
