@@ -16,6 +16,13 @@ yields an equivalent query, which is useless as a retraction), so
 minimal generalizations are always *strictly* broader.  Entities with
 no generalization at all have ``Δ`` as their single minimal
 generalization — exactly the paper's ``(COSTS, ≺, Δ)`` step.
+
+This networkx implementation is the **reference**: the production path
+is :class:`repro.browse.lattice.GeneralizationLattice`, an interned,
+incrementally maintained equivalent with no third-party dependency.
+networkx is now an optional (test) dependency, present only so the
+equivalence suites can differentially check the lattice against this
+original.
 """
 
 from __future__ import annotations
@@ -23,7 +30,10 @@ from __future__ import annotations
 import difflib
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
-import networkx as nx
+try:
+    import networkx as nx
+except ImportError:  # pragma: no cover - exercised via minimal installs
+    nx = None
 
 from ..core.entities import BOTTOM, ISA, TOP
 from ..core.facts import Template, Variable
@@ -42,6 +52,11 @@ class GeneralizationHierarchy:
             known_entities: the active domain; entities outside it are
                 "not database entities" and are never generalized (§5.2).
         """
+        if nx is None:
+            raise ImportError(
+                "networkx is required for the reference"
+                " GeneralizationHierarchy; the production path is"
+                " repro.browse.lattice.GeneralizationLattice")
         self._known: Set[str] = set(known_entities)
         graph = nx.DiGraph()
         graph.add_nodes_from(self._known)

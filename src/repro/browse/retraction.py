@@ -24,23 +24,60 @@ The mechanics implemented here, each mapped to its paragraph in §5:
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
+from ..core import deadline as _deadline
 from ..core.entities import BOTTOM, TOP
 from ..core.errors import QueryError
 from ..core.facts import Template, Variable
+from ..obs import metrics as _metrics
 from ..obs import tracer as _obs
 from ..query.ast import And, Atom, Exists, Formula, Query, exists
 from ..query.canonical import canonical_form
 from ..query.evaluate import Evaluator
 from ..query.parser import parse_query
-from .probe import GeneralizationHierarchy
+from ..query.planner import estimate_cost
+from .lattice import GeneralizationLattice
 
 #: Safety valve on the wave process: the lattice above a query is
 #: finite but can be wide; probing past this many waves almost always
 #: means the query has drifted into meaninglessness.
 DEFAULT_MAX_WAVES = 25
+
+#: Keep a :func:`last_probe` record even with tracing and metrics off.
+#: Set by consumers that want slow-probe autopsies without observing
+#: everything (the service's slow-query log).
+KEEP_LAST_PROBE = False
+
+#: Approximate process-wide probe totals (exact single-threaded; plain
+#: int bumps, so concurrent probes may undercount — benchmarks read
+#: these for hit-rate windows, nothing depends on them being exact).
+PROBE_COUNTERS = {
+    "probes": 0,
+    "menu_hits": 0,
+    "menu_misses": 0,
+}
+
+
+class _LastProbe(threading.local):
+    record: Optional[dict] = None
+
+
+_LAST_PROBE = _LastProbe()
+
+
+def last_probe() -> Optional[dict]:
+    """The thread's most recent probe autopsy record (query, waves,
+    candidates, successes, menu-cache outcome, seconds), recorded when
+    tracing/metrics are on or :data:`KEEP_LAST_PROBE` is set."""
+    return _LAST_PROBE.record
+
+
+def clear_last_probe() -> None:
+    _LAST_PROBE.record = None
 
 
 @dataclass(frozen=True)
@@ -143,7 +180,7 @@ _NO_SOURCE_SPECIALIZATION = frozenset({"∈", "≈", "↔", "⊥"})
 
 
 def _replacements(template: Template, position: int,
-                  hierarchy: GeneralizationHierarchy) -> FrozenSet[str]:
+                  hierarchy: GeneralizationLattice) -> FrozenSet[str]:
     """The minimal replacements broadening one ground position.
 
     Source entities are replaced by minimal *specializations* (rule (1)
@@ -164,7 +201,7 @@ def _replacements(template: Template, position: int,
 
 def retraction_set(
         retracted: RetractedQuery,
-        hierarchy: GeneralizationHierarchy) -> List[RetractedQuery]:
+        hierarchy: GeneralizationLattice) -> List[RetractedQuery]:
     """All queries minimally broader than ``retracted.query`` (§5.1).
 
     Weak templates are generalized by deletion; other templates by
@@ -296,23 +333,58 @@ class ProbeResult:
 
 
 def probe(evaluator: Evaluator, query: Union[Query, str, ConjunctiveQuery],
-          hierarchy: GeneralizationHierarchy,
-          max_waves: int = DEFAULT_MAX_WAVES) -> ProbeResult:
+          hierarchy: GeneralizationLattice,
+          max_waves: int = DEFAULT_MAX_WAVES, *,
+          cache=None, cache_token=None) -> ProbeResult:
     """Evaluate a query; on failure, run the automatic retraction
     process until some retrieval is successful or the lattice is
     exhausted (§5.2).
+
+    When ``cache`` is given, completed retraction menus are memoized in
+    it under ``("probe", canonical form, max_waves, cache_token)`` —
+    the same versioned-token scheme query results use, so menus are
+    dropped naturally when the store version moves.  Cached results are
+    shared objects: treat them as read-only.
     """
     if not isinstance(query, ConjunctiveQuery):
         query = ConjunctiveQuery.from_query(query)
 
+    started = time.perf_counter()
+    PROBE_COUNTERS["probes"] += 1
     observing = _obs.ENABLED
+    metering = _metrics.ENABLED
+    if metering:
+        _metrics.METRICS.count("probe.requests")
     probe_span = (_obs.TRACER.span("browse.probe", query=str(query))
                   if observing else _obs.NULL_SPAN)
     with probe_span as span:
         if observing:
             _obs.TRACER.count("browse.probes")
-        result = _probe_inner(evaluator, query, hierarchy, max_waves)
+        cached = False
+        result: Optional[ProbeResult] = None
+        menu_key = None
+        if cache is not None:
+            menu_key = ("probe",
+                        canonical_form(query.templates, query.free),
+                        max_waves, cache_token)
+            result = cache.get(menu_key)
+        if result is not None:
+            cached = True
+            PROBE_COUNTERS["menu_hits"] += 1
+            if metering:
+                _metrics.METRICS.count("probe.menu_cache.hits")
+        else:
+            if cache is not None:
+                PROBE_COUNTERS["menu_misses"] += 1
+                if metering:
+                    _metrics.METRICS.count("probe.menu_cache.misses")
+            result = _probe_inner(evaluator, query, hierarchy, max_waves)
+            if cache is not None:
+                cache.put(menu_key, result)
         span.set(succeeded=result.succeeded, waves=len(result.waves))
+        # Counters are derived from the result (cached or fresh) so the
+        # observed wave/retraction totals per probe stay identical
+        # whether or not the menu cache intervened.
         if observing and result.waves:
             _obs.TRACER.count("browse.probe.waves", len(result.waves))
             _obs.TRACER.count(
@@ -321,12 +393,122 @@ def probe(evaluator: Evaluator, query: Union[Query, str, ConjunctiveQuery],
             _obs.TRACER.count(
                 "browse.probe.successes",
                 sum(len(wave.successes) for wave in result.waves))
+        if metering and result.waves:
+            _metrics.METRICS.count("probe.waves", len(result.waves))
+            _metrics.METRICS.count(
+                "probe.retractions",
+                sum(len(wave.attempted) for wave in result.waves))
+        if observing or metering or KEEP_LAST_PROBE:
+            _LAST_PROBE.record = {
+                "query": str(query),
+                "succeeded": result.succeeded,
+                "waves": len(result.waves),
+                "attempted": sum(len(w.attempted) for w in result.waves),
+                "successes": sum(len(w.successes) for w in result.waves),
+                "cached": cached,
+                "seconds": time.perf_counter() - started,
+            }
     return result
 
 
 def _probe_inner(evaluator: Evaluator, query: ConjunctiveQuery,
-                 hierarchy: GeneralizationHierarchy,
+                 hierarchy: GeneralizationLattice,
                  max_waves: int) -> ProbeResult:
+    """Set-at-a-time wave expansion.
+
+    Each wave is generated whole, deduped against every earlier wave by
+    canonical form, and evaluated cheapest-candidate-first by planner
+    selectivity estimate.  Ordering cannot change the outcome — every
+    candidate in a wave is always evaluated, and successes/failures are
+    recorded in generation order — it just surfaces the first success
+    sooner for interactive abandonment via deadline checkpoints.
+    """
+    value = evaluator.evaluate(query.to_query())
+    if value:
+        return ProbeResult(original=query, succeeded=True, value=value)
+
+    result = ProbeResult(original=query, succeeded=False)
+    seen = {canonical_form(query.templates, query.free)}
+    frontier = [RetractedQuery(query=query, path=())]
+    wave_number = 0
+    view = getattr(evaluator, "view", None)
+    while frontier and wave_number < max_waves:
+        wave_number += 1
+        attempted: List[RetractedQuery] = []
+        for failed in frontier:
+            for candidate in retraction_set(failed, hierarchy):
+                key = canonical_form(candidate.query.templates,
+                                     candidate.query.free)
+                if key not in seen:
+                    seen.add(key)
+                    attempted.append(candidate)
+        if not attempted:
+            result.exhausted = True
+            result.unknown_entities = _unknown_entities(query, hierarchy)
+            result.spelling_suggestions = {
+                unknown: tuple(hierarchy.closest_known(unknown))
+                for unknown in result.unknown_entities
+                if hierarchy.closest_known(unknown)
+            }
+            break
+        values: List[Optional[Set[tuple]]] = [None] * len(attempted)
+        for index in _evaluation_order(attempted, view):
+            if _deadline.ACTIVE:
+                _deadline.check()
+            values[index] = evaluator.evaluate(
+                attempted[index].query.to_query())
+        successes: List[RetractionSuccess] = []
+        failures: List[RetractedQuery] = []
+        for candidate, candidate_value in zip(attempted, values):
+            if candidate_value:
+                successes.append(RetractionSuccess(
+                    retracted=candidate, value=candidate_value))
+            else:
+                failures.append(candidate)
+        result.waves.append(Wave(number=wave_number, attempted=attempted,
+                                 successes=successes))
+        if successes:
+            return result
+        frontier = failures
+    if frontier and wave_number >= max_waves:
+        result.exhausted = False  # abandoned, not exhausted
+    return result
+
+
+def _evaluation_order(attempted: Sequence[RetractedQuery],
+                      view) -> Sequence[int]:
+    """Candidate indices cheapest-first by planner selectivity.
+
+    A candidate's cost is its most selective conjunct's estimated size
+    (the planner would bind it first).  Falls back to generation order
+    when the evaluator has no fact view to estimate against.
+    """
+    if view is None or len(attempted) <= 1:
+        return range(len(attempted))
+    ranked = []
+    for index, candidate in enumerate(attempted):
+        cost = min(
+            estimate_cost(Atom(template), set(), view)
+            for template in candidate.query.templates)
+        ranked.append((cost, index))
+    ranked.sort()
+    return [index for _, index in ranked]
+
+
+def reference_probe(evaluator: Evaluator,
+                    query: Union[Query, str, ConjunctiveQuery],
+                    hierarchy,
+                    max_waves: int = DEFAULT_MAX_WAVES) -> ProbeResult:
+    """The original candidate-at-a-time wave process, kept verbatim as
+    the oracle for the probe-equivalence suite.  No menu cache, no
+    selectivity ordering, no deadline checkpoints."""
+    if not isinstance(query, ConjunctiveQuery):
+        query = ConjunctiveQuery.from_query(query)
+    return _reference_probe_inner(evaluator, query, hierarchy, max_waves)
+
+
+def _reference_probe_inner(evaluator: Evaluator, query: ConjunctiveQuery,
+                           hierarchy, max_waves: int) -> ProbeResult:
     value = evaluator.evaluate(query.to_query())
     if value:
         return ProbeResult(original=query, succeeded=True, value=value)
@@ -374,7 +556,7 @@ def _probe_inner(evaluator: Evaluator, query: ConjunctiveQuery,
 
 
 def _unknown_entities(query: ConjunctiveQuery,
-                      hierarchy: GeneralizationHierarchy) -> Tuple[str, ...]:
+                      hierarchy: GeneralizationLattice) -> Tuple[str, ...]:
     """Entities of the original query the database has never seen —
     the diagnosis behind "no such database entities" (§5.2)."""
     unknown: List[str] = []

@@ -22,8 +22,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from .browse.lattice import ISA_PATTERN, GeneralizationLattice
 from .browse.navigation import NavigationResult, NavigationSession, navigate
-from .browse.probe import GeneralizationHierarchy
 from .browse.retraction import DEFAULT_MAX_WAVES, ProbeResult, probe
 from .core.entities import (
     CONTRA, EQ, GE, GT, INV, LE, LT, NE,
@@ -149,7 +149,16 @@ class Database:
         self._full_result: Optional[ClosureResult] = None
         self._lazy_engine: Optional[LazyEngine] = None
         self._view: Optional[FactView] = None
-        self._hierarchy: Optional[GeneralizationHierarchy] = None
+        # The generalization lattice (browse.lattice) is maintained,
+        # not rebuilt: insertions that derive new ≺ facts patch it in
+        # place, mutations that touch no ≺ fact leave it alone, and
+        # only ≺ deletions / full invalidations drop it.
+        self._hierarchy: Optional[GeneralizationLattice] = None
+        self._hierarchy_bound: Optional[GeneralizationLattice] = None
+        self._hierarchy_shared = False
+        self._hierarchy_isa = -1
+        self._hierarchy_rebuilds = 0
+        self._hierarchy_patches = 0
         # Versioned result cache for repeated queries and navigation
         # neighborhoods (the paper's principal retrieval mode, §5).
         # Keys embed _cache_token(), so entries go stale for free when
@@ -210,7 +219,7 @@ class Database:
                 self._full_result = None
             self._lazy_engine = None
             self._view = None
-            self._hierarchy = None
+            self._maintain_hierarchy(deletion=False)
         else:
             self._invalidate()
         if self.auto_check:
@@ -243,6 +252,43 @@ class Database:
             return False
         return True
 
+    def _maintain_hierarchy(self, deletion: bool) -> None:
+        """Keep the cached generalization lattice consistent across an
+        incremental closure update.
+
+        The check is O(1): insertions only ever *grow* the standard
+        closure's ``≺`` fact set and Delete/Rederive only ever shrinks
+        it, so comparing the indexed ``≺`` count against the count the
+        lattice was built at detects any change exactly.  Unchanged
+        count → the mutation touched no generalization/synonym fact and
+        the lattice stays as is (the common case this exists for).
+        New ``≺`` facts are diffed against the lattice's ingested-pair
+        set and patched in; deletions drop the lattice for a lazy
+        rebuild.
+        """
+        lattice = self._hierarchy
+        if lattice is None:
+            return
+        store = self._standard_result.store
+        count = store.count_estimate(ISA_PATTERN)
+        if count == self._hierarchy_isa:
+            return
+        if deletion:
+            self._hierarchy = None
+            self._hierarchy_bound = None
+            self._hierarchy_isa = -1
+            return
+        if self._hierarchy_shared:
+            # Published snapshots hold this structure: patch a copy.
+            lattice = lattice.structural_copy()
+            self._hierarchy = lattice
+            self._hierarchy_bound = None
+            self._hierarchy_shared = False
+        lattice.add_isa_pairs(
+            (f.source, f.target) for f in store.match(ISA_PATTERN))
+        self._hierarchy_isa = count
+        self._hierarchy_patches += 1
+
     def add_facts(self, new_facts: Iterable[Fact]) -> int:
         """Add many facts; returns the number actually new."""
         return sum(1 for f in new_facts if self.add_fact(f))
@@ -264,7 +310,7 @@ class Database:
                 self._full_result = None
             self._lazy_engine = None
             self._view = None
-            self._hierarchy = None
+            self._maintain_hierarchy(deletion=True)
         else:
             self._invalidate()
         if self._on_mutation is not None:
@@ -343,7 +389,17 @@ class Database:
             clone._full_result = self._copy_result(self._full_result)
         clone._lazy_engine = None
         clone._view = None
-        clone._hierarchy = None
+        # The lattice structure is shared with the clone; the master
+        # switches to copy-on-patch so a published snapshot can never
+        # observe a half-applied patch.
+        clone._hierarchy = self._hierarchy
+        clone._hierarchy_bound = None
+        clone._hierarchy_isa = self._hierarchy_isa
+        clone._hierarchy_shared = self._hierarchy is not None
+        clone._hierarchy_rebuilds = 0
+        clone._hierarchy_patches = 0
+        if self._hierarchy is not None:
+            self._hierarchy_shared = True
         clone._result_cache = self._result_cache   # shared (thread-safe)
         clone._plan_cache = self._plan_cache       # shared (thread-safe)
         clone._cache_epoch = self._cache_epoch
@@ -419,10 +475,12 @@ class Database:
                     interned.freeze()
                 result.store = interned
             # Lazy caches hold references to the old stores; let them
-            # rebuild over the interned ones on next use.
+            # rebuild over the interned ones on next use.  The lattice
+            # survives: compaction changes the representation, not the
+            # facts, so only its store binding must refresh.
             self._view = None
             self._lazy_engine = None
-            self._hierarchy = None
+            self._hierarchy_bound = None
         return self
 
     # ------------------------------------------------------------------
@@ -492,6 +550,8 @@ class Database:
         self._lazy_engine = None
         self._view = None
         self._hierarchy = None
+        self._hierarchy_bound = None
+        self._hierarchy_isa = -1
         # Rule/limit/classification changes alter results without
         # necessarily moving the base version; the epoch covers them.
         self._cache_epoch += 1
@@ -587,12 +647,31 @@ class Database:
             query = parse_query(query)
         return Evaluator(self.lazy_view()).evaluate(query)
 
-    def hierarchy(self) -> GeneralizationHierarchy:
-        """The generalization hierarchy of the closure (cached)."""
+    def hierarchy(self) -> GeneralizationLattice:
+        """The generalization lattice of the closure.
+
+        Built lazily and then *maintained*: insertions deriving new
+        ``≺`` facts patch the structure in place, mutations that touch
+        no generalization/synonym fact leave it untouched, and the
+        structure survives ``compact_store()`` and snapshot
+        publication (snapshots share it copy-on-patch).  Returns a view
+        bound to the current closure store, so ``knows`` and
+        ``closest_known`` always see the live active domain.
+        """
+        store = self.closure().store
         if self._hierarchy is None:
-            self._hierarchy = GeneralizationHierarchy.from_store(
-                self.closure().store)
-        return self._hierarchy
+            self._hierarchy = GeneralizationLattice.from_store(store)
+            self._hierarchy_bound = None
+            self._hierarchy_shared = False
+            self._hierarchy_isa = self.standard_closure().store \
+                .count_estimate(ISA_PATTERN)
+            self._hierarchy_rebuilds += 1
+        bound = self._hierarchy_bound
+        if bound is None or bound.store is not store \
+                or not bound.shares_core(self._hierarchy):
+            bound = self._hierarchy.with_store(store)
+            self._hierarchy_bound = bound
+        return bound
 
     # ------------------------------------------------------------------
     # Integrity (§2.5, §3.5)
@@ -703,9 +782,28 @@ class Database:
                                  cache_token=self._cache_token)
 
     def probe(self, query: Union[str, Query],
-              max_waves: int = DEFAULT_MAX_WAVES) -> ProbeResult:
-        """Evaluate with automatic retraction on failure (§5.2)."""
-        return probe(self.evaluator(), query, self.hierarchy(),
+              max_waves: int = DEFAULT_MAX_WAVES,
+              engine: Optional[str] = None) -> ProbeResult:
+        """Evaluate with automatic retraction on failure (§5.2).
+
+        By default the retraction search runs through the configured
+        ``query_engine`` with the shared plan cache and versioned
+        result cache (completed menus are cached there too, keyed like
+        query results).  ``engine`` (``"compiled"`` / ``"reference"``)
+        is the equivalence suite's escape hatch: it probes through a
+        bare evaluator of that engine — no plan cache, no result
+        cache, no menu cache — so cross-engine comparisons can never
+        be satisfied by a cache hit.
+        """
+        if engine is None:
+            return probe(self.evaluator(), query, self.hierarchy(),
+                         max_waves=max_waves,
+                         cache=self._result_cache,
+                         cache_token=self._cache_token())
+        if engine not in ("compiled", "reference"):
+            raise ValueError(f"unknown query engine: {engine!r}")
+        cls = CompiledEvaluator if engine == "compiled" else Evaluator
+        return probe(cls(self.view()), query, self.hierarchy(),
                      max_waves=max_waves)
 
     # ------------------------------------------------------------------
@@ -773,7 +871,21 @@ class Database:
             "rule_times": dict(closure.rule_times),
             "result_cache": self._result_cache.stats(),
             "plan_cache": self._plan_cache.stats(),
+            "hierarchy": self._hierarchy_stats(),
         }
+
+    def _hierarchy_stats(self) -> dict:
+        """Lattice lifecycle counters: how often this database rebuilt
+        the generalization lattice from scratch vs patched it in place
+        (the over-invalidation regression guard)."""
+        stats = {
+            "rebuilds": self._hierarchy_rebuilds,
+            "patches": self._hierarchy_patches,
+            "cached": self._hierarchy is not None,
+        }
+        if self._hierarchy is not None:
+            stats.update(self._hierarchy.stats())
+        return stats
 
     def __repr__(self) -> str:
         return (f"Database({len(self._base)} facts,"

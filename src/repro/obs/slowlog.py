@@ -28,9 +28,12 @@ def build_record(op: str, seconds: float, threshold: float,
                  text: str = "", source: str = "primary",
                  trace_id: Optional[str] = None,
                  deadline: Optional[float] = None,
-                 plan: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                 plan: Optional[Dict[str, Any]] = None,
+                 probe: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Assemble one slow-query record.  ``plan`` is the dict shape
-    produced by :func:`plan_summary`."""
+    produced by :func:`plan_summary`; ``probe`` is the autopsy dict
+    from :func:`repro.browse.retraction.last_probe` (waves, attempted
+    candidates, menu-cache outcome) for slow probe requests."""
     record: Dict[str, Any] = {
         "ts": time.time(),
         "op": op,
@@ -46,6 +49,8 @@ def build_record(op: str, seconds: float, threshold: float,
         record["deadline"] = deadline
     if plan:
         record["plan"] = plan
+    if probe:
+        record["probe"] = probe
     return record
 
 

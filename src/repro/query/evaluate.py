@@ -26,6 +26,7 @@ from typing import FrozenSet, Iterator, Optional, Set, Tuple, Union
 from ..core import deadline as _deadline
 from ..core.errors import QueryError
 from ..core.facts import Binding, Variable
+from ..obs import metrics as _metrics
 from ..obs import tracer as _obs
 from ..virtual.computed import FactView
 from .ast import And, Atom, Exists, ForAll, Formula, Or, Query
@@ -76,6 +77,23 @@ class Evaluator:
             return parsed, str(parsed)
         return query, None
 
+    def _verdict_token(self):
+        """The answer-version token verdict memos are stored under:
+        the database's cache token when one is attached, else the
+        view's (store, version) pair — the store itself participates
+        so two stores can never collide on a bare version number."""
+        if self.cache_token is not None:
+            return self.cache_token
+        store = self.view.store
+        return (store, store.version)
+
+    def _memoizes_verdicts(self, query) -> bool:
+        """Truth-value memoization is a raw-text shortcut past every
+        counter, so it only engages when nothing is watching: no
+        tracer, no metrics (both count cache/plan traffic per call)."""
+        return (self.plans is not None and type(query) is str
+                and not _obs.ENABLED and not _metrics.ENABLED)
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -111,6 +129,19 @@ class Evaluator:
 
     def ask(self, query: Union[str, Query]) -> bool:
         """Truth value of a proposition (§2.7)."""
+        if self._memoizes_verdicts(query):
+            token = self._verdict_token()
+            verdict = self.plans.cached_verdict(
+                "ask", query, self.plan_epoch, token)
+            if verdict is not None:
+                return verdict
+            result = self._ask_uncached(query)
+            self.plans.store_verdict(
+                "ask", query, self.plan_epoch, token, result)
+            return result
+        return self._ask_uncached(query)
+
+    def _ask_uncached(self, query: Union[str, Query]) -> bool:
         query, key_text = self._resolve(query)
         if not query.is_proposition:
             raise QueryError(
@@ -136,6 +167,19 @@ class Evaluator:
         queries wave after wave, so skipping the cache here made §5
         retraction search re-solve them every time.
         """
+        if self._memoizes_verdicts(query):
+            token = self._verdict_token()
+            verdict = self.plans.cached_verdict(
+                "succeeds", query, self.plan_epoch, token)
+            if verdict is not None:
+                return verdict
+            result = self._succeeds_uncached(query)
+            self.plans.store_verdict(
+                "succeeds", query, self.plan_epoch, token, result)
+            return result
+        return self._succeeds_uncached(query)
+
+    def _succeeds_uncached(self, query: Union[str, Query]) -> bool:
         query, key_text = self._resolve(query)
         if self.cache is not None:
             key = ("succeeds", key_text or str(query), self.cache_token)

@@ -717,7 +717,23 @@ class CompiledEvaluator(Evaluator):
                proposition: bool) -> bool:
         """Shared ``ask``/``succeeds`` path: same plan cache, same
         result cache, same fast-path routing — only the proposition
-        requirement differs."""
+        requirement differs.
+
+        Warm truth queries short-circuit through the plan cache's
+        verdict memo keyed on the raw text, skipping entry lookup and
+        canonicalization entirely.  The memo engages only when nothing
+        observes per-call traffic (no tracer, no metrics, no last-run
+        autopsy) and never stores errors — those raise before the
+        store-verdict call."""
+        memoizing = (self._memoizes_verdicts(query)
+                     and not KEEP_LAST_RUN)
+        if memoizing:
+            raw_text = query
+            token = self._verdict_token()
+            verdict = self.plans.cached_verdict(
+                kind, raw_text, self.plan_epoch, token)
+            if verdict is not None:
+                return verdict
         if self.plans is not None:
             entry = self._entry(query)
             query = entry.query
@@ -750,6 +766,9 @@ class CompiledEvaluator(Evaluator):
             result = bool(self._run(query, entry))
         if self.cache is not None:
             self.cache.put(key, result)
+        if memoizing:
+            self.plans.store_verdict(
+                kind, raw_text, self.plan_epoch, token, result)
         return result
 
     def evaluate_with_stats(self, query: Union[str, Query]

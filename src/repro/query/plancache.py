@@ -321,8 +321,11 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.recompiles = 0
+        self.verdict_hits = 0
+        self.verdict_misses = 0
         self._parses: "OrderedDict[str, Query]" = OrderedDict()
         self._entries: "OrderedDict[tuple, PlanEntry]" = OrderedDict()
+        self._verdicts: dict = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -438,6 +441,39 @@ class PlanCache:
         return plan
 
     # ------------------------------------------------------------------
+    # Verdict memo (ask / succeeds)
+    # ------------------------------------------------------------------
+    def cached_verdict(self, kind: str, text: str, epoch, token):
+        """The memoized boolean for ``ask``/``succeeds`` on ``text``,
+        or ``None`` on a miss.
+
+        Verdicts skip even the plan-entry lookup and canonicalization —
+        the dominant fixed costs of a warm truth query — keyed on the
+        raw query text.  Reads are lock-free (a GIL-atomic dict get);
+        staleness is impossible because the stored value carries the
+        epoch and answer-version token it was computed under, and both
+        must match exactly.  Disabled while :data:`FAST_PATH` is off so
+        the equivalence suite always exercises the real paths.
+        """
+        if not FAST_PATH:
+            return None
+        stored = self._verdicts.get((kind, text))
+        if stored is not None and stored[0] == epoch \
+                and stored[1] == token:
+            self.verdict_hits += 1
+            return stored[2]
+        self.verdict_misses += 1
+        return None
+
+    def store_verdict(self, kind: str, text: str, epoch, token,
+                      verdict: bool) -> None:
+        """Memoize a computed truth value under its epoch + token."""
+        verdicts = self._verdicts
+        if len(verdicts) >= 4 * self.maxsize:
+            verdicts.clear()  # crude, rare: tokens churn entries anyway
+        verdicts[(kind, text)] = (epoch, token, verdict)
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _count(hit: bool) -> None:
         if _obs.ENABLED:
@@ -448,10 +484,12 @@ class PlanCache:
                 "plancache.hits" if hit else "plancache.misses")
 
     def clear(self) -> None:
-        """Drop every parse and plan entry (statistics are kept)."""
+        """Drop every parse, plan, and verdict entry (statistics are
+        kept)."""
         with self._lock:
             self._parses.clear()
             self._entries.clear()
+            self._verdicts.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -463,8 +501,11 @@ class PlanCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "recompiles": self.recompiles,
+                "verdict_hits": self.verdict_hits,
+                "verdict_misses": self.verdict_misses,
                 "entries": len(self._entries),
                 "parses": len(self._parses),
+                "verdicts": len(self._verdicts),
                 "maxsize": self.maxsize,
             }
 

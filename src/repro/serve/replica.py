@@ -62,6 +62,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..browse import retraction as _retraction
 from ..core import deadline as _deadline
 from ..core.errors import ReproError, ServiceError
 from ..core.facts import Fact
@@ -389,6 +390,7 @@ def replica_main(conn, payload, telemetry: Optional[dict] = None) -> None:
         slow_threshold = telemetry.get("slow_query_seconds")
         if slow_threshold is not None:
             _qexec.KEEP_LAST_RUN = True
+            _retraction.KEEP_LAST_PROBE = True
     db, version = _bootstrap(payload)
     db.view()   # warm the closure before declaring readiness
     conn.send(("ready", version))
@@ -437,6 +439,8 @@ def replica_main(conn, payload, telemetry: Optional[dict] = None) -> None:
                    if len(message) > 5 else None)
             if slow_threshold is not None:
                 _qexec.clear_last_run()
+            if slow_threshold is not None and op == "probe":
+                _retraction.clear_last_probe()
             started = time.perf_counter()
             try:
                 handler = READ_OPS.get(op)
@@ -470,7 +474,9 @@ def replica_main(conn, payload, telemetry: Optional[dict] = None) -> None:
                     text=str(read_payload), source="replica",
                     trace_id=ctx.trace_id if ctx is not None else None,
                     deadline=seconds,
-                    plan=plan_summary(_qexec.last_run()))
+                    plan=plan_summary(_qexec.last_run()),
+                    probe=(_retraction.last_probe()
+                           if op == "probe" else None))
                 extra = extra or {}
                 extra["slow"] = record
                 if _metrics.ENABLED:

@@ -70,6 +70,7 @@ from ..core.errors import (
     ServiceClosed,
     ServiceError,
 )
+from ..browse import retraction as _retraction
 from ..core.facts import Fact, fact as make_fact
 from ..db import Database
 from ..obs import metrics as _metrics
@@ -237,8 +238,10 @@ class DatabaseService:
         if slow_query_seconds is not None:
             # The executor keeps its last PlanRun on a thread-local
             # only while someone can consume it; slow logging is such
-            # a consumer even with tracing/metrics off.
+            # a consumer even with tracing/metrics off.  Probe
+            # autopsies work the same way.
             _qexec.KEEP_LAST_RUN = True
+            _retraction.KEEP_LAST_PROBE = True
 
         self._lock = threading.Lock()
         self._has_work = threading.Condition(self._lock)
@@ -655,6 +658,8 @@ class DatabaseService:
         if threshold is not None:
             # Don't attribute a previous request's plan to this one.
             _qexec.clear_last_run()
+            if op == "probe":
+                _retraction.clear_last_probe()
         started = time.perf_counter()
         try:
             if ctx is not None:
@@ -686,7 +691,9 @@ class DatabaseService:
                     op, elapsed, threshold, text=text, source="primary",
                     trace_id=ctx.trace_id if ctx is not None else None,
                     deadline=seconds,
-                    plan=plan_summary(_qexec.last_run())))
+                    plan=plan_summary(_qexec.last_run()),
+                    probe=(_retraction.last_probe()
+                           if op == "probe" else None)))
                 if _metrics.ENABLED:
                     _metrics.METRICS.count("serve.slow_queries")
 

@@ -1,4 +1,10 @@
-"""Tests for the generalization hierarchy (broadness, §5.1)."""
+"""Tests for the generalization hierarchy (broadness, §5.1).
+
+These are semantic tests of the §5.1 contract, exercised against the
+production :class:`~repro.browse.lattice.GeneralizationLattice` (the
+networkx reference implementation is covered differentially by
+``test_lattice.py``).
+"""
 
 from __future__ import annotations
 
@@ -6,7 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.browse.probe import GeneralizationHierarchy
+from repro.browse.lattice import GeneralizationLattice
 from repro.core.entities import BOTTOM, ISA, SYN, TOP
 from repro.core.facts import Fact
 from repro.core.store import FactStore
@@ -18,7 +24,7 @@ def hierarchy_of(*pairs, extra_entities=()):
     store = FactStore(facts)
     for entity in extra_entities:
         store.add(Fact(entity, "SELF", entity))
-    return GeneralizationHierarchy.from_store(store)
+    return GeneralizationLattice.from_store(store)
 
 
 class TestMinimalGeneralizations:

@@ -1,0 +1,251 @@
+"""Tests for the interned generalization lattice.
+
+Three layers:
+
+* unit tests of lattice-specific behavior (incremental patching,
+  merge rebuilds, store-bound views, structural copies);
+* a randomized multi-seed differential suite asserting every §5.1
+  answer — broader-than, minimal generalizations/specializations,
+  synonym collapse, Δ/∇ fallback, chain depth — identical to the
+  networkx reference ``GeneralizationHierarchy`` (skipped when
+  networkx is not installed);
+* regression tests for the database's lattice lifecycle: non-``≺``
+  mutations must not rebuild, ``compact_store`` must not drop the
+  structure, and snapshots must not see later patches.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.browse.lattice import GeneralizationLattice
+from repro.core.entities import BOTTOM, ISA, SYN, TOP
+from repro.core.facts import Fact
+from repro.core.store import FactStore
+from repro.db import Database
+
+
+def lattice_of(*pairs, extra_entities=()):
+    facts = [Fact(s, ISA, t) for s, t in pairs]
+    store = FactStore(facts)
+    for entity in extra_entities:
+        store.add(Fact(entity, "SELF", entity))
+    return GeneralizationLattice.from_store(store)
+
+
+# ----------------------------------------------------------------------
+# Lattice-specific behavior
+# ----------------------------------------------------------------------
+class TestIncrementalPatching:
+    def test_acyclic_edge_patches_in_place(self):
+        lattice = lattice_of(("A", "B"))
+        assert lattice.add_isa_pairs([("B", "C")]) == "patched"
+        assert lattice.generalizes("C", "A")
+        assert lattice.minimal_generalizations("B") == {"C"}
+        stats = lattice.stats()
+        assert stats["patches"] == 1
+        assert stats["merge_rebuilds"] == 0
+
+    def test_implied_edge_is_free(self):
+        lattice = lattice_of(("A", "B"), ("B", "C"))
+        before = lattice.stats()["cover_edges"]
+        assert lattice.add_isa_pairs([("A", "C")]) == "patched"
+        assert lattice.stats()["cover_edges"] == before
+        assert lattice.minimal_generalizations("A") == {"B"}
+
+    def test_known_pair_is_noop(self):
+        lattice = lattice_of(("A", "B"))
+        assert lattice.add_isa_pairs([("A", "B")]) == "noop"
+
+    def test_cycle_creating_edge_rebuilds_and_merges(self):
+        lattice = lattice_of(("X", "Y"), ("X", "P"))
+        assert lattice.add_isa_pairs([("Y", "X")]) == "rebuilt"
+        assert lattice.synonym_class("X") == {"X", "Y"}
+        assert lattice.minimal_generalizations("Y") == {"P"}
+        assert lattice.stats()["merge_rebuilds"] == 1
+
+    def test_patch_brings_in_new_entities(self):
+        lattice = lattice_of(("A", "B"))
+        lattice.add_isa_pairs([("NEW1", "NEW2"), ("NEW2", "A")])
+        assert lattice.generalizes("B", "NEW1")
+        assert lattice.minimal_generalizations("NEW1") == {"NEW2"}
+
+    def test_patched_equals_rebuilt_on_random_sequences(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            names = [f"E{i}" for i in range(10)]
+            pairs = [(rng.choice(names), rng.choice(names))
+                     for _ in range(25)]
+            incremental = GeneralizationLattice(pairs[:5], names)
+            for start in range(5, len(pairs), 4):
+                incremental.add_isa_pairs(pairs[start:start + 4])
+            rebuilt = GeneralizationLattice(pairs, names)
+            for entity in names:
+                assert incremental.minimal_generalizations(entity) \
+                    == rebuilt.minimal_generalizations(entity), seed
+                assert incremental.minimal_specializations(entity) \
+                    == rebuilt.minimal_specializations(entity), seed
+                assert incremental.synonym_class(entity) \
+                    == rebuilt.synonym_class(entity), seed
+                for other in names:
+                    assert incremental.generalizes(entity, other) \
+                        == rebuilt.generalizes(entity, other), seed
+
+
+class TestViews:
+    def test_with_store_shares_structure(self):
+        lattice = lattice_of(("A", "B"))
+        store = FactStore([Fact("A", ISA, "B"), Fact("Z", "R", "Z")])
+        view = lattice.with_store(store)
+        assert view.shares_core(lattice)
+        assert view.knows("Z") and not lattice.knows("Z")
+        lattice.add_isa_pairs([("B", "C")])
+        # In-place patches are visible through every view of the core.
+        assert view.generalizes("C", "A")
+
+    def test_structural_copy_is_isolated(self):
+        lattice = lattice_of(("A", "B"))
+        copy = lattice.structural_copy()
+        assert not copy.shares_core(lattice)
+        copy.add_isa_pairs([("B", "C")])
+        assert copy.generalizes("C", "A")
+        assert not lattice.generalizes("C", "A")
+
+
+# ----------------------------------------------------------------------
+# Differential equivalence against the networkx reference
+# ----------------------------------------------------------------------
+def random_pairs(rng, n_entities, n_edges, cycle_bias):
+    names = [f"N{i}" for i in range(n_entities)]
+    pairs = []
+    for _ in range(n_edges):
+        source, target = rng.choice(names), rng.choice(names)
+        pairs.append((source, target))
+        if rng.random() < cycle_bias:
+            pairs.append((target, source))  # synonym-class material
+    # Occasionally touch the lattice endpoints and reflexive pairs,
+    # which both implementations must filter out.
+    if rng.random() < 0.5:
+        pairs.append((rng.choice(names), TOP))
+        pairs.append((BOTTOM, rng.choice(names)))
+        loop = rng.choice(names)
+        pairs.append((loop, loop))
+    return names, pairs
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_matches_networkx_reference(self, seed):
+        probe = pytest.importorskip("networkx") and __import__(
+            "repro.browse.probe", fromlist=["GeneralizationHierarchy"])
+        rng = random.Random(seed)
+        names, pairs = random_pairs(
+            rng, n_entities=rng.randint(2, 12),
+            n_edges=rng.randint(0, 30), cycle_bias=0.15)
+        known = set(names) | {"EXTRA", TOP, BOTTOM}
+        reference = probe.GeneralizationHierarchy(pairs, known)
+        lattice = GeneralizationLattice(pairs, known)
+        queried = list(known) + ["GHOST"]
+        for entity in queried:
+            assert lattice.knows(entity) == reference.knows(entity)
+            assert lattice.synonym_class(entity) \
+                == reference.synonym_class(entity), (seed, entity)
+            assert lattice.minimal_generalizations(entity) \
+                == reference.minimal_generalizations(entity), (seed, entity)
+            assert lattice.minimal_specializations(entity) \
+                == reference.minimal_specializations(entity), (seed, entity)
+            assert lattice.generalization_chain_depth(entity) \
+                == reference.generalization_chain_depth(entity), (seed, entity)
+            for other in queried:
+                assert lattice.generalizes(entity, other) \
+                    == reference.generalizes(entity, other), (seed, entity, other)
+                assert lattice.strictly_generalizes(entity, other) \
+                    == reference.strictly_generalizes(entity, other), (
+                        seed, entity, other)
+
+    def test_closest_known_matches_reference(self):
+        probe = pytest.importorskip("networkx") and __import__(
+            "repro.browse.probe", fromlist=["GeneralizationHierarchy"])
+        known = ["EMPLOYEE", "EMPLOYER", "DEPARTMENT", "PERSON"]
+        reference = probe.GeneralizationHierarchy([], known)
+        lattice = GeneralizationLattice([], known)
+        for misspelling in ("EMPLOYE", "PRESON", "XQZW"):
+            assert lattice.closest_known(misspelling) \
+                == reference.closest_known(misspelling)
+
+
+# ----------------------------------------------------------------------
+# Database lattice lifecycle
+# ----------------------------------------------------------------------
+class TestDatabaseLifecycle:
+    def test_non_isa_mutations_do_not_rebuild(self):
+        """The over-invalidation regression: mutations that touch no
+        generalization/synonym fact must neither rebuild nor patch."""
+        db = Database()
+        db.add("A", ISA, "B")
+        db.hierarchy()
+        assert db.stats()["hierarchy"]["rebuilds"] == 1
+        for i in range(10):
+            db.add(f"EMP{i}", "WORKS-FOR", "SALES")
+        hierarchy = db.stats()["hierarchy"]
+        assert hierarchy["rebuilds"] == 1
+        assert hierarchy["patches"] == 0
+        assert hierarchy["cached"]
+
+    def test_new_isa_fact_patches_instead_of_rebuilding(self):
+        db = Database()
+        db.add("A", ISA, "B")
+        assert db.hierarchy().minimal_generalizations("A") == {"B"}
+        db.add("B", ISA, "C")
+        assert db.hierarchy().minimal_generalizations("B") == {"C"}
+        hierarchy = db.stats()["hierarchy"]
+        assert hierarchy["rebuilds"] == 1
+        assert hierarchy["patches"] >= 1
+
+    def test_synonym_fact_maintains_hierarchy(self):
+        db = Database()
+        db.add("JOHN", ISA, "PERSON")
+        db.hierarchy()
+        db.add("JOHN", SYN, "JOHNNY")
+        h = db.hierarchy()
+        assert h.synonym_class("JOHN") == {"JOHN", "JOHNNY"}
+        assert h.minimal_generalizations("JOHNNY") == {"PERSON"}
+
+    def test_isa_deletion_invalidates(self):
+        db = Database()
+        db.add("A", ISA, "B")
+        db.add("B", ISA, "C")
+        assert db.hierarchy().generalizes("C", "A")
+        db.remove_fact(Fact("B", ISA, "C"))
+        assert not db.hierarchy().generalizes("C", "A")
+        assert db.stats()["hierarchy"]["rebuilds"] == 2
+
+    def test_lattice_survives_compaction(self):
+        db = Database()
+        db.add("A", ISA, "B")
+        db.hierarchy()
+        db.compact_store()
+        assert db.hierarchy().minimal_generalizations("A") == {"B"}
+        assert db.stats()["hierarchy"]["rebuilds"] == 1
+
+    def test_snapshot_does_not_see_later_patches(self):
+        db = Database()
+        db.add("A", ISA, "B")
+        db.hierarchy()
+        snap = db.snapshot()
+        db.add("B", ISA, "C")
+        assert db.hierarchy().generalizes("C", "A")
+        assert not snap.hierarchy().generalizes("C", "A")
+        assert snap.hierarchy().minimal_generalizations("B") == {TOP}
+
+    def test_hierarchy_answers_probe_after_patch(self):
+        db = Database()
+        db.add("STUDENT", ISA, "PERSON")
+        db.add("JOHN", "∈", "PERSON")
+        db.hierarchy()
+        db.add("FRESHMAN", ISA, "STUDENT")
+        outcome = db.probe("(x, ∈, FRESHMAN)")
+        assert not outcome.succeeded
+        assert outcome.waves  # retracted upward through the lattice

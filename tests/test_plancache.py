@@ -44,6 +44,22 @@ def fast_path_off():
         _plancache.FAST_PATH = True
 
 
+@pytest.fixture(autouse=True)
+def _no_last_run_collection():
+    """A DatabaseService with a slow-query log sets the process-wide
+    ``KEEP_LAST_RUN`` flag and (by design) never unsets it; pin it off
+    here so these tests see the same executor behavior standalone and
+    after the serving suites."""
+    from repro.query import exec as _qexec
+
+    original = _qexec.KEEP_LAST_RUN
+    _qexec.KEEP_LAST_RUN = False
+    try:
+        yield
+    finally:
+        _qexec.KEEP_LAST_RUN = original
+
+
 # ----------------------------------------------------------------------
 # canonical_text
 # ----------------------------------------------------------------------
@@ -128,14 +144,15 @@ class TestPlanCacheBasics:
     def test_repeated_ask_does_zero_parse_and_compile_work(self,
                                                            employees):
         """Regression for the ISSUE satellite: N repeated ``ask`` calls
-        cost one parse + compile, then pure ``plancache.hits``."""
+        cost one parse + compile; repeats short-circuit through the
+        verdict memo without even an entry lookup."""
         text = "(EMP3, WORKS-FOR, DEPT0)"
         base = employees.stats()["plan_cache"]
         for _ in range(10):
             assert employees.ask(text) is True
         stats = employees.stats()["plan_cache"]
         assert stats["misses"] - base["misses"] == 1
-        assert stats["hits"] - base["hits"] == 9
+        assert stats["verdict_hits"] - base["verdict_hits"] == 9
         assert stats["recompiles"] == base["recompiles"]
 
     def test_obs_counters_emitted(self, employees):
@@ -280,8 +297,10 @@ class TestInvalidation:
         bound_store = entry.fast._bound[0]
         employees.compact_store()
         # Compaction preserves store versions, so the result cache
-        # would serve the repeat; clear it to drive the probe itself.
+        # and verdict memo would serve the repeat; clear both to drive
+        # the probe itself.
         employees._result_cache.clear()
+        cache._verdicts.clear()
         assert employees.ask(text)      # same answer through the rebind
         assert entry.fast._bound[0] is not bound_store
         assert getattr(entry.fast._bound[0], "interned", False)
@@ -292,7 +311,8 @@ class TestInvalidation:
         employees.ask("(EMP1, ∈, EMPLOYEE)")
         employees.compact_store()
         employees._result_cache.clear()   # drive the probe, not the
-        tracer = enable_tracing(fresh=True)  # versioned result cache
+        employees._plan_cache._verdicts.clear()  # versioned caches
+        tracer = enable_tracing(fresh=True)
         try:
             employees.ask("(EMP1, ∈, EMPLOYEE)")
             assert tracer.counters.get("plancache.rebinds", 0) >= 1
@@ -412,3 +432,61 @@ def test_virtual_relations_through_fast_path(employees):
     reference = Evaluator(employees.view())
     text = "(EMP0, ≠, EMP1)"
     assert employees.succeeds(text) == reference.succeeds(text)
+
+
+# ----------------------------------------------------------------------
+# Verdict memo (ask / succeeds short-circuit)
+# ----------------------------------------------------------------------
+class TestVerdictMemo:
+    def test_repeated_truth_queries_hit_the_memo(self, employees):
+        assert employees.ask("(EMP0, ∈, EMPLOYEE)") is True
+        hits_before = employees._plan_cache.verdict_hits
+        assert employees.ask("(EMP0, ∈, EMPLOYEE)") is True
+        assert employees._plan_cache.verdict_hits > hits_before
+        assert employees.succeeds("(x, ∈, EMPLOYEE)") is True
+        hits_before = employees._plan_cache.verdict_hits
+        assert employees.succeeds("(x, ∈, EMPLOYEE)") is True
+        assert employees._plan_cache.verdict_hits > hits_before
+
+    def test_mutation_moves_the_token(self, employees):
+        assert employees.ask("(GHOST, ∈, EMPLOYEE)") is False
+        employees.add("GHOST", "∈", "EMPLOYEE")
+        assert employees.ask("(GHOST, ∈, EMPLOYEE)") is True
+
+    def test_memo_disabled_with_fast_path_off(self, employees,
+                                              fast_path_off):
+        employees.ask("(EMP0, ∈, EMPLOYEE)")
+        hits_before = employees._plan_cache.verdict_hits
+        employees.ask("(EMP0, ∈, EMPLOYEE)")
+        assert employees._plan_cache.verdict_hits == hits_before
+
+    def test_memo_disabled_while_observing(self, employees):
+        from repro.obs.tracer import Tracer, use_tracer
+
+        employees.ask("(EMP0, ∈, EMPLOYEE)")
+        hits_before = employees._plan_cache.verdict_hits
+        with use_tracer(Tracer()):
+            employees.ask("(EMP0, ∈, EMPLOYEE)")
+        assert employees._plan_cache.verdict_hits == hits_before
+
+    def test_errors_are_never_memoized(self, employees):
+        for _ in range(2):
+            with pytest.raises(QueryError):
+                employees.ask("(x, ∈, EMPLOYEE)")  # not a proposition
+
+    def test_stats_expose_verdict_counters(self, employees):
+        employees.ask("(EMP0, ∈, EMPLOYEE)")
+        employees.ask("(EMP0, ∈, EMPLOYEE)")
+        stats = employees.stats()["plan_cache"]
+        assert stats["verdict_hits"] >= 1
+        assert stats["verdict_misses"] >= 1
+        assert stats["verdicts"] >= 1
+
+    def test_reference_engine_memoizes_too(self):
+        db = Database(query_engine="reference")
+        for index in range(4):
+            db.add(f"EMP{index}", "∈", "EMPLOYEE")
+        assert db.succeeds("(x, ∈, EMPLOYEE)") is True
+        hits_before = db._plan_cache.verdict_hits
+        assert db.succeeds("(x, ∈, EMPLOYEE)") is True
+        assert db._plan_cache.verdict_hits > hits_before

@@ -14,7 +14,9 @@ per matched cell.
 
 ``--fail-above PCT`` exits non-zero when any matched cell's throughput
 regressed by more than PCT percent — the CI guardrail against a
-telemetry change quietly taxing the serving path.
+telemetry change quietly taxing the serving path.  ``--fail-p99-above
+PCT`` is the same guard on tail latency (``p99_us``, lower is better)
+— the probe-session benchmark's menu-latency guardrail.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ KEY_FIELDS = ("mode", "threads", "workers", "client_threads", "writes",
 #: Measured fields worth diffing, with their improvement direction.
 METRIC_FIELDS = (
     ("ops_per_second", "higher"),
+    ("sessions_per_second", "higher"),
     ("p50_us", "lower"),
     ("p95_us", "lower"),
     ("p99_us", "lower"),
@@ -63,6 +66,7 @@ def percent_change(before: float, after: float) -> Optional[float]:
 
 def compare(baseline_path: str, candidate_path: str,
             fail_above: Optional[float] = None,
+            fail_p99_above: Optional[float] = None,
             out=sys.stdout) -> int:
     baseline_name, baseline_rows = load_rows(baseline_path)
     candidate_name, candidate_rows = load_rows(candidate_path)
@@ -75,6 +79,8 @@ def compare(baseline_path: str, candidate_path: str,
     matched = 0
     worst_regression = 0.0
     worst_cell = None
+    worst_p99 = 0.0
+    worst_p99_cell = None
     for row in candidate_rows:
         key = row_key(row)
         before = baseline_index.get(key)
@@ -98,6 +104,10 @@ def compare(baseline_path: str, candidate_path: str,
                     and -change > worst_regression):
                 worst_regression = -change
                 worst_cell = label
+            if (field == "p99_us" and regressed
+                    and change > worst_p99):
+                worst_p99 = change
+                worst_p99_cell = label
         out.write(f"  {label}: {', '.join(deltas) or 'no shared metrics'}\n")
 
     unmatched = len(baseline_index) - matched
@@ -107,11 +117,19 @@ def compare(baseline_path: str, candidate_path: str,
     out.write(f"matched {matched} cell(s); worst throughput regression"
               f" {worst_regression:.1f}%"
               + (f" ({worst_cell})" if worst_cell else "") + "\n")
+    if worst_p99_cell is not None:
+        out.write(f"worst p99 regression {worst_p99:.1f}%"
+                  f" ({worst_p99_cell})\n")
+    failed = False
     if fail_above is not None and worst_regression > fail_above:
         out.write(f"FAIL: {worst_regression:.1f}% >"
                   f" --fail-above {fail_above}%\n")
-        return 1
-    return 0
+        failed = True
+    if fail_p99_above is not None and worst_p99 > fail_p99_above:
+        out.write(f"FAIL: p99 {worst_p99:.1f}% >"
+                  f" --fail-p99-above {fail_p99_above}%\n")
+        failed = True
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -124,9 +142,14 @@ def main(argv=None) -> int:
                         metavar="PCT",
                         help="exit 1 if any cell's ops/s regressed by"
                              " more than PCT percent")
+    parser.add_argument("--fail-p99-above", type=float, default=None,
+                        metavar="PCT",
+                        help="exit 1 if any cell's p99_us latency"
+                             " regressed by more than PCT percent")
     options = parser.parse_args(argv)
     return compare(options.baseline, options.candidate,
-                   fail_above=options.fail_above)
+                   fail_above=options.fail_above,
+                   fail_p99_above=options.fail_p99_above)
 
 
 if __name__ == "__main__":
