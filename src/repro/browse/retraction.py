@@ -360,27 +360,30 @@ def probe(evaluator: Evaluator, query: Union[Query, str, ConjunctiveQuery],
     with probe_span as span:
         if observing:
             _obs.TRACER.count("browse.probes")
-        cached = False
-        result: Optional[ProbeResult] = None
-        menu_key = None
-        if cache is not None:
-            menu_key = ("probe",
-                        canonical_form(query.templates, query.free),
-                        max_waves, cache_token)
-            result = cache.get(menu_key)
-        if result is not None:
-            cached = True
-            PROBE_COUNTERS["menu_hits"] += 1
-            if metering:
-                _metrics.METRICS.count("probe.menu_cache.hits")
-        else:
+        cached = True
+
+        def compute() -> ProbeResult:
+            # Runs only when this caller is the single-flight leader;
+            # coalesced followers stay on the "cached" accounting path.
+            nonlocal cached
+            cached = False
             if cache is not None:
                 PROBE_COUNTERS["menu_misses"] += 1
                 if metering:
                     _metrics.METRICS.count("probe.menu_cache.misses")
-            result = _probe_inner(evaluator, query, hierarchy, max_waves)
-            if cache is not None:
-                cache.put(menu_key, result)
+            return _probe_inner(evaluator, query, hierarchy, max_waves)
+
+        if cache is not None:
+            menu_key = ("probe",
+                        canonical_form(query.templates, query.free),
+                        max_waves, cache_token)
+            result = cache.get_or_compute(menu_key, compute)
+            if cached:
+                PROBE_COUNTERS["menu_hits"] += 1
+                if metering:
+                    _metrics.METRICS.count("probe.menu_cache.hits")
+        else:
+            result = compute()
         span.set(succeeded=result.succeeded, waves=len(result.waves))
         # Counters are derived from the result (cached or fresh) so the
         # observed wave/retraction totals per probe stay identical

@@ -45,11 +45,26 @@ import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
+from . import deadline as _deadline
 from ..obs import metrics as _metrics
 from ..obs import tracer as _obs
 
 #: Sentinel distinguishing "missing" from a cached falsy value.
 _MISSING = object()
+
+#: How long a single-flight follower sleeps per wait slice — short
+#: enough that a query deadline still fires promptly mid-wait.
+_FLIGHT_WAIT_SLICE = 0.05
+
+
+class _Flight:
+    """One in-progress computation other callers can wait on."""
+
+    __slots__ = ("event", "value")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = _MISSING
 
 
 class LRUCache:
@@ -67,7 +82,9 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.coalesced = 0
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._flights: dict = {}
         self._lock = threading.Lock()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
@@ -111,6 +128,81 @@ class LRUCache:
             if _metrics.ENABLED:
                 _metrics.METRICS.count("cache.evictions", evicted)
 
+    def get_or_compute(self, key: Hashable, compute) -> Any:
+        """The cached value for ``key``, computing it on a miss with
+        single-flight stampede protection.
+
+        Exactly one caller (the *leader*) runs ``compute`` per key;
+        concurrent callers for the same key wait for its result instead
+        of recomputing — each such save is counted as ``coalesced``
+        (also the ``cache.coalesced`` obs/metrics counter).  Waiters
+        sleep in short slices so an active query deadline still fires.
+        Errors are never cached: the leader's exception propagates to
+        the leader alone, and its waiters fall back to computing for
+        themselves.
+        """
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is not _MISSING:
+                self._data.move_to_end(key)
+                self.hits += 1
+            else:
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = self._flights[key] = _Flight()
+                    self.misses += 1
+                    leader = True
+                else:
+                    leader = False
+        if value is not _MISSING:
+            if _obs.ENABLED:
+                _obs.TRACER.count("cache.hits")
+            if _metrics.ENABLED:
+                _metrics.METRICS.count("cache.hits")
+            return value
+        if leader:
+            if _obs.ENABLED:
+                _obs.TRACER.count("cache.misses")
+            if _metrics.ENABLED:
+                _metrics.METRICS.count("cache.misses")
+            try:
+                value = compute()
+            except BaseException:
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.event.set()
+                raise
+            self.put(key, value)
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.value = value
+            flight.event.set()
+            return value
+        # Follower: wait out the leader's computation.
+        while not flight.event.wait(_FLIGHT_WAIT_SLICE):
+            if _deadline.ACTIVE:
+                _deadline.check()
+        value = flight.value
+        if value is not _MISSING:
+            with self._lock:
+                self.coalesced += 1
+            if _obs.ENABLED:
+                _obs.TRACER.count("cache.coalesced")
+            if _metrics.ENABLED:
+                _metrics.METRICS.count("cache.coalesced")
+            return value
+        # The leader failed; its error was not cached — compute for
+        # ourselves (a second failure propagates here, uncoalesced).
+        with self._lock:
+            self.misses += 1
+        if _obs.ENABLED:
+            _obs.TRACER.count("cache.misses")
+        if _metrics.ENABLED:
+            _metrics.METRICS.count("cache.misses")
+        value = compute()
+        self.put(key, value)
+        return value
+
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         with self._lock:
@@ -128,6 +220,7 @@ class LRUCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "coalesced": self.coalesced,
             "size": len(self._data),
             "maxsize": self.maxsize,
         }

@@ -66,12 +66,56 @@ from .facts import Fact, Template, Variable
 from .store import FactStore
 
 __all__ = [
-    "Interner", "ColumnarGeneration", "GenerationHandle",
+    "IdCodec", "Interner", "ColumnarGeneration", "GenerationHandle",
     "InternedFactStore", "attach_shared_memory", "unlink_generation",
 ]
 
 #: Position letters to tuple indexes, shared with the query executor.
 _POSITION = {"s": 0, "r": 1, "t": 2}
+
+
+class IdCodec:
+    """A per-execution id⇄name codec over one generation's interner.
+
+    Base ids (``< base``) come straight from the frozen name table;
+    names outside it — overlay facts, virtual facts, query constants
+    the generation never saw — get *scratch* ids ``>= base``, assigned
+    densely per codec instance.  Encoding is injective in both
+    directions, so id equality is name equality: the executor's join
+    keys, dedup sets, and repeated-variable checks can all operate on
+    machine ints and the answers stay bit-identical to the string path.
+
+    ``decodes`` counts string materializations through this codec (the
+    ``interned.decodes`` telemetry source); the executor flushes it
+    after result emission.
+    """
+
+    __slots__ = ("interner", "base", "decodes", "_scratch",
+                 "_scratch_ids")
+
+    def __init__(self, interner):
+        self.interner = interner
+        self.base = len(interner)
+        self.decodes = 0
+        self._scratch: List[str] = []
+        self._scratch_ids: Dict[str, int] = {}
+
+    def encode(self, name: str) -> int:
+        i = self.interner.id_of(name)
+        if i is not None:
+            return i
+        i = self._scratch_ids.get(name)
+        if i is None:
+            i = self.base + len(self._scratch)
+            self._scratch_ids[name] = i
+            self._scratch.append(name)
+        return i
+
+    def decode(self, i: int) -> str:
+        self.decodes += 1
+        if i < self.base:
+            return self.interner.names[i]
+        return self._scratch[i - self.base]
 
 
 class Interner:
@@ -725,6 +769,7 @@ class InternedFactStore(FactStore):
         self._removed: Set[Fact] = set()
         self._removed_entity_refs: Dict[str, int] = {}
         self._removed_rel_refs: Dict[str, int] = {}
+        self._removed_positions: Optional[Tuple[int, frozenset]] = None
         self._version = 0
         self._frozen = False
         for fact in facts:
@@ -873,6 +918,7 @@ class InternedFactStore(FactStore):
         new._removed = set(self._removed)
         new._removed_entity_refs = dict(self._removed_entity_refs)
         new._removed_rel_refs = dict(self._removed_rel_refs)
+        new._removed_positions = self._removed_positions
         new._version = self._version
         new._frozen = False
         return new
@@ -1044,6 +1090,160 @@ class InternedFactStore(FactStore):
                     template[2] if 2 in positions else None))
             results.append(matches)
         return results
+
+    # ------------------------------------------------------------------
+    # Integer-domain batch surfaces (id-native query execution)
+    # ------------------------------------------------------------------
+    def id_codec(self) -> IdCodec:
+        """A fresh per-execution codec over this store's generation."""
+        return IdCodec(self._gen.interner)
+
+    def removed_positions(self) -> frozenset:
+        """Generation offsets of the tombstoned facts, cached per store
+        version.  Every tombstone is generation-contained by invariant
+        (:meth:`discard` only tombstones facts the generation holds),
+        so the resolution never misses."""
+        cached = self._removed_positions
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        gen = self._gen
+        id_of = gen.interner.id_of
+        find = gen._find  # noqa: SLF001
+        positions = frozenset(
+            find(id_of(f[0]), id_of(f[1]), id_of(f[2]))
+            for f in self._removed)
+        self._removed_positions = (self._version, positions)
+        return positions
+
+    def lookup_many_ids(self, spec: str,
+                        keys: Sequence[Tuple[Optional[int], ...]],
+                        positions: Optional[Sequence[int]] = None,
+                        checks: Sequence[Tuple[int, int]] = ()
+                        ) -> List[list]:
+        """Generation-side batched integer probe: one result list per
+        key, no :class:`Fact` objects, no strings.
+
+        ``keys`` are id tuples in ``spec`` order.  A key component that
+        is ``None`` (a constant the generation never interned) or
+        outside the base id range (a scratch id) makes that key's list
+        empty — the overlay and virtual layers are the caller's to
+        merge.  With ``positions`` each match is the tuple of those
+        column components (the executor's new-variable extensions;
+        ``[]`` turns the probe into a pure existence filter); without
+        it, full ``(s, r, t)`` id triples.  ``checks`` are column-index
+        pairs that must hold equal ids (repeated unbound variables —
+        id equality is name equality within one interner space).
+        Tombstones are filtered by generation offset.
+        """
+        gen = self._gen
+        base = len(gen.interner)
+        removed = self.removed_positions() if self._removed else None
+        cols = (gen.scol, gen.rcol, gen.tcol)
+        out_cols = None if positions is None else [
+            cols[p] for p in positions]
+        results: List[list] = []
+        for ids in keys:
+            miss = False
+            for i in ids:
+                if i is None or i >= base:
+                    miss = True
+                    break
+            if miss:
+                results.append([])
+                continue
+            offsets: Iterable[int] = gen.positions(spec, ids)
+            if removed:
+                offsets = [p for p in offsets if p not in removed]
+            if checks:
+                offsets = [
+                    p for p in offsets
+                    if all(cols[i][p] == cols[j][p] for i, j in checks)]
+            if out_cols is None:
+                scol, rcol, tcol = cols
+                results.append(
+                    [(scol[p], rcol[p], tcol[p]) for p in offsets])
+            elif len(out_cols) == 1:
+                col = out_cols[0]
+                results.append([(col[p],) for p in offsets])
+            elif out_cols:
+                results.append([tuple(col[p] for col in out_cols)
+                                for p in offsets])
+            else:
+                # Pure filter: only existence matters.
+                hit = False
+                for _p in offsets:
+                    hit = True
+                    break
+                results.append([()] if hit else [])
+        return results
+
+    def match_many_ids(self, patterns: Sequence[Tuple[Optional[int],
+                                                      Optional[int],
+                                                      Optional[int]]]
+                       ) -> List[List[Tuple[int, int, int]]]:
+        """Batched id-domain template match: each pattern is an
+        ``(s, r, t)`` triple of ids-or-``None`` (``None`` = unbound);
+        returns the matching generation triples per pattern, tombstone
+        filtered.  Unlike :meth:`lookup_many_ids` the bound-position
+        spec may differ per pattern."""
+        gen = self._gen
+        base = len(gen.interner)
+        removed = self.removed_positions() if self._removed else None
+        scol, rcol, tcol = gen.scol, gen.rcol, gen.tcol
+        results: List[List[Tuple[int, int, int]]] = []
+        for pattern in patterns:
+            spec = ""
+            ids: List[int] = []
+            miss = False
+            for letter, value in zip("srt", pattern):
+                if value is None:
+                    continue
+                if value >= base:
+                    miss = True
+                    break
+                spec += letter
+                ids.append(value)
+            if miss:
+                results.append([])
+                continue
+            offsets: Iterable[int] = gen.positions(spec, tuple(ids))
+            if removed:
+                offsets = (p for p in offsets if p not in removed)
+            results.append(
+                [(scol[p], rcol[p], tcol[p]) for p in offsets])
+        return results
+
+    def entity_id_domain(self, encode) -> List[int]:
+        """The active entity domain as codec ids: generation entities
+        that survive the tombstone layer (base ids, no name decoding)
+        plus overlay entities encoded through ``encode``, deduplicated
+        against the generation's contribution.  Same *set* as
+        :meth:`entities`, in id space (order may differ)."""
+        gen = self._gen
+        out: List[int] = []
+        live: List[int] = []
+        if gen is not None:
+            removed: Dict[int, int] = {}
+            if self._removed_entity_refs:
+                id_of = gen.interner.id_of
+                for name, count in self._removed_entity_refs.items():
+                    removed[id_of(name)] = count
+            occurrences = gen.entity_occurrences
+            if removed:
+                live = [i for i in range(len(gen.interner))
+                        if occurrences(i) > removed.get(i, 0)]
+            else:
+                live = [i for i in range(len(gen.interner))
+                        if occurrences(i)]
+            out.extend(live)
+        if len(self._overlay):
+            base = len(gen.interner) if gen is not None else 0
+            included = set(live)
+            for name in self._overlay.entities():
+                i = encode(name)
+                if i >= base or i not in included:
+                    out.append(i)
+        return out
 
     def index_for(self, spec: str) -> "_CSRIndexView":
         """A read handle over one access pattern, API-compatible with

@@ -49,11 +49,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Set, Tuple, Union as TUnion
 
+from ..core.entities import BOTTOM, ISA, TOP
 from ..core.errors import QueryError
 from ..core.facts import Variable
 from ..virtual.computed import FactView
+from ..virtual.math_facts import MathRelation
 from .ast import And, Atom, Exists, ForAll, Formula, Or, Query
 from .planner import conjunct_rank, estimate_cost
+
+#: Relationship constants that make one of the three standard virtual
+#: relations handle a template: the comparators (math facts), ``≺``
+#: (reflexive generalization), and ``Δ`` in relationship position
+#: (endpoint witnessing).  ``∇`` as source / ``Δ`` as target are the
+#: other two endpoint triggers, tested separately.
+_TRIGGER_RELS = frozenset(MathRelation.HANDLED) | {ISA, TOP}
 
 
 class PlanNode:
@@ -102,6 +111,12 @@ class AtomJoin(PlanNode):
     #: match set, so the hint holds for every runtime key and the
     #: executor emits the empty table without probing.
     empty_hint: bool = False
+    #: Per-generation interned ground constants
+    #: (:class:`AtomIdAnnotation`), installed by
+    #: :func:`annotate_plan_ids` at plan-bind time and validated by
+    #: generation identity in the executor, which rebuilds lazily on a
+    #: mismatch — a cache, never a correctness requirement.
+    id_ann: object = field(default=None, repr=False, compare=False)
     op = "atom-join"
 
     @property
@@ -209,6 +224,62 @@ class CompiledPlan:
             lines.append("  " * (depth + 1)
                          + f"{node.label}   [est {node.est:.1f}]")
         return "\n".join(lines)
+
+
+class AtomIdAnnotation:
+    """One AtomJoin's ground constants interned against one generation.
+
+    ``ground[p]`` is ``None`` for variable positions, else
+    ``(name, base id or None)`` — ``None`` id meaning the generation
+    never saw the constant, so it can only match through the overlay or
+    a virtual relation.  The trigger flags record whether the *ground*
+    components alone make a standard virtual relation handle every
+    substituted template (bound-variable positions are tested per key
+    in id space by the executor).  Codec-independent — no scratch ids —
+    so one annotation is safely shared across threads and executions of
+    the same generation.
+    """
+
+    __slots__ = ("generation", "ground", "rel_trigger", "src_trigger",
+                 "tgt_trigger")
+
+
+def bind_atom_ids(pattern, generation) -> AtomIdAnnotation:
+    """Intern one template's ground constants against ``generation``."""
+    id_of = generation.interner.id_of
+    ground: List = [None, None, None]
+    for p, component in enumerate(pattern):
+        if not isinstance(component, Variable):
+            ground[p] = (component, id_of(component))
+    ann = AtomIdAnnotation()
+    ann.generation = generation
+    ann.ground = tuple(ground)
+    source, relationship, target = pattern
+    ann.rel_trigger = (not isinstance(relationship, Variable)
+                       and relationship in _TRIGGER_RELS)
+    ann.src_trigger = source == BOTTOM
+    ann.tgt_trigger = target == TOP
+    return ann
+
+
+def annotate_plan_ids(plan: CompiledPlan, store) -> None:
+    """Intern every AtomJoin's ground constants once per plan bind.
+
+    Called from the plan cache when it (re)binds a plan to an interned
+    store, so repeated executions skip the per-constant ``id_of``
+    resolutions.  Keyed on generation *identity* — a compaction keeps
+    the store version but re-interns every id, and the executor's
+    identity check catches exactly that.
+    """
+    generation = getattr(store, "generation", None)
+    if generation is None:
+        return
+    for node, _depth in plan.walk():
+        if isinstance(node, AtomJoin):
+            ann = node.id_ann
+            if ann is None or ann.generation is not generation:
+                node.id_ann = bind_atom_ids(node.formula.pattern,
+                                            generation)
 
 
 def compile_query(query: TUnion[str, Query],

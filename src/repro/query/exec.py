@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core import deadline as _deadline
@@ -46,8 +47,12 @@ from ..core.facts import Fact, Template, Variable
 from ..obs import metrics as _metrics
 from ..obs import tracer as _obs
 from ..virtual.computed import FactView
+from ..virtual.math_facts import MathRelation
+from ..virtual.special import EndpointWitness, ReflexiveGeneralization
+from ..core.entities import BOTTOM, TOP
 from .ast import Query
 from .compile import (
+    _TRIGGER_RELS,
     AtomJoin,
     CompiledPlan,
     ForAllProbe,
@@ -55,11 +60,32 @@ from .compile import (
     PlanNode,
     SemiJoin,
     Union,
+    bind_atom_ids,
     compile_query,
 )
-from .evaluate import Evaluator, _NO_RESULT, check_safety
+from .evaluate import Evaluator, check_safety
 from . import plancache as _plancache
 from .planner import conjunct_rank, estimate_cost
+
+#: Process-wide switch for integer-domain execution over interned
+#: stores.  The id-domain equivalence suite flips this off to prove the
+#: id-native and string paths produce bit-identical answers, verdicts,
+#: errors, and explain-analyze row counts.
+ID_DOMAIN = True
+
+#: Largest post-compaction overlay the id path accepts.  Overlay facts
+#: are re-encoded into scratch-id triples once per execution, so a
+#: store compacted *before* its closure was computed (thousands of
+#: derived facts in the overlay) would pay that encode on every query;
+#: past this bound the string path's indexed overlay lookups win.
+_ID_OVERLAY_CAP = 128
+
+#: The virtual relations whose ``handles`` triggers the executor can
+#: test in id space.  A registry containing anything else routes the
+#: whole execution through the string path (correct, and observable:
+#: ``exec.id_domain`` stops ticking).
+_STANDARD_RELATIONS = (MathRelation, ReflexiveGeneralization,
+                       EndpointWitness)
 
 #: Distinct-key interval between deadline checkpoints inside a join.
 CHECK_KEYS = 1024
@@ -84,7 +110,7 @@ class BindingTable:
     query is a *set*" fall out for free at the end).
     """
 
-    __slots__ = ("columns", "index", "rows")
+    __slots__ = ("columns", "index", "rows", "codec")
 
     def __init__(self, columns: Sequence[Variable],
                  rows: List[Tuple[str, ...]]):
@@ -92,6 +118,12 @@ class BindingTable:
         self.index: Dict[Variable, int] = {
             v: i for i, v in enumerate(self.columns)}
         self.rows = rows
+        #: The :class:`~repro.core.interned.IdCodec` of an id-domain
+        #: execution, set on the *final* table by :func:`execute_plan`
+        #: — rows then hold interned ids, and projection decodes each
+        #: distinct result tuple exactly once.  ``None`` on the string
+        #: path.
+        self.codec = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -137,6 +169,11 @@ class PlanRun:
     plan: CompiledPlan
     operators: List[OperatorStats] = field(default_factory=list)
     replans: int = 0
+    #: True when this run executed in the integer domain (interned
+    #: store, standard virtual registry) — surfaced in slow-query plan
+    #: autopsies so operators can see which queries fell back to the
+    #: string path.
+    id_domain: bool = False
 
     def describe(self) -> str:
         lines = [f"executed plan: {self.plan.query}"]
@@ -151,15 +188,65 @@ class PlanRun:
         return "\n".join(lines)
 
 
+class _IdExec:
+    """Per-execution integer-domain state over one interned store: the
+    scratch codec, the base-id universe bound, the encoded trigger ids
+    that decide per join key whether a standard virtual relation could
+    contribute, and the overlay handle for the string-boundary merge.
+    """
+
+    __slots__ = ("store", "gen", "codec", "base", "overlay",
+                 "rel_trigger_ids", "bottom_id", "top_id",
+                 "_overlay_triples")
+
+    def __init__(self, store):
+        self.store = store
+        self.gen = store.generation
+        codec = store.id_codec()
+        self.codec = codec
+        self.base = codec.base
+        self.overlay = store._overlay  # noqa: SLF001
+        self._overlay_triples = None
+        encode = codec.encode
+        self.rel_trigger_ids = frozenset(
+            encode(name) for name in _TRIGGER_RELS)
+        self.bottom_id = encode(BOTTOM)
+        self.top_id = encode(TOP)
+
+    def overlay_triples(self) -> list:
+        """The overlay encoded as id triples, once per execution (the
+        store cannot mutate mid-execution — snapshots are immutable and
+        a mutable store is single-threaded by contract)."""
+        triples = self._overlay_triples
+        if triples is None:
+            encode = self.codec.encode
+            triples = self._overlay_triples = [
+                (encode(f[0]), encode(f[1]), encode(f[2]))
+                for f in self.overlay]
+        return triples
+
+
+def _standard_registry(virtual) -> bool:
+    """True when every registered computed relation is one of the
+    standard three, so virtual triggering is decidable in id space."""
+    return all(type(r) in _STANDARD_RELATIONS for r in virtual)
+
+
 class _Context:
     """Per-execution state: the view, batch probe surfaces, stats.
 
     With ``collect`` off (the evaluator's hot path when telemetry is
     disabled) no :class:`OperatorStats` rows are built or updated —
     per-operator accounting only exists for a consumer.
+
+    ``ids`` is the :class:`_IdExec` of an integer-domain execution
+    (interned store with a generation and a standard virtual registry)
+    or ``None``: the eligibility decision is made once per execution,
+    so every operator sees one consistent value domain.
     """
 
-    __slots__ = ("view", "store", "virtual", "run", "stats", "collect")
+    __slots__ = ("view", "store", "virtual", "run", "stats", "collect",
+                 "ids")
 
     def __init__(self, view: FactView, run: PlanRun,
                  collect: bool = True):
@@ -168,6 +255,13 @@ class _Context:
         self.virtual = view.virtual
         self.run = run
         self.collect = collect
+        self.ids: Optional[_IdExec] = None
+        if ID_DOMAIN and getattr(self.store, "interned", False) \
+                and self.store.generation is not None \
+                and len(self.store._overlay) <= _ID_OVERLAY_CAP \
+                and _standard_registry(self.virtual):
+            self.ids = _IdExec(self.store)
+            run.id_domain = True
         # Stats rows are created in plan preorder so PlanRun.operators
         # renders as the plan tree regardless of execution order.
         self.stats: Dict[int, OperatorStats] = {}
@@ -188,6 +282,37 @@ _LAST_RUN = threading.local()
 #: the metrics registry (the service's slow-query log), so the hook
 #: stays populated with both of those disabled.
 KEEP_LAST_RUN = False
+
+
+class _DecodeMemo(dict):
+    """id → name map that decodes through the codec on first touch, so
+    repeated ids across output rows hit the C dict fast path and the
+    codec's ``decodes`` counter tallies *distinct* materializations."""
+
+    __slots__ = ("_decode",)
+
+    def __init__(self, codec) -> None:
+        super().__init__()
+        self._decode = codec.decode
+
+    def __missing__(self, i: int) -> str:
+        name = self._decode(i)
+        self[i] = name
+        return name
+
+
+def _flush_decodes(codec) -> None:
+    """Publish an execution's codec decode count to the telemetry
+    surfaces (``interned.decodes``) and reset it.  No-op on the string
+    path (``codec is None``) or when nothing observes."""
+    if codec is None or not codec.decodes:
+        return
+    n = codec.decodes
+    codec.decodes = 0
+    if _obs.ENABLED:
+        _obs.TRACER.count("interned.decodes", n)
+    if _metrics.ENABLED:
+        _metrics.METRICS.count("interned.decodes", n)
 
 
 def last_run() -> Optional[PlanRun]:
@@ -215,9 +340,15 @@ def execute_plan(plan: CompiledPlan, view: FactView,
     ctx = _Context(view, run, collect)
     if _obs.ENABLED:
         _obs.TRACER.count("exec.plans")
+        if ctx.ids is not None:
+            _obs.TRACER.count("exec.id_domain")
     if _metrics.ENABLED:
         _metrics.METRICS.count("exec.plans")
+        if ctx.ids is not None:
+            _metrics.METRICS.count("exec.id_domain")
     table = _execute(plan.root, unit_table(), ctx)
+    if ctx.ids is not None:
+        table.codec = ctx.ids.codec
     if _obs.ENABLED or _metrics.ENABLED or KEEP_LAST_RUN:
         _LAST_RUN.run = run
     return table, run
@@ -256,6 +387,8 @@ def _execute(node: PlanNode, table: BindingTable,
 # ----------------------------------------------------------------------
 def _exec_atom(node: AtomJoin, table: BindingTable,
                ctx: _Context) -> BindingTable:
+    if ctx.ids is not None:
+        return _exec_atom_ids(node, table, ctx)
     pattern = node.formula.pattern
     pattern_vars = pattern.variables()
     pattern_var_set = pattern.variable_set()
@@ -270,22 +403,56 @@ def _exec_atom(node: AtomJoin, table: BindingTable,
         # handler) that this template matches nothing for any key.
         return BindingTable(table.columns + tuple(new_vars), [])
 
-    # Hash-group the input rows by their key over the bound variables:
-    # one probe per distinct key, not per row.
+    # Extraction positions: first occurrence of each new variable.
+    # Facts from the probe are guaranteed to match the template
+    # (repeated variables included), so first-occurrence is enough.
+    new_positions = [
+        next(i for i, c in enumerate(pattern) if c == v) for v in new_vars
+    ]
     key_positions = [table.index[v] for v in bound_vars]
-    groups: Dict[Tuple[str, ...], List[Tuple[str, ...]]] = {}
-    if key_positions:
-        for row in table.rows:
-            key = tuple(row[i] for i in key_positions)
-            bucket = groups.get(key)
-            if bucket is None:
-                groups[key] = [row]
-            else:
-                bucket.append(row)
-    else:
-        groups[()] = table.rows
+    single_key = len(key_positions) == 1
+    pure_filter = not new_positions
 
-    keys = list(groups)
+    # One probe per distinct key, not per row.  A pure filter (no new
+    # variables) needs only the distinct keys — collected at C level —
+    # while an extending join hash-groups the rows into buckets
+    # aligned with ``keys``.  A single-variable key keys the dict on
+    # the bare component (no tuple per row); wider keys use itemgetter.
+    buckets: List[List[tuple]] = []
+    if single_key:
+        kp = key_positions[0]
+        if pure_filter:
+            keys = [(k,) for k in set(map(itemgetter(kp), table.rows))]
+        else:
+            groups: Dict = {}
+            for row in table.rows:
+                k = row[kp]
+                bucket = groups.get(k)
+                if bucket is None:
+                    groups[k] = [row]
+                else:
+                    bucket.append(row)
+            keys = [(k,) for k in groups]
+            buckets = list(groups.values())
+    elif key_positions:
+        keyget = itemgetter(*key_positions)
+        if pure_filter:
+            keys = list(set(map(keyget, table.rows)))
+        else:
+            groups = {}
+            for row in table.rows:
+                k = keyget(row)
+                bucket = groups.get(k)
+                if bucket is None:
+                    groups[k] = [row]
+                else:
+                    bucket.append(row)
+            keys = list(groups)
+            buckets = list(groups.values())
+    else:
+        keys = [()]
+        buckets = [table.rows]
+
     templates = [
         pattern.substitute(dict(zip(bound_vars, key))) if key else pattern
         for key in keys
@@ -294,33 +461,332 @@ def _exec_atom(node: AtomJoin, table: BindingTable,
         _obs.TRACER.count("exec.atom.keys", len(keys))
     facts_per_key = _probe_many(ctx, pattern, bound_set, templates)
 
-    # Extraction positions: first occurrence of each new variable.
-    # Facts from the probe are guaranteed to match the template
-    # (repeated variables included), so first-occurrence is enough.
-    new_positions = [
-        next(i for i, c in enumerate(pattern) if c == v) for v in new_vars
-    ]
     out_columns = table.columns + tuple(new_vars)
+    if pure_filter:
+        # Every bound variable is checked by the probe, so rows survive
+        # iff their key matched — one C-level membership pass over the
+        # input instead of regrouping buckets.
+        if single_key:
+            ok = {keys[n][0] for n in range(len(keys))
+                  if facts_per_key[n]}
+            out_rows = [row for row in table.rows if row[kp] in ok]
+        elif key_positions:
+            ok = {keys[n] for n in range(len(keys))
+                  if facts_per_key[n]}
+            out_rows = [row for row in table.rows if keyget(row) in ok]
+        else:
+            out_rows = list(table.rows) if facts_per_key[0] else []
+        if _deadline.ACTIVE:
+            _deadline.check()
+        return BindingTable(out_columns, out_rows)
+
     out_rows: List[Tuple[str, ...]] = []
-    append = out_rows.append
-    for n, key in enumerate(keys):
+    for n, facts in enumerate(facts_per_key):
         if _deadline.ACTIVE and n % CHECK_KEYS == 0:
             _deadline.check()
-        facts = facts_per_key[n]
         if not facts:
             continue
-        group_rows = groups[key]
-        if new_positions:
-            extensions = [
-                tuple(f[p] for p in new_positions) for f in facts
-            ]
-            for row in group_rows:
-                for extension in extensions:
-                    append(row + extension)
+        extensions = [
+            tuple(f[p] for p in new_positions) for f in facts
+        ]
+        bucket = buckets[n]
+        if len(extensions) == 1:
+            extension = extensions[0]
+            out_rows += [row + extension for row in bucket]
         else:
-            # Pure filter: the probe succeeded, keep the group's rows.
-            out_rows.extend(group_rows)
+            out_rows += [row + extension for row in bucket
+                         for extension in extensions]
     return BindingTable(out_columns, out_rows)
+
+
+def _exec_atom_ids(node: AtomJoin, table: BindingTable,
+                   ctx: _Context) -> BindingTable:
+    """AtomJoin in the integer domain: join keys, generation probes,
+    and extensions are interned ids end-to-end.
+
+    The generation is probed through the store's batched id surface
+    (:meth:`~repro.core.interned.InternedFactStore.lookup_many_ids`) —
+    no :class:`Fact` objects, no strings, repeated unbound variables
+    checked natively (id equality is name equality).  The overlay and
+    any *triggered* virtual relation are merged per key through the
+    codec boundary; whether a standard virtual relation can contribute
+    is decided from the plan's ground annotation plus the key's bound
+    ids, so the common case (ground non-trigger relationship) pays
+    nothing per key.
+    """
+    ids = ctx.ids
+    pattern = node.formula.pattern
+    pattern_vars = pattern.variables()
+    pattern_var_set = pattern.variable_set()
+    bound_vars = tuple(v for v in table.columns if v in pattern_var_set)
+    bound_set = set(bound_vars)
+    new_vars: List[Variable] = []
+    for v in pattern_vars:
+        if v not in bound_set and v not in new_vars:
+            new_vars.append(v)
+    if not table.rows or node.empty_hint:
+        return BindingTable(table.columns + tuple(new_vars), [])
+
+    # Extraction positions (first occurrence of each new variable) and
+    # repeated-unbound equality checks, enforced natively in id space.
+    first_occurrence: Dict[Variable, int] = {}
+    checks: List[Tuple[int, int]] = []
+    for p, component in enumerate(pattern):
+        if isinstance(component, Variable) and component not in bound_set:
+            if component in first_occurrence:
+                checks.append((first_occurrence[component], p))
+            else:
+                first_occurrence[component] = p
+    new_positions = [first_occurrence[v] for v in new_vars]
+    key_positions = [table.index[v] for v in bound_vars]
+    single_key = len(key_positions) == 1
+    pure_filter = not new_positions
+
+    # One probe per distinct key, not per row.  A pure filter (no new
+    # variables) needs only the distinct keys — collected at C level —
+    # while an extending join hash-groups the rows into buckets
+    # aligned with ``keys``.  A single-variable key keys the dict on
+    # the bare component (no tuple per row); wider keys use itemgetter.
+    buckets: List[List[tuple]] = []
+    if single_key:
+        kp = key_positions[0]
+        if pure_filter:
+            keys = [(k,) for k in set(map(itemgetter(kp), table.rows))]
+        else:
+            groups: Dict = {}
+            for row in table.rows:
+                k = row[kp]
+                bucket = groups.get(k)
+                if bucket is None:
+                    groups[k] = [row]
+                else:
+                    bucket.append(row)
+            keys = [(k,) for k in groups]
+            buckets = list(groups.values())
+    elif key_positions:
+        keyget = itemgetter(*key_positions)
+        if pure_filter:
+            keys = list(set(map(keyget, table.rows)))
+        else:
+            groups = {}
+            for row in table.rows:
+                k = keyget(row)
+                bucket = groups.get(k)
+                if bucket is None:
+                    groups[k] = [row]
+                else:
+                    bucket.append(row)
+            keys = list(groups)
+            buckets = list(groups.values())
+    else:
+        keys = [()]
+        buckets = [table.rows]
+    if _obs.ENABLED:
+        _obs.TRACER.count("exec.atom.keys", len(keys))
+        _obs.TRACER.count("store.lookups", len(keys))
+
+    gen = ids.gen
+    ann = node.id_ann
+    if ann is None or ann.generation is not gen:
+        ann = bind_atom_ids(pattern, gen)
+        node.id_ann = ann
+    ground = ann.ground
+
+    # Probe slots in srt spec order: a ground constant's interned id
+    # (possibly None — never in the generation) or the key index of a
+    # bound variable.  ``spec_positions`` maps each probe-key slot back
+    # to its pattern position for the overlay's id-triple matching.
+    spec = ""
+    slots: List[Tuple[Optional[int], Optional[int]]] = []
+    spec_positions: List[int] = []
+    for p, letter in ((0, "s"), (1, "r"), (2, "t")):
+        component = pattern[p]
+        if not isinstance(component, Variable):
+            spec += letter
+            slots.append((ground[p][1], None))
+            spec_positions.append(p)
+        elif component in bound_set:
+            spec += letter
+            slots.append((None, bound_vars.index(component)))
+            spec_positions.append(p)
+    probe_keys = [
+        tuple(g if k is None else key[k] for g, k in slots)
+        for key in keys
+    ]
+
+    extensions_per_key = ids.store.lookup_many_ids(
+        spec, probe_keys, positions=new_positions, checks=checks)
+
+    # Virtual triggering: ground triggers hold for every key;
+    # bound-variable positions are tested per key against the encoded
+    # trigger ids; unbound positions never trigger (a variable in the
+    # substituted template satisfies none of the standard handles).
+    always_virtual = ann.rel_trigger or ann.src_trigger or ann.tgt_trigger
+    rel_key = src_key = tgt_key = None
+    if not always_virtual:
+        component = pattern[1]
+        if isinstance(component, Variable) and component in bound_set:
+            rel_key = bound_vars.index(component)
+        component = pattern[0]
+        if isinstance(component, Variable) and component in bound_set:
+            src_key = bound_vars.index(component)
+        component = pattern[2]
+        if isinstance(component, Variable) and component in bound_set:
+            tgt_key = bound_vars.index(component)
+    check_virtual = always_virtual or rel_key is not None \
+        or src_key is not None or tgt_key is not None
+    rel_triggers = ids.rel_trigger_ids
+    bottom_id, top_id = ids.bottom_id, ids.top_id
+    # The overlay (typically a handful of post-compaction facts) is
+    # encoded into id triples once per execution and prefiltered here
+    # against the pattern's *ground* positions (codec ids, so scratch
+    # constants compare correctly) and repeated-variable checks — the
+    # same for every key — leaving only the bound-variable slots to
+    # test per key.  The common case (no overlay survivor for this
+    # pattern) pays nothing inside the loop.  Overlay and generation
+    # are disjoint by store invariant, so no dedup.
+    overlay_matches = None
+    if len(ids.overlay):
+        encode = ids.codec.encode
+        key_slots = [(slot, spec_positions[slot])
+                     for slot, (g, k) in enumerate(slots)
+                     if k is not None]
+        candidates = []
+        for triple in ids.overlay_triples():
+            matched = True
+            for slot, (g, k) in enumerate(slots):
+                if k is None:
+                    p = spec_positions[slot]
+                    if g is None:
+                        g = encode(ground[p][0])
+                    if triple[p] != g:
+                        matched = False
+                        break
+            if matched and checks:
+                for i, j in checks:
+                    if triple[i] != triple[j]:
+                        matched = False
+                        break
+            if matched:
+                candidates.append(triple)
+        if candidates:
+            index = None
+            if key_slots and len(candidates) * len(keys) > 4096:
+                # Enough survivors that a linear scan per key would
+                # dominate: bucket them by their bound-slot projection
+                # so each key probes a dict instead.
+                index = {}
+                for triple in candidates:
+                    kproj = tuple(triple[p] for _slot, p in key_slots)
+                    index.setdefault(kproj, []).append(triple)
+            overlay_matches = (candidates, key_slots, index)
+
+    # Fold the overlay survivors and any triggered virtual relation
+    # into each key's extensions before building rows.
+    if overlay_matches is not None or check_virtual:
+        for n, key in enumerate(keys):
+            if _deadline.ACTIVE and n % CHECK_KEYS == 0:
+                _deadline.check()
+            extensions = extensions_per_key[n]
+            if overlay_matches is not None:
+                candidates, key_slots, index = overlay_matches
+                probe_key = probe_keys[n]
+                if index is not None:
+                    kproj = tuple(probe_key[slot]
+                                  for slot, _p in key_slots)
+                    for triple in index.get(kproj, ()):
+                        extensions.append(
+                            tuple(triple[p] for p in new_positions))
+                else:
+                    for triple in candidates:
+                        matched = True
+                        for slot, p in key_slots:
+                            if triple[p] != probe_key[slot]:
+                                matched = False
+                                break
+                        if matched:
+                            extensions.append(
+                                tuple(triple[p] for p in new_positions))
+            if check_virtual and (
+                    always_virtual
+                    or (rel_key is not None and key[rel_key] in rel_triggers)
+                    or (src_key is not None and key[src_key] == bottom_id)
+                    or (tgt_key is not None and key[tgt_key] == top_id)):
+                extensions_per_key[n] = _merge_id_boundary(
+                    ctx, pattern, bound_vars, key, extensions,
+                    new_positions, checks)
+
+    out_columns = table.columns + tuple(new_vars)
+    if pure_filter:
+        # Every bound variable is checked by the probe, so rows survive
+        # iff their key matched — one C-level membership pass over the
+        # input instead of regrouping buckets.
+        if single_key:
+            ok = {keys[n][0] for n in range(len(keys))
+                  if extensions_per_key[n]}
+            out_rows = [row for row in table.rows if row[kp] in ok]
+        elif key_positions:
+            ok = {keys[n] for n in range(len(keys))
+                  if extensions_per_key[n]}
+            out_rows = [row for row in table.rows if keyget(row) in ok]
+        else:
+            out_rows = list(table.rows) if extensions_per_key[0] else []
+        if _deadline.ACTIVE:
+            _deadline.check()
+        return BindingTable(out_columns, out_rows)
+
+    out_rows: List[Tuple[int, ...]] = []
+    for n, extensions in enumerate(extensions_per_key):
+        if _deadline.ACTIVE and n % CHECK_KEYS == 0:
+            _deadline.check()
+        if not extensions:
+            continue
+        bucket = buckets[n]
+        if len(extensions) == 1:
+            extension = extensions[0]
+            out_rows += [row + extension for row in bucket]
+        else:
+            out_rows += [row + extension for row in bucket
+                         for extension in extensions]
+    return BindingTable(out_columns, out_rows)
+
+
+def _merge_id_boundary(ctx: _Context, pattern: Template,
+                       bound_vars: Tuple[Variable, ...],
+                       key: Tuple[int, ...], extensions: list,
+                       new_positions: List[int],
+                       checks: List[Tuple[int, int]]) -> list:
+    """The virtual-relation boundary of the id path: decode one
+    triggered key, match the registry on strings, and encode the
+    results back into (scratch-)id extensions.
+
+    Per key every non-new position is fixed, so extension tuples are in
+    bijection with matching facts — deduplicating virtual facts against
+    the merged extensions is exactly the string path's full-fact dedup
+    (the stored layers having been merged into ``extensions`` already).
+    """
+    ids = ctx.ids
+    codec = ids.codec
+    decode = codec.decode
+    encode = codec.encode
+    if key:
+        template = pattern.substitute(
+            {v: decode(i) for v, i in zip(bound_vars, key)})
+    else:
+        template = pattern
+    virtual_facts = ctx.virtual.match_many([template], ids.store)[0]
+    if not virtual_facts:
+        return extensions
+    merged = list(extensions)
+    seen = set(merged)
+    for fact in virtual_facts:
+        if template.match(fact) is None:
+            continue
+        extension = tuple(encode(fact[p]) for p in new_positions)
+        if extension not in seen:
+            seen.add(extension)
+            merged.append(extension)
+    return merged
 
 
 def _probe_many(ctx: _Context, pattern: Template, bound_set: Set[Variable],
@@ -578,7 +1044,12 @@ def _exec_forall(node: ForAllProbe, table: BindingTable,
     alive: Set[Tuple[str, ...]] = {
         tuple(row[i] for i in probe_positions) for row in table.rows
     }
-    domain = list(ctx.view.entities())
+    if ctx.ids is not None:
+        # Same entity *set* as view.entities(), in id space (order may
+        # differ, which only affects chunk boundaries, not results).
+        domain = ctx.ids.store.entity_id_domain(ctx.ids.codec.encode)
+    else:
+        domain = list(ctx.view.entities())
     if _obs.ENABLED:
         _obs.TRACER.count("exec.forall.keys", len(alive))
         _obs.TRACER.gauge("query.forall.domain_size", len(domain))
@@ -675,25 +1146,21 @@ class CompiledEvaluator(Evaluator):
             entry = None
             query, key_text = self._resolve(query)
             check_safety(query.formula)
-        if self.cache is not None:
-            key = ("query", key_text or str(query), self.cache_token)
-            hit = self.cache.get(key, _NO_RESULT)
-            if hit is not _NO_RESULT:
-                return set(hit)
-        if entry is not None and entry.fast is not None \
-                and _plancache.FAST_PATH:
-            if _obs.ENABLED:
-                with _obs.TRACER.span(
-                        "query.evaluate", query=key_text,
-                        engine="compiled", fast_path=True) as span:
-                    results = entry.fast.evaluate(self.view)
-                    span.set(rows=len(results))
-                self._fast_result(entry, len(results))
-            else:
-                results = entry.fast.evaluate(self.view)
-                if _metrics.ENABLED or KEEP_LAST_RUN:
+        def compute():
+            if entry is not None and entry.fast is not None \
+                    and _plancache.FAST_PATH:
+                if _obs.ENABLED:
+                    with _obs.TRACER.span(
+                            "query.evaluate", query=key_text,
+                            engine="compiled", fast_path=True) as span:
+                        results = entry.fast.evaluate(self.view)
+                        span.set(rows=len(results))
                     self._fast_result(entry, len(results))
-        else:
+                else:
+                    results = entry.fast.evaluate(self.view)
+                    if _metrics.ENABLED or KEEP_LAST_RUN:
+                        self._fast_result(entry, len(results))
+                return results
             evaluate_span = (
                 _obs.TRACER.span("query.evaluate", query=str(query),
                                  engine="compiled")
@@ -701,9 +1168,13 @@ class CompiledEvaluator(Evaluator):
             with evaluate_span as span:
                 results = self._run(query, entry)
                 span.set(rows=len(results))
+            return results
+
         if self.cache is not None:
-            self.cache.put(key, frozenset(results))
-        return results
+            key = ("query", key_text or str(query), self.cache_token)
+            return set(self.cache.get_or_compute(
+                key, lambda: frozenset(compute())))
+        return compute()
 
     def ask(self, query: Union[str, Query]) -> bool:
         """Truth value of a proposition, via the compiled plan."""
@@ -752,20 +1223,20 @@ class CompiledEvaluator(Evaluator):
                     f"not a proposition — free variables:"
                     f" {[v.name for v in query.variables]}")
             check_safety(query.formula)
+        def compute():
+            if entry is not None and entry.fast is not None \
+                    and _plancache.FAST_PATH:
+                result = entry.fast.any(self.view)
+                if _obs.ENABLED or _metrics.ENABLED or KEEP_LAST_RUN:
+                    self._fast_result(entry, int(result))
+                return result
+            return self._any(query, entry)
+
         if self.cache is not None:
             key = (kind, key_text or str(query), self.cache_token)
-            hit = self.cache.get(key, _NO_RESULT)
-            if hit is not _NO_RESULT:
-                return hit
-        if entry is not None and entry.fast is not None \
-                and _plancache.FAST_PATH:
-            result = entry.fast.any(self.view)
-            if _obs.ENABLED or _metrics.ENABLED or KEEP_LAST_RUN:
-                self._fast_result(entry, int(result))
+            result = self.cache.get_or_compute(key, compute)
         else:
-            result = bool(self._run(query, entry))
-        if self.cache is not None:
-            self.cache.put(key, result)
+            result = compute()
         if memoizing:
             self.plans.store_verdict(
                 kind, raw_text, self.plan_epoch, token, result)
@@ -781,7 +1252,9 @@ class CompiledEvaluator(Evaluator):
         check_safety(query.formula)
         plan = compile_query(query, self.view)
         table, run = execute_plan(plan, self.view)
-        return self._project(query, table), run
+        results = self._project(query, table)
+        _flush_decodes(table.codec)
+        return results, run
 
     # ------------------------------------------------------------------
     def _run(self, query: Query,
@@ -793,7 +1266,23 @@ class CompiledEvaluator(Evaluator):
             plan = compile_query(query, self.view)
         collect = _obs.ENABLED or _metrics.ENABLED or KEEP_LAST_RUN
         table, _run = execute_plan(plan, self.view, collect=collect)
-        return self._project(query, table)
+        results = self._project(query, table)
+        _flush_decodes(table.codec)
+        return results
+
+    def _any(self, query: Query, entry=None) -> bool:
+        """Truth of a query without projecting: a non-empty final table
+        is a non-empty answer set (projection preserves emptiness), so
+        ``ask``/``succeeds`` on the id path never decode a single id."""
+        if entry is not None:
+            plan = self.plans.plan_for(entry, self.view,
+                                       self._plan_token())
+        else:
+            plan = compile_query(query, self.view)
+        collect = _obs.ENABLED or _metrics.ENABLED or KEEP_LAST_RUN
+        table, _run = execute_plan(plan, self.view, collect=collect)
+        _flush_decodes(table.codec)
+        return bool(table.rows)
 
     @staticmethod
     def _project(query: Query,
@@ -805,6 +1294,29 @@ class CompiledEvaluator(Evaluator):
             # the remaining columns; there is nothing to project.
             return set()
         positions = table.project_positions(query.variables)
-        return {
-            tuple(row[i] for i in positions) for row in table.rows
-        }
+        codec = table.codec
+        # itemgetter keeps the per-row extraction in C; a single
+        # position must be re-wrapped since itemgetter then yields the
+        # bare component.  On an id-domain run this is also the only
+        # place ids become strings: decode is fused into the projection
+        # pass, each distinct id decoding once through the memo's
+        # ``__missing__`` (dedup on names equals dedup on ids — the
+        # codec is injective both ways).
+        if len(positions) == 1:
+            p = positions[0]
+            if codec is None:
+                return {(row[p],) for row in table.rows}
+            name_of = _DecodeMemo(codec).__getitem__
+            return {(name_of(row[p]),) for row in table.rows}
+        if positions == list(range(len(table.columns))):
+            # Identity projection: the rows already are the output
+            # tuples (modulo decode) — skip re-extraction entirely.
+            if codec is None:
+                return set(table.rows)
+            name_of = _DecodeMemo(codec).__getitem__
+            return {tuple(map(name_of, row)) for row in table.rows}
+        getter = itemgetter(*positions)
+        if codec is None:
+            return set(map(getter, table.rows))
+        name_of = _DecodeMemo(codec).__getitem__
+        return {tuple(map(name_of, getter(row))) for row in table.rows}

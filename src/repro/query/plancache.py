@@ -56,7 +56,8 @@ from ..obs import metrics as _metrics
 from ..obs import tracer as _obs
 from .ast import Query
 from .canonical import canonical_text
-from .compile import AtomJoin, CompiledPlan, compile_query
+from .compile import (AtomJoin, CompiledPlan, annotate_plan_ids,
+                      compile_query)
 from .evaluate import check_safety
 from .parser import parse_query
 
@@ -410,6 +411,8 @@ class PlanCache:
             fast = FastProbe.build(plan, view)
             if fast is not None:
                 fast.bind(view.store)
+            if getattr(view.store, "interned", False):
+                annotate_plan_ids(plan, view.store)
         entry = PlanEntry(key, parsed, error, plan, token, shape, fast)
         with self._lock:
             self._entries[cache_key] = entry
@@ -431,6 +434,8 @@ class PlanCache:
         if entry.token == token:
             return entry.plan
         plan = compile_query(entry.query, view)
+        if getattr(view.store, "interned", False):
+            annotate_plan_ids(plan, view.store)
         self.recompiles += 1
         if _obs.ENABLED:
             _obs.TRACER.count("plancache.recompiles")

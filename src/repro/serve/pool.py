@@ -233,9 +233,12 @@ class ReplicaPool:
                  ready_timeout: float = 60.0,
                  lag_samples: int = 4096,
                  telemetry: Optional[dict] = None,
-                 heartbeat_interval: Optional[float] = None):
+                 heartbeat_interval: Optional[float] = None,
+                 compact_after: Optional[int] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if compact_after is not None and compact_after < 1:
+            raise ValueError("compact_after must be >= 1")
         self._service = service
         self._bootstrap_directory = bootstrap_directory
         if bootstrap is None:
@@ -255,6 +258,13 @@ class ReplicaPool:
         self._gen_log: List[Delta] = []
         self._gen_stale = False
         self._retired_segments: List[str] = []
+        # Auto-compaction: once the delta-replay buffer holds this many
+        # entries, a background thread folds them into a fresh shared
+        # generation (``compact_generation``).  ``None`` disables.
+        self.compact_after = compact_after
+        self.compactions = 0
+        self._compacting = False
+        self._compact_thread: Optional[threading.Thread] = None
         self._respawn = respawn
         self.read_timeout = read_timeout
         if start_method is None:
@@ -465,6 +475,18 @@ class ReplicaPool:
                     # the next spawn (or compact_generation) instead.
                     self._gen_log = []
                     self._gen_stale = True
+                elif (self.compact_after is not None
+                        and not self._compacting
+                        and self.bootstrap == "generation"
+                        and len(self._gen_log) >= self.compact_after):
+                    # Fold the buffer in the background — the writer
+                    # thread must keep shipping deltas, never block on
+                    # re-attach acks.
+                    self._compacting = True
+                    self._compact_thread = threading.Thread(
+                        target=self._autocompact,
+                        name="repro-pool-compact", daemon=True)
+                    self._compact_thread.start()
             self._delta_emit_times[delta.version] = time.perf_counter()
             if len(self._delta_emit_times) > 2 * self._lag_log.maxlen:
                 oldest = min(self._delta_emit_times)
@@ -473,6 +495,17 @@ class ReplicaPool:
         for worker in workers:
             if delta.version > worker.start_seq:
                 worker.send(("delta", delta))
+
+    def _autocompact(self) -> None:
+        """Background delta-log fold (``compact_after`` trigger).  A
+        close() racing the fold surfaces as ``ServiceClosed`` — the
+        buffered deltas die with the pool, nothing to save."""
+        try:
+            self.compact_generation()
+        except (ServiceClosed, ValueError):
+            pass
+        finally:
+            self._compacting = False
 
     def _receive_loop(self, worker: _Worker) -> None:
         """Per-worker receiver: acks, read results, death detection."""
@@ -909,11 +942,20 @@ class ReplicaPool:
             self._gen = self._build_generations()
             self._gen_log = []
             self._gen_stale = False
+            self.compactions += 1
+            if _metrics.ENABLED:
+                _metrics.METRICS.count("serve.pool.compactions")
             state = self._generation_bootstrap()
             targets = [(w, w.gen_acks) for w in self._workers if w.alive]
             target_seq = state.version
-        for worker, _ in targets:
-            worker.send(("generation", state))
+            # Send the re-attach while still holding the lock: a delta
+            # shipped concurrently is either in the state's backlog
+            # (appended before the snapshot) or its pipe write is
+            # ordered after ours (the writer thread appends under this
+            # lock before sending) — never consumed at the old
+            # generation and then silently dropped by the re-attach.
+            for worker, _ in targets:
+                worker.send(("generation", state))
         limit = time.monotonic() + timeout
         acked = True
         with self._version_cv:
@@ -992,6 +1034,8 @@ class ReplicaPool:
                 "generation_log": len(self._gen_log),
                 "generation_stale": self._gen_stale,
                 "retired_segments": len(self._retired_segments),
+                "compact_after": self.compact_after,
+                "compactions": self.compactions,
             }
 
     def lag_stats(self) -> dict:
@@ -1026,6 +1070,11 @@ class ReplicaPool:
             workers = list(self._workers)
         self._heartbeat_stop.set()
         self._service.unsubscribe_deltas(self._on_delta)
+        compacting = self._compact_thread
+        if compacting is not None and compacting.is_alive():
+            # Let an in-flight background fold finish (or hit the
+            # closed check) before tearing down its workers.
+            compacting.join(timeout)
         for worker in workers:
             worker.send(("stop",))
         deadline_at = time.monotonic() + timeout

@@ -1,0 +1,154 @@
+"""Single-flight coalescing in the versioned result cache.
+
+A cold hot-key under concurrency used to fan out one computation per
+thread — the 4-thread hot-probe p99 cliff.  ``LRUCache.get_or_compute``
+lets exactly one leader compute while concurrent callers for the same
+key wait on the flight and share its result (counted as ``coalesced``).
+"""
+
+import threading
+
+import pytest
+
+from repro.core.cache import LRUCache
+from repro.db import Database
+from repro.query.exec import CompiledEvaluator
+from repro.query.plancache import PlanCache
+
+
+class TestGetOrCompute:
+    def test_hit_and_miss_accounting(self):
+        cache = LRUCache(maxsize=8)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert len(calls) == 1
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert cache.coalesced == 0
+        assert cache.stats()["coalesced"] == 0
+
+    def test_concurrent_callers_coalesce_to_one_compute(self):
+        cache = LRUCache(maxsize=8)
+        n = 4
+        entered = threading.Barrier(n)
+        release = threading.Event()
+        calls = []
+        results = [None] * n
+
+        def compute():
+            calls.append(1)
+            release.wait(10.0)
+            return 42
+
+        def worker(i):
+            entered.wait(10.0)
+            results[i] = cache.get_or_compute("hot", compute)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        # All workers are past the barrier before the leader is allowed
+        # to publish, so the followers pile onto the same flight.
+        threading.Timer(0.1, release.set).start()
+        for t in threads:
+            t.join(15.0)
+        assert results == [42] * n
+        assert len(calls) == 1, "exactly one computation for the hot key"
+        # Every non-leader either coalesced on the flight or hit the
+        # cache after publication — none recomputed.
+        assert cache.misses == 1
+        assert cache.hits + cache.coalesced == n - 1
+
+    def test_leader_error_is_not_cached(self):
+        cache = LRUCache(maxsize=8)
+
+        def boom():
+            raise RuntimeError("transient")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", boom)
+        assert "k" not in cache
+        # The flight was torn down: the next caller computes fresh.
+        assert cache.get_or_compute("k", lambda: "ok") == "ok"
+        assert cache.get("k") == "ok"
+
+    def test_follower_recovers_from_leader_failure(self):
+        cache = LRUCache(maxsize=8)
+        leader_in_compute = threading.Event()
+        follower_waiting = threading.Event()
+        outcome = {}
+
+        def leader_compute():
+            leader_in_compute.set()
+            # Hold the flight open until the follower is committed to
+            # waiting on it, then fail.
+            follower_waiting.wait(10.0)
+            raise RuntimeError("leader died")
+
+        def leader():
+            try:
+                cache.get_or_compute("k", leader_compute)
+            except RuntimeError as exc:
+                outcome["leader"] = str(exc)
+
+        def follower():
+            leader_in_compute.wait(10.0)
+            follower_waiting.set()
+            outcome["follower"] = cache.get_or_compute(
+                "k", lambda: "fallback")
+
+        t1 = threading.Thread(target=leader)
+        t2 = threading.Thread(target=follower)
+        t1.start()
+        t2.start()
+        t1.join(15.0)
+        t2.join(15.0)
+        assert outcome["leader"] == "leader died"
+        assert outcome["follower"] == "fallback"
+        assert cache.get("k") == "fallback"
+
+
+class TestEvaluatorSingleFlight:
+    @pytest.fixture()
+    def db(self):
+        db = Database()
+        for i in range(40):
+            db.add(f"E{i}", "∈", "EMPLOYEE")
+            db.add(f"E{i}", "WORKS-FOR", f"D{i % 4}")
+        return db
+
+    def test_cold_hot_query_computes_once_across_threads(self, db):
+        cache = LRUCache(maxsize=64)
+        view = db.view()
+        evaluator = CompiledEvaluator(
+            view, plans=PlanCache(), cache=cache,
+            cache_token=view.store.version)
+        n = 4
+        gate = threading.Barrier(n)
+        answers = [None] * n
+
+        def worker(i):
+            gate.wait(10.0)
+            answers[i] = evaluator.evaluate(
+                "(x, ∈, EMPLOYEE) and (x, WORKS-FOR, D1)")
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(15.0)
+        expected = evaluator.evaluate(
+            "(x, ∈, EMPLOYEE) and (x, WORKS-FOR, D1)")
+        assert all(answer == expected for answer in answers)
+        # One miss computed the result; every other caller hit the
+        # cache or coalesced onto the in-progress flight.
+        assert cache.misses == 1
+        assert cache.hits + cache.coalesced == n

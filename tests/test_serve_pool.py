@@ -337,6 +337,45 @@ class TestGenerationBootstrap:
         assert pool.ask("(COMPACT, EARNS, SALARY)", ticket=ticket)
         assert pool.stats()["fallback_reads"] == before
 
+    def test_auto_compaction_folds_log_without_failed_reads(self):
+        service = DatabaseService(_database())
+        pool = ReplicaPool(service, workers=2, read_timeout=60.0,
+                           compact_after=3)
+        try:
+            ticket = None
+            for i in range(5):
+                # Settle each write so the batch window cannot coalesce
+                # them into a single delta.
+                ticket = service.add_async((f"AUTO{i}", "∈", "EMPLOYEE"))
+                ticket.result(timeout=30.0)
+            deadline_at = time.monotonic() + 60.0
+            while time.monotonic() < deadline_at:
+                stats = pool.stats()
+                if stats["compactions"] >= 1 \
+                        and stats["generation_log"] < 3:
+                    break
+                time.sleep(0.05)
+            stats = pool.stats()
+            assert stats["compact_after"] == 3
+            assert stats["compactions"] >= 1
+            # The fold reset the replay buffer below the threshold and
+            # left every worker attached to the new generation.
+            assert stats["generation_log"] < 3
+            assert stats["generation_stale"] is False
+            assert stats["alive"] == stats["workers"]
+            # Deltas shipped while the fold was in flight finish
+            # replaying (the re-attach must not strand them), then
+            # reads across the fold stay exact and replica-served.
+            pool.wait_for_version(ticket.version, all_workers=True,
+                                  timeout=30.0)
+            before = pool.stats()["fallback_reads"]
+            for i in range(5):
+                assert pool.ask(f"(AUTO{i}, ∈, EMPLOYEE)", ticket=ticket)
+            assert pool.stats()["fallback_reads"] == before
+        finally:
+            pool.close()
+            service.close()
+
     def test_compact_requires_generation_mode(self):
         service = DatabaseService(_database())
         try:
